@@ -1,0 +1,72 @@
+//! Bench + row regeneration for the prose ablations (ablA–ablD).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tracegc::experiments::{run, Options};
+use tracegc::heap::LayoutKind;
+use tracegc::hwgc::GcUnitConfig;
+use tracegc::mem::ddr3::Ddr3Config;
+use tracegc::runner::{run_unit_gc, MemKind};
+use tracegc::workloads::spec::by_name;
+
+fn bench(c: &mut Criterion) {
+    let opts = Options {
+        scale: 0.03,
+        pauses: 1,
+    };
+    for id in ["ablA", "ablB", "ablC", "ablD"] {
+        let out = run(id, &opts).expect("ablation exists");
+        for t in &out.tables {
+            println!("{}", t.render());
+        }
+        for n in &out.notes {
+            println!("note: {n}");
+        }
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let spec = by_name("avrora").unwrap().scaled(0.02);
+    group.bench_function("unit_mark_frfcfs", |b| {
+        b.iter(|| {
+            run_unit_gc(
+                std::hint::black_box(&spec),
+                LayoutKind::Bidirectional,
+                GcUnitConfig::default(),
+                MemKind::Ddr3(Ddr3Config::default()),
+            )
+            .report
+            .mark
+            .cycles()
+        })
+    });
+    group.bench_function("unit_mark_fifo8", |b| {
+        b.iter(|| {
+            run_unit_gc(
+                std::hint::black_box(&spec),
+                LayoutKind::Bidirectional,
+                GcUnitConfig::default(),
+                MemKind::Ddr3(Ddr3Config::fifo_8_reads()),
+            )
+            .report
+            .mark
+            .cycles()
+        })
+    });
+    group.bench_function("unit_mark_conventional_layout", |b| {
+        b.iter(|| {
+            run_unit_gc(
+                std::hint::black_box(&spec),
+                LayoutKind::Conventional,
+                GcUnitConfig::default(),
+                MemKind::ddr3_default(),
+            )
+            .report
+            .mark
+            .cycles()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Bench + row regeneration for Fig. 1 (motivation): GC time fraction
+//! and the lusearch query-latency CDF.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tracegc::experiments::{run, Options};
+use tracegc::workloads::queries::{QueryLatencySim, QueryLatencySpec};
+
+fn opts() -> Options {
+    Options {
+        scale: 0.02,
+        pauses: 1,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the paper's rows once, at smoke scale.
+    for id in ["fig1a", "fig1b"] {
+        let out = run(id, &opts()).expect("experiment exists");
+        for t in &out.tables {
+            println!("{}", t.render());
+        }
+    }
+
+    let mut group = c.benchmark_group("fig01");
+    group.sample_size(10);
+    group.bench_function("query_latency_sim_10k", |b| {
+        let sim = QueryLatencySim::new(QueryLatencySpec::default());
+        b.iter(|| {
+            let (lat, _) = sim.run(std::hint::black_box(&[150_000]));
+            lat.len()
+        })
+    });
+    group.bench_function("cpu_gc_pause_avrora", |b| {
+        b.iter(|| run("fig1a", &opts()).unwrap().tables.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

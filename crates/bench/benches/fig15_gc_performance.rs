@@ -1,0 +1,44 @@
+//! Bench + row regeneration for Fig. 15: the headline mark/sweep
+//! speedups on DDR3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tracegc::experiments::{run, Options};
+use tracegc::heap::LayoutKind;
+use tracegc::hwgc::GcUnitConfig;
+use tracegc::runner::{DualRun, MemKind};
+use tracegc::workloads::spec::by_name;
+
+fn bench(c: &mut Criterion) {
+    let out = run(
+        "fig15",
+        &Options {
+            scale: 0.03,
+            pauses: 1,
+        },
+    )
+    .expect("fig15 exists");
+    for t in &out.tables {
+        println!("{}", t.render());
+    }
+    for n in &out.notes {
+        println!("note: {n}");
+    }
+
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    let spec = by_name("avrora").unwrap().scaled(0.02);
+    group.bench_function("paired_pause_avrora", |b| {
+        b.iter(|| {
+            let mut run = DualRun::new(
+                std::hint::black_box(&spec),
+                LayoutKind::Bidirectional,
+                GcUnitConfig::default(),
+            );
+            run.run_pause(MemKind::ddr3_default()).mark_speedup()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

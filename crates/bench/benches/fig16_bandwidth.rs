@@ -1,0 +1,42 @@
+//! Bench + row regeneration for Fig. 16: bandwidth over time during the
+//! last avrora pause.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tracegc::experiments::{run, Options};
+use tracegc::heap::LayoutKind;
+use tracegc::hwgc::GcUnitConfig;
+use tracegc::runner::{run_unit_gc, MemKind};
+use tracegc::workloads::spec::by_name;
+
+fn bench(c: &mut Criterion) {
+    let out = run(
+        "fig16",
+        &Options {
+            scale: 0.03,
+            pauses: 2,
+        },
+    )
+    .expect("fig16 exists");
+    // Print only the summary table; the full series goes to CSV in the
+    // experiments binary.
+    println!("{}", out.tables[0].render());
+
+    let mut group = c.benchmark_group("fig16");
+    group.sample_size(10);
+    let spec = by_name("avrora").unwrap().scaled(0.02);
+    group.bench_function("unit_gc_with_bandwidth_metering", |b| {
+        b.iter(|| {
+            let r = run_unit_gc(
+                std::hint::black_box(&spec),
+                LayoutKind::Bidirectional,
+                GcUnitConfig::default(),
+                MemKind::ddr3_default(),
+            );
+            r.snapshot.series_gbps.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

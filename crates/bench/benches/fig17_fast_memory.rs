@@ -1,0 +1,44 @@
+//! Bench + row regeneration for Fig. 17: potential performance on the
+//! 1-cycle / 8 GB/s latency–bandwidth pipe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tracegc::experiments::{run, Options};
+use tracegc::heap::LayoutKind;
+use tracegc::hwgc::GcUnitConfig;
+use tracegc::runner::{run_unit_gc, MemKind};
+use tracegc::workloads::spec::by_name;
+
+fn bench(c: &mut Criterion) {
+    let out = run(
+        "fig17",
+        &Options {
+            scale: 0.03,
+            pauses: 1,
+        },
+    )
+    .expect("fig17 exists");
+    for t in &out.tables {
+        println!("{}", t.render());
+    }
+
+    let mut group = c.benchmark_group("fig17");
+    group.sample_size(10);
+    let spec = by_name("xalan").unwrap().scaled(0.02);
+    group.bench_function("unit_mark_on_pipe", |b| {
+        b.iter(|| {
+            run_unit_gc(
+                std::hint::black_box(&spec),
+                LayoutKind::Bidirectional,
+                GcUnitConfig::default(),
+                MemKind::pipe_8gbps(),
+            )
+            .report
+            .mark
+            .cycles()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

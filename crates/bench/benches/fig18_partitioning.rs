@@ -1,0 +1,59 @@
+//! Bench + row regeneration for Fig. 18: cache partitioning and the
+//! per-source request breakdowns.
+//!
+//! The full fig18 experiment forces full workload scale (TLB pressure
+//! needs a big heap), which is too slow for a bench loop — here we print
+//! the partitioned breakdown at bench scale and benchmark both
+//! topologies' traversal kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tracegc::heap::LayoutKind;
+use tracegc::hwgc::{CacheTopology, GcUnitConfig};
+use tracegc::mem::Source;
+use tracegc::runner::{run_unit_gc, MemKind};
+use tracegc::workloads::spec::by_name;
+
+fn bench(c: &mut Criterion) {
+    let spec = by_name("avrora").unwrap().scaled(0.05);
+
+    // Fig. 18b rows at bench scale.
+    let r = run_unit_gc(
+        &spec,
+        LayoutKind::Bidirectional,
+        GcUnitConfig::default(),
+        MemKind::ddr3_default(),
+    );
+    println!("fig18b (partitioned) memory requests @ bench scale:");
+    for s in [Source::MarkQueue, Source::Tracer, Source::Ptw, Source::Marker] {
+        println!("  {:<11} {}", s.label(), r.snapshot.requests(s));
+    }
+    println!("(run `experiments -- fig18` for the full-scale shared-cache breakdown)");
+
+    let mut group = c.benchmark_group("fig18");
+    group.sample_size(10);
+    for (name, topology) in [
+        ("partitioned", CacheTopology::Partitioned),
+        ("shared", CacheTopology::Shared),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_unit_gc(
+                    std::hint::black_box(&spec),
+                    LayoutKind::Bidirectional,
+                    GcUnitConfig {
+                        topology,
+                        ..GcUnitConfig::default()
+                    },
+                    MemKind::ddr3_default(),
+                )
+                .report
+                .mark
+                .cycles()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench + row regeneration for Fig. 19: mark-queue size trade-offs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tracegc::experiments::{run, Options};
+use tracegc::heap::LayoutKind;
+use tracegc::hwgc::GcUnitConfig;
+use tracegc::runner::{run_unit_gc, MemKind};
+use tracegc::workloads::spec::by_name;
+
+fn bench(c: &mut Criterion) {
+    let out = run(
+        "fig19",
+        &Options {
+            scale: 0.03,
+            pauses: 1,
+        },
+    )
+    .expect("fig19 exists");
+    for t in &out.tables {
+        println!("{}", t.render());
+    }
+
+    let mut group = c.benchmark_group("fig19");
+    group.sample_size(10);
+    let spec = by_name("avrora").unwrap().scaled(0.02);
+    for (name, entries) in [("markq_128", 128usize), ("markq_16k", 16 * 1024)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_unit_gc(
+                    std::hint::black_box(&spec),
+                    LayoutKind::Bidirectional,
+                    GcUnitConfig {
+                        markq_entries: entries,
+                        ..GcUnitConfig::default()
+                    },
+                    MemKind::ddr3_default(),
+                )
+                .report
+                .mark
+                .markq
+                .spill_writes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench + row regeneration for Fig. 20: block-sweeper scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tracegc::experiments::{run, Options};
+use tracegc::heap::verify::software_mark;
+use tracegc::heap::LayoutKind;
+use tracegc::hwgc::{GcUnitConfig, ReclamationUnit};
+use tracegc::runner::MemKind;
+use tracegc::workloads::generate::generate_heap;
+use tracegc::workloads::spec::by_name;
+
+fn bench(c: &mut Criterion) {
+    let out = run(
+        "fig20",
+        &Options {
+            scale: 0.03,
+            pauses: 1,
+        },
+    )
+    .expect("fig20 exists");
+    for t in &out.tables {
+        println!("{}", t.render());
+    }
+
+    let mut group = c.benchmark_group("fig20");
+    group.sample_size(10);
+    let spec = by_name("pmd").unwrap().scaled(0.02);
+    for sweepers in [1usize, 2, 4, 8] {
+        group.bench_function(format!("sweepers_{sweepers}"), |b| {
+            b.iter(|| {
+                let mut w = generate_heap(std::hint::black_box(&spec), LayoutKind::Bidirectional);
+                software_mark(&mut w.heap);
+                let mut mem = MemKind::ddr3_default().fresh();
+                let cfg = GcUnitConfig {
+                    sweepers,
+                    ..GcUnitConfig::default()
+                };
+                let mut unit = ReclamationUnit::new(cfg, &w.heap);
+                unit.run_sweep(&mut w.heap, &mut mem, 0).cycles()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Bench + row regeneration for Fig. 21: the mark-bit cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tracegc::experiments::{run, Options};
+use tracegc::hwgc::MarkBitCache;
+
+fn bench(c: &mut Criterion) {
+    let out = run(
+        "fig21",
+        &Options {
+            scale: 0.03,
+            pauses: 1,
+        },
+    )
+    .expect("fig21 exists");
+    for t in &out.tables {
+        println!("{}", t.render());
+    }
+    for n in &out.notes {
+        println!("note: {n}");
+    }
+
+    let mut group = c.benchmark_group("fig21");
+    group.sample_size(20);
+    // The raw filter structure: a Zipf-skewed reference stream.
+    let zipf = tracegc::sim::dist::Zipf::new(10_000, 1.0);
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let stream: Vec<u64> = (0..100_000)
+        .map(|_| 0x4000_0000 + zipf.sample(&mut rng) as u64 * 8)
+        .collect();
+    for size in [64usize, 256] {
+        group.bench_function(format!("filter_{size}_entries"), |b| {
+            b.iter(|| {
+                let mut cache = MarkBitCache::new(size);
+                let mut filtered = 0u64;
+                for &va in std::hint::black_box(&stream) {
+                    if cache.filter(va) {
+                        filtered += 1;
+                    }
+                }
+                filtered
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench + row regeneration for Fig. 22: area estimates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tracegc::experiments::{run, Options};
+use tracegc::hwgc::GcUnitConfig;
+use tracegc::model::area::gc_unit_area;
+
+fn bench(c: &mut Criterion) {
+    let out = run(
+        "fig22",
+        &Options {
+            scale: 1.0,
+            pauses: 1,
+        },
+    )
+    .expect("fig22 exists");
+    for t in &out.tables {
+        println!("{}", t.render());
+    }
+    for n in &out.notes {
+        println!("note: {n}");
+    }
+
+    let mut group = c.benchmark_group("fig22");
+    group.bench_function("area_model", |b| {
+        b.iter(|| gc_unit_area(std::hint::black_box(&GcUnitConfig::default())).total())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

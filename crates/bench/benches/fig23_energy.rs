@@ -1,0 +1,42 @@
+//! Bench + row regeneration for Fig. 23: power and energy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tracegc::experiments::{run, Options};
+use tracegc::model::{Agent, EnergyModel};
+
+fn bench(c: &mut Criterion) {
+    let out = run(
+        "fig23",
+        &Options {
+            scale: 0.03,
+            pauses: 1,
+        },
+    )
+    .expect("fig23 exists");
+    for t in &out.tables {
+        println!("{}", t.render());
+    }
+    for n in &out.notes {
+        println!("note: {n}");
+    }
+
+    let mut group = c.benchmark_group("fig23");
+    group.bench_function("energy_model", |b| {
+        let model = EnergyModel::default();
+        b.iter(|| {
+            model
+                .pause_energy(
+                    Agent::GcUnit,
+                    std::hint::black_box(10_000_000),
+                    100 << 20,
+                    800_000,
+                    200_000,
+                )
+                .total_mj()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

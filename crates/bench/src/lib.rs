@@ -1,0 +1,7 @@
+//! Criterion benchmark harness for the tracegc project.
+//!
+//! Each `benches/figNN_*.rs` target regenerates the corresponding paper
+//! table/figure at a reduced scale (printing the rows) and then
+//! benchmarks the underlying simulation kernel with Criterion. Run them
+//! all with `cargo bench --workspace`; regenerate full-scale numbers
+//! with `cargo run -p tracegc --release --bin experiments -- all`.

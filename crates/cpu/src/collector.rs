@@ -1,0 +1,504 @@
+//! The timed software collector running on the in-order core model.
+
+use tracegc_heap::layout::{
+    bidi, conv, decode_cell_start, encode_free_cell_start, CellStart, Header, LayoutKind,
+    HEADER_MARK_BIT, WORD,
+};
+use tracegc_heap::{Heap, ObjRef};
+use tracegc_mem::cache::L2Backing;
+use tracegc_mem::{Cache, CacheConfig, MemSystem, Source};
+use tracegc_sim::Cycle;
+use tracegc_vmem::{Requester, TlbConfig, Translator};
+
+/// Virtual base of the software collector's mark stack (scratch space the
+/// runtime maps before the first GC).
+const MARK_STACK_BASE: u64 = 0x3800_0000;
+/// Reserved mark-stack capacity in bytes.
+const MARK_STACK_BYTES: u64 = 32 << 20;
+
+/// Core and software-loop parameters for the CPU collector.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuConfig {
+    /// L1 D-cache geometry (Table I: 16 KiB).
+    pub l1d: CacheConfig,
+    /// L2 geometry (Table I: 256 KiB, 8-way).
+    pub l2: CacheConfig,
+    /// TLB/PTW sizing for the core.
+    pub tlb: TlbConfig,
+    /// Non-memory instructions per object visited in the mark loop
+    /// (dequeue, mark test, branch, bookkeeping).
+    pub instr_per_object: u64,
+    /// Non-memory instructions per reference traced (null check, push
+    /// pointer arithmetic).
+    pub instr_per_ref: u64,
+    /// Non-memory instructions per cell examined in the sweep loop.
+    pub instr_per_cell: u64,
+    /// Outstanding reference loads the core can overlap in the trace
+    /// loop. 1 = the in-order Rocket (load-to-use stall on every ref);
+    /// larger values approximate an out-of-order BOOM-like core, which
+    /// the paper found "outperformed Rocket by only around 12%" (§VI-A).
+    pub ooo_window: usize,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self {
+            l1d: CacheConfig::rocket_l1d(),
+            l2: CacheConfig::rocket_l2(),
+            tlb: TlbConfig::default(),
+            instr_per_object: 10,
+            instr_per_ref: 4,
+            instr_per_cell: 6,
+            ooo_window: 1,
+        }
+    }
+}
+
+/// Result of one timed GC phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseResult {
+    /// Cycles the phase took.
+    pub cycles: Cycle,
+    /// Objects newly marked (mark) or cells freed (sweep).
+    pub work_items: u64,
+    /// References examined (mark only).
+    pub refs_traced: u64,
+}
+
+/// The Rocket-like in-order core running the software collector.
+///
+/// # Examples
+///
+/// ```
+/// use tracegc_cpu::{Cpu, CpuConfig};
+/// use tracegc_heap::{Heap, HeapConfig};
+/// use tracegc_mem::MemSystem;
+///
+/// let mut heap = Heap::new(HeapConfig::default());
+/// let a = heap.alloc(1, 0, false).unwrap();
+/// let b = heap.alloc(0, 0, false).unwrap();
+/// heap.set_ref(a, 0, Some(b));
+/// heap.set_roots(&[a]);
+///
+/// let mut mem = MemSystem::ddr3(Default::default());
+/// let mut cpu = Cpu::new(CpuConfig::default(), &mut heap);
+/// let mark = cpu.run_mark(&mut heap, &mut mem);
+/// assert_eq!(mark.work_items, 2);
+/// ```
+#[derive(Debug)]
+pub struct Cpu {
+    cfg: CpuConfig,
+    l1d: Cache,
+    l2: Cache,
+    translator: Translator,
+    now: Cycle,
+}
+
+impl Cpu {
+    /// Builds a core bound to `heap`'s address space, with cold caches.
+    pub fn new(cfg: CpuConfig, heap: &mut Heap) -> Self {
+        heap.ensure_mapped_region(MARK_STACK_BASE, MARK_STACK_BYTES);
+        Self {
+            cfg,
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            translator: Translator::new(heap.address_space(), cfg.tlb),
+            now: 0,
+        }
+    }
+
+    /// Current core cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advances the core clock (e.g. to account for mutator execution
+    /// between GC phases).
+    pub fn advance_to(&mut self, cycle: Cycle) {
+        self.now = self.now.max(cycle);
+    }
+
+    /// L1 D-cache statistics.
+    pub fn l1_stats(&self) -> &tracegc_mem::CacheStats {
+        self.l1d.stats()
+    }
+
+    /// A timed data access: translate, then L1 → L2 → DRAM. Returns the
+    /// cycle the data is available.
+    fn access(&mut self, heap: &Heap, mem: &mut MemSystem, va: u64, write: bool) -> Cycle {
+        let (pa, t) = self
+            .translator
+            .translate(Requester::Cpu, va, self.now, mem, &heap.phys)
+            .unwrap_or_else(|e| panic!("CPU access fault: {e}"));
+        let mut backing = L2Backing {
+            l2: &mut self.l2,
+            mem,
+            source: Source::Cpu,
+        };
+        self.l1d.access(pa, write, t, Source::Cpu, &mut backing)
+    }
+
+    /// Issue `n` single-cycle instructions.
+    #[inline]
+    fn instr(&mut self, n: u64) {
+        self.now += n;
+    }
+
+    /// Runs the mark phase: a breadth-limited DFS with a software mark
+    /// stack, exactly the traversal of §III-A, with every memory touch
+    /// timed through the cache hierarchy.
+    pub fn run_mark(&mut self, heap: &mut Heap, mem: &mut MemSystem) -> PhaseResult {
+        let start = self.now;
+        let layout = heap.layout();
+        let mut result = PhaseResult::default();
+
+        // The runtime scanned the roots into the hwgc space; the software
+        // collector reads them from there.
+        let hwgc_base = heap.spaces().hwgc_base;
+        let t = self.access(heap, mem, hwgc_base, false);
+        self.now = self.now.max(t);
+        let nroots = heap.read_va(hwgc_base);
+
+        // Software mark stack: functional copy + timed pushes/pops.
+        let mut stack: Vec<ObjRef> = Vec::new();
+        let mut sp: u64 = 0;
+        for i in 0..nroots {
+            let slot = hwgc_base + (1 + i) * WORD;
+            let t = self.access(heap, mem, slot, false);
+            self.now = self.now.max(t);
+            let raw = heap.read_va(slot);
+            if raw != 0 {
+                self.push(heap, mem, &mut stack, &mut sp, ObjRef::new(raw));
+            }
+        }
+
+        while let Some(obj) = self.pop(heap, mem, &mut stack, &mut sp) {
+            self.instr(self.cfg.instr_per_object);
+
+            // Load the header; the mark-test branch *depends* on it, so
+            // the in-order core stalls until the data arrives.
+            let t = self.access(heap, mem, obj.addr(), false);
+            self.now = self.now.max(t);
+            let pa = heap.va_to_pa(obj.addr());
+            let old = Header::from_raw(heap.phys.read_u64(pa));
+            if old.is_marked() {
+                continue;
+            }
+            // Store the mark (write-back absorbs it; no stall).
+            heap.phys.write_u64(pa, old.with_mark().raw());
+            self.access(heap, mem, obj.addr(), true);
+            self.instr(1);
+            result.work_items += 1;
+
+            let nrefs = old.nrefs();
+            match layout {
+                LayoutKind::Bidirectional => {
+                    // Reference slots sit contiguously below the header.
+                    // An in-order core (ooo_window = 1) stalls on every
+                    // load-use pair; an out-of-order core overlaps up to
+                    // `ooo_window` outstanding ref loads.
+                    let window = self.cfg.ooo_window.max(1);
+                    let mut pending: std::collections::VecDeque<(tracegc_sim::Cycle, u64)> =
+                        std::collections::VecDeque::with_capacity(window);
+                    for i in 0..nrefs {
+                        self.instr(self.cfg.instr_per_ref);
+                        let slot = bidi::ref_slot(obj, i);
+                        let t = self.access(heap, mem, slot, false);
+                        let raw = heap.read_va(slot);
+                        pending.push_back((t, raw));
+                        result.refs_traced += 1;
+                        if pending.len() >= window {
+                            let (t, raw) = pending.pop_front().expect("non-empty");
+                            self.now = self.now.max(t);
+                            if raw != 0 {
+                                self.push(heap, mem, &mut stack, &mut sp, ObjRef::new(raw));
+                            }
+                        }
+                    }
+                    while let Some((t, raw)) = pending.pop_front() {
+                        self.now = self.now.max(t);
+                        if raw != 0 {
+                            self.push(heap, mem, &mut stack, &mut sp, ObjRef::new(raw));
+                        }
+                    }
+                }
+                LayoutKind::Conventional => {
+                    // TIB pointer, then the offset table, then scattered
+                    // field loads — the two extra accesses of §IV-A.
+                    let tib_slot = conv::tib_slot(obj);
+                    let t = self.access(heap, mem, tib_slot, false);
+                    self.now = self.now.max(t);
+                    let tib = heap.read_va(tib_slot);
+                    for i in 0..nrefs {
+                        self.instr(self.cfg.instr_per_ref);
+                        let off_va = tib + (1 + i as u64) * WORD;
+                        let t = self.access(heap, mem, off_va, false);
+                        self.now = self.now.max(t);
+                        let offset = heap.read_va(off_va) as u32;
+                        let slot = conv::field_slot(obj, offset);
+                        let t = self.access(heap, mem, slot, false);
+                        self.now = self.now.max(t);
+                        let raw = heap.read_va(slot);
+                        result.refs_traced += 1;
+                        if raw != 0 {
+                            self.push(heap, mem, &mut stack, &mut sp, ObjRef::new(raw));
+                        }
+                    }
+                }
+            }
+        }
+
+        result.cycles = self.now - start;
+        result
+    }
+
+    fn push(
+        &mut self,
+        heap: &mut Heap,
+        mem: &mut MemSystem,
+        stack: &mut Vec<ObjRef>,
+        sp: &mut u64,
+        obj: ObjRef,
+    ) {
+        assert!(*sp * WORD < MARK_STACK_BYTES, "software mark stack overflow");
+        let va = MARK_STACK_BASE + *sp * WORD;
+        heap.write_va(va, obj.addr());
+        // Stack stores are fire-and-forget on a write-back cache.
+        self.access(heap, mem, va, true);
+        self.instr(1);
+        stack.push(obj);
+        *sp += 1;
+    }
+
+    fn pop(
+        &mut self,
+        heap: &mut Heap,
+        mem: &mut MemSystem,
+        stack: &mut Vec<ObjRef>,
+        sp: &mut u64,
+    ) -> Option<ObjRef> {
+        let obj = stack.pop()?;
+        *sp -= 1;
+        let va = MARK_STACK_BASE + *sp * WORD;
+        let t = self.access(heap, mem, va, false);
+        self.now = self.now.max(t);
+        debug_assert_eq!(heap.read_va(va), obj.addr());
+        Some(obj)
+    }
+
+    /// Runs the sweep phase: a linear scan over every mark-sweep block,
+    /// rebuilding free lists and clearing surviving marks — the software
+    /// equivalent of the reclamation unit (§V-D).
+    pub fn run_sweep(&mut self, heap: &mut Heap, mem: &mut MemSystem) -> PhaseResult {
+        let start = self.now;
+        let layout = heap.layout();
+        let mut result = PhaseResult::default();
+
+        let blocks = heap.blocks().to_vec();
+        for (bidx, block) in blocks.iter().enumerate() {
+            let mut free_head = 0u64;
+            let mut free_cells = 0u64;
+            for i in (0..block.ncells).rev() {
+                self.instr(self.cfg.instr_per_cell);
+                let cell = block.base_va + i * block.cell_bytes;
+                // Load the cell-start word; the classification branch
+                // depends on it.
+                let t = self.access(heap, mem, cell, false);
+                self.now = self.now.max(t);
+                match decode_cell_start(heap.read_va(cell)) {
+                    CellStart::Free { .. } => {
+                        heap.write_va(cell, encode_free_cell_start(free_head));
+                        self.access(heap, mem, cell, true);
+                        self.instr(1);
+                        free_head = cell;
+                        free_cells += 1;
+                    }
+                    CellStart::Live { nrefs, .. } => {
+                        let header_va = match layout {
+                            LayoutKind::Bidirectional => bidi::header_of_cell(cell, nrefs),
+                            LayoutKind::Conventional => conv::header_of_cell(cell),
+                        };
+                        let t = self.access(heap, mem, header_va, false);
+                        self.now = self.now.max(t);
+                        let header = Header::from_raw(heap.read_va(header_va));
+                        if header.is_marked() {
+                            heap.write_va(header_va, header.without_mark().raw());
+                            self.access(heap, mem, header_va, true);
+                            self.instr(1);
+                        } else {
+                            heap.write_va(cell, encode_free_cell_start(free_head));
+                            self.access(heap, mem, cell, true);
+                            self.instr(1);
+                            free_head = cell;
+                            free_cells += 1;
+                            result.work_items += 1;
+                        }
+                    }
+                }
+            }
+            heap.set_block_free_list(bidx, free_head, free_cells);
+        }
+        // LOS marks are cleared by the runtime (untimed here, matching
+        // the paper's split of responsibilities).
+        for los in heap.los_objects().to_vec() {
+            let h = heap.header(los.obj).without_mark();
+            heap.write_va(los.obj.addr(), h.raw());
+        }
+        heap.finish_sweep();
+        result.cycles = self.now - start;
+        result
+    }
+
+    /// Runs a complete stop-the-world GC (mark then sweep); returns the
+    /// two phase results.
+    pub fn run_gc(&mut self, heap: &mut Heap, mem: &mut MemSystem) -> (PhaseResult, PhaseResult) {
+        let mark = self.run_mark(heap, mem);
+        let sweep = self.run_sweep(heap, mem);
+        (mark, sweep)
+    }
+
+    /// Marks a single object functionally through the timed path — used
+    /// by barrier-cost experiments.
+    pub fn timed_mark_one(&mut self, heap: &mut Heap, mem: &mut MemSystem, obj: ObjRef) -> bool {
+        let t = self.access(heap, mem, obj.addr(), false);
+        self.now = self.now.max(t);
+        let pa = heap.va_to_pa(obj.addr());
+        let old = heap.phys.fetch_or_u64(pa, HEADER_MARK_BIT);
+        self.access(heap, mem, obj.addr(), true);
+        Header::from_raw(old).is_marked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracegc_heap::verify::{check_free_lists, check_marks_match_reachability};
+    use tracegc_heap::HeapConfig;
+
+    fn build_graph(layout: LayoutKind) -> Heap {
+        let mut h = Heap::new(HeapConfig {
+            phys_bytes: 128 << 20,
+            layout,
+            ..HeapConfig::default()
+        });
+        let objs: Vec<ObjRef> = (0..500)
+            .map(|i| h.alloc(2 + (i % 3) as u32, (i % 5) as u32, false).unwrap())
+            .collect();
+        for i in 0..300usize {
+            h.set_ref(objs[i], 0, Some(objs[(i + 1) % 300]));
+            h.set_ref(objs[i], 1, Some(objs[(i * 17) % 300]));
+        }
+        for i in 300..499usize {
+            h.set_ref(objs[i], 0, Some(objs[i + 1])); // garbage chain
+        }
+        h.set_roots(&[objs[0], objs[150]]);
+        h
+    }
+
+    #[test]
+    fn timed_mark_matches_reachability_oracle() {
+        let mut heap = build_graph(LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut cpu = Cpu::new(CpuConfig::default(), &mut heap);
+        let result = cpu.run_mark(&mut heap, &mut mem);
+        check_marks_match_reachability(&heap).unwrap();
+        assert_eq!(result.work_items, 300);
+        assert!(result.cycles > 0);
+    }
+
+    #[test]
+    fn timed_sweep_matches_software_oracle() {
+        let mut heap = build_graph(LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut cpu = Cpu::new(CpuConfig::default(), &mut heap);
+        cpu.run_mark(&mut heap, &mut mem);
+        let live_before = heap.reachable_from_roots();
+        let sweep = cpu.run_sweep(&mut heap, &mut mem);
+        assert_eq!(sweep.work_items, 200, "dead objects freed");
+        check_free_lists(&heap).unwrap();
+        // Marks cleared, live objects untouched.
+        assert!(heap.marked_set().is_empty());
+        assert_eq!(heap.reachable_from_roots(), live_before);
+    }
+
+    #[test]
+    fn conventional_layout_is_slower_to_mark() {
+        let run = |layout| {
+            let mut heap = build_graph(layout);
+            let mut mem = MemSystem::ddr3(Default::default());
+            let mut cpu = Cpu::new(CpuConfig::default(), &mut heap);
+            cpu.run_mark(&mut heap, &mut mem).cycles
+        };
+        let bidi = run(LayoutKind::Bidirectional);
+        let conv = run(LayoutKind::Conventional);
+        assert!(
+            conv > bidi,
+            "conventional ({conv}) should cost more than bidirectional ({bidi})"
+        );
+    }
+
+    #[test]
+    fn second_gc_marks_the_same_set() {
+        let mut heap = build_graph(LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut cpu = Cpu::new(CpuConfig::default(), &mut heap);
+        let (m1, _s1) = cpu.run_gc(&mut heap, &mut mem);
+        let (m2, _s2) = cpu.run_gc(&mut heap, &mut mem);
+        assert_eq!(m1.work_items, m2.work_items);
+        check_free_lists(&heap).unwrap();
+    }
+
+    #[test]
+    fn faster_memory_shortens_the_pause() {
+        let run = |mem: &mut MemSystem| {
+            let mut heap = build_graph(LayoutKind::Bidirectional);
+            let mut cpu = Cpu::new(CpuConfig::default(), &mut heap);
+            cpu.run_mark(&mut heap, mem).cycles
+        };
+        let mut ddr = MemSystem::ddr3(Default::default());
+        let mut pipe = MemSystem::pipe(Default::default());
+        let t_ddr = run(&mut ddr);
+        let t_pipe = run(&mut pipe);
+        assert!(t_pipe < t_ddr);
+    }
+
+    #[test]
+    fn mark_traces_every_reference_of_live_objects() {
+        let mut heap = build_graph(LayoutKind::Bidirectional);
+        let expected: u64 = heap
+            .reachable_from_roots()
+            .iter()
+            .map(|&o| heap.nrefs(o) as u64)
+            .sum();
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut cpu = Cpu::new(CpuConfig::default(), &mut heap);
+        let result = cpu.run_mark(&mut heap, &mut mem);
+        assert_eq!(result.refs_traced, expected);
+    }
+
+    #[test]
+    fn timed_mark_one_is_idempotent() {
+        let mut heap = build_graph(LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut cpu = Cpu::new(CpuConfig::default(), &mut heap);
+        let obj = heap.roots()[0];
+        assert!(!cpu.timed_mark_one(&mut heap, &mut mem, obj));
+        assert!(cpu.timed_mark_one(&mut heap, &mut mem, obj));
+    }
+
+    #[test]
+    fn empty_root_set_is_a_noop_gc() {
+        let mut heap = Heap::new(HeapConfig {
+            phys_bytes: 64 << 20,
+            ..HeapConfig::default()
+        });
+        let _garbage = heap.alloc(1, 1, false).unwrap();
+        heap.set_roots(&[]);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut cpu = Cpu::new(CpuConfig::default(), &mut heap);
+        let (mark, sweep) = cpu.run_gc(&mut heap, &mut mem);
+        assert_eq!(mark.work_items, 0);
+        assert_eq!(sweep.work_items, 1);
+        check_free_lists(&heap).unwrap();
+    }
+}

@@ -1,0 +1,206 @@
+//! Read-barrier implementation cost models (§III "Barrier
+//! Implementations" and the §IV-E `REFLOAD` CPU extension).
+//!
+//! The paper's taxonomy of read-barrier implementations:
+//!
+//! 1. **Compiled check** — barrier code in the instruction stream; the
+//!    fast path costs real instructions on *every* reference load, and
+//!    the slow path branches to a handler.
+//! 2. **Virtual-memory trap** — the fast path is free (the check is
+//!    folded into the TLB), but a triggered barrier raises a trap that
+//!    flushes the pipeline ("trap storms when many pages are freshly
+//!    invalidated").
+//! 3. **`REFLOAD`** (§IV-E) — a fused load + barrier instruction,
+//!    internally split into a load and an RB µop. The TLB fault is
+//!    intercepted and transformed into a load from the reclamation
+//!    unit's address range, so the slow path is "loads that may take
+//!    longer, but traps and pipeline flushes are eliminated" and the
+//!    core can *speculate over it* like any other load.
+//!
+//! This module computes mutator barrier overhead for a reference-access
+//! trace under each scheme, reproducing the §IV-E argument that the
+//! fused instruction dominates once relocation churn grows.
+
+use tracegc_sim::Cycle;
+
+/// Which read-barrier implementation the mutator runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierScheme {
+    /// Barrier instructions compiled into every reference load.
+    CompiledCheck,
+    /// Virtual-memory fold with a trap on the slow path.
+    VmTrap,
+    /// The §IV-E fused `REFLOAD` instruction.
+    Refload,
+}
+
+impl BarrierScheme {
+    /// All schemes, in the paper's presentation order.
+    pub const ALL: [BarrierScheme; 3] = [
+        BarrierScheme::CompiledCheck,
+        BarrierScheme::VmTrap,
+        BarrierScheme::Refload,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BarrierScheme::CompiledCheck => "compiled-check",
+            BarrierScheme::VmTrap => "vm-trap",
+            BarrierScheme::Refload => "refload (SIV-E)",
+        }
+    }
+}
+
+/// Per-event costs of each scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefloadCosts {
+    /// Compiled check: extra instructions on every reference load.
+    pub compiled_fast: Cycle,
+    /// Compiled check: slow-path branch + software forwarding-table
+    /// lookup (hash probe + dependent loads).
+    pub compiled_slow: Cycle,
+    /// VM trap: pipeline flush + kernel entry/exit + handler.
+    pub trap_slow: Cycle,
+    /// REFLOAD: extra µop on the fast path.
+    pub refload_fast: Cycle,
+    /// REFLOAD: the intercepted load from the reclamation unit's range
+    /// (a long load the core can speculate over, amortized across the
+    /// load-store queue).
+    pub refload_slow: Cycle,
+}
+
+impl Default for RefloadCosts {
+    fn default() -> Self {
+        Self {
+            compiled_fast: 3,
+            compiled_slow: 90,
+            trap_slow: 400,
+            refload_fast: 1,
+            refload_slow: 60,
+        }
+    }
+}
+
+/// Overhead estimate for one scheme over a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BarrierOverhead {
+    /// The scheme measured.
+    pub scheme: BarrierScheme,
+    /// Total barrier cycles charged.
+    pub cycles: Cycle,
+    /// Overhead relative to the barrier-free trace (0.10 = 10%).
+    pub relative: f64,
+}
+
+/// Computes the barrier overhead of each scheme for a mutator that
+/// performs `ref_loads` reference loads, of which `slow_fraction`
+/// trigger the barrier (the object's page is being relocated), on top of
+/// `baseline_cycles` of barrier-free execution.
+///
+/// # Panics
+///
+/// Panics if `slow_fraction` is outside `[0, 1]`.
+pub fn barrier_overheads(
+    costs: &RefloadCosts,
+    ref_loads: u64,
+    slow_fraction: f64,
+    baseline_cycles: Cycle,
+) -> Vec<BarrierOverhead> {
+    assert!((0.0..=1.0).contains(&slow_fraction), "fraction out of range");
+    let slow = (ref_loads as f64 * slow_fraction) as u64;
+    let fast = ref_loads - slow;
+    BarrierScheme::ALL
+        .iter()
+        .map(|&scheme| {
+            let cycles = match scheme {
+                BarrierScheme::CompiledCheck => {
+                    fast * costs.compiled_fast + slow * (costs.compiled_fast + costs.compiled_slow)
+                }
+                BarrierScheme::VmTrap => slow * costs.trap_slow,
+                BarrierScheme::Refload => {
+                    fast * costs.refload_fast + slow * (costs.refload_fast + costs.refload_slow)
+                }
+            };
+            BarrierOverhead {
+                scheme,
+                cycles,
+                relative: cycles as f64 / baseline_cycles.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overhead_of(scheme: BarrierScheme, slow_fraction: f64) -> f64 {
+        barrier_overheads(&RefloadCosts::default(), 1_000_000, slow_fraction, 10_000_000)
+            .into_iter()
+            .find(|o| o.scheme == scheme)
+            .expect("scheme present")
+            .relative
+    }
+
+    #[test]
+    fn traps_win_when_nothing_relocates() {
+        // §III: the VM fold has no fast-path cost at all.
+        assert_eq!(overhead_of(BarrierScheme::VmTrap, 0.0), 0.0);
+        assert!(overhead_of(BarrierScheme::CompiledCheck, 0.0) > 0.0);
+    }
+
+    #[test]
+    fn trap_storms_invert_the_ranking() {
+        // §IV-E: "these traps can be very frequent if churn is large
+        // (resulting in trap storms)".
+        let churn = 0.05;
+        assert!(
+            overhead_of(BarrierScheme::VmTrap, churn)
+                > overhead_of(BarrierScheme::Refload, churn)
+        );
+        assert!(
+            overhead_of(BarrierScheme::VmTrap, churn)
+                > overhead_of(BarrierScheme::CompiledCheck, churn)
+        );
+    }
+
+    #[test]
+    fn refload_dominates_compiled_checks_everywhere() {
+        for churn in [0.0, 0.01, 0.05, 0.2] {
+            assert!(
+                overhead_of(BarrierScheme::Refload, churn)
+                    <= overhead_of(BarrierScheme::CompiledCheck, churn),
+                "churn {churn}"
+            );
+        }
+    }
+
+    #[test]
+    fn overheads_grow_with_churn() {
+        for scheme in BarrierScheme::ALL {
+            assert!(overhead_of(scheme, 0.2) >= overhead_of(scheme, 0.01));
+        }
+    }
+
+    #[test]
+    fn crossover_exists_between_trap_and_refload() {
+        // At very low churn, traps beat REFLOAD's per-load µop; at high
+        // churn, REFLOAD wins — there is a crossover, which is exactly
+        // why §IV-E proposes the instruction for churn-heavy concurrent
+        // collectors.
+        assert!(
+            overhead_of(BarrierScheme::VmTrap, 0.0001)
+                < overhead_of(BarrierScheme::Refload, 0.0001)
+        );
+        assert!(
+            overhead_of(BarrierScheme::VmTrap, 0.1) > overhead_of(BarrierScheme::Refload, 0.1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_fraction_panics() {
+        barrier_overheads(&RefloadCosts::default(), 100, 1.5, 1000);
+    }
+}

@@ -1,0 +1,102 @@
+//! The experiment driver: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! cargo run -p tracegc --release --bin experiments -- all
+//! cargo run -p tracegc --release --bin experiments -- fig15 fig20
+//! cargo run -p tracegc --release --bin experiments -- --scale 1.0 --pauses 6 fig15
+//! cargo run -p tracegc --release --bin experiments -- --quick all
+//! ```
+//!
+//! Each experiment prints its tables and writes CSVs under `results/`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tracegc::experiments::{self, Options};
+
+fn usage() -> String {
+    format!(
+        "usage: experiments [--quick] [--scale F] [--pauses N] [--out DIR] <id>...\n\
+         ids: all {}",
+        experiments::ALL.join(" ")
+    )
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                opts.scale = 0.05;
+                opts.pauses = 2;
+            }
+            "--scale" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.scale = v,
+                None => {
+                    eprintln!("--scale needs a number\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--pauses" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.pauses = v,
+                None => {
+                    eprintln!("--pauses needs a number\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(v) => out_dir = PathBuf::from(v),
+                None => {
+                    eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    for id in &ids {
+        let started = std::time::Instant::now();
+        let Some(output) = experiments::run(id, &opts) else {
+            eprintln!("unknown experiment '{id}'\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        println!("\n################ {} ################", output.title);
+        for (i, table) in output.tables.iter().enumerate() {
+            println!("{}", table.render());
+            let path = if output.tables.len() == 1 {
+                out_dir.join(format!("{id}.csv"))
+            } else {
+                out_dir.join(format!("{id}_{i}.csv"))
+            };
+            if let Err(e) = table.write_csv(&path) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        for note in &output.notes {
+            println!("note: {note}");
+        }
+        println!(
+            "[{id} done in {:.1}s, scale={}, pauses={}]",
+            started.elapsed().as_secs_f64(),
+            opts.scale,
+            opts.pauses
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,399 @@
+//! Ablations for the design choices the paper discusses in prose.
+//!
+//! * `ablA` — memory scheduling: "our performance was significantly
+//!   improved changing from FIFO MAS to FR-FCFS and increasing the
+//!   maximum number of outstanding reads from 8 to 16. [The CPU] was
+//!   insensitive to the configuration" (§VI-A).
+//! * `ablB` — the bidirectional layout vs the conventional TIB layout on
+//!   the cacheless unit (§IV-A.I).
+//! * `ablC` — the blocking PTW vs the proposed non-blocking walker
+//!   (§VI-A future work).
+//! * `ablD` — the §IV-D barrier cost model vs a trap-based read barrier.
+
+use tracegc_heap::{LayoutKind, ObjRef};
+use tracegc_hwgc::barrier::{BarrierCosts, BarrierModel, ForwardingState};
+use tracegc_hwgc::GcUnitConfig;
+use tracegc_mem::ddr3::{Ddr3Config, Scheduler};
+use tracegc_vmem::TlbConfig;
+use tracegc_workloads::spec::by_name;
+
+use super::{ExperimentOutput, Options};
+use crate::runner::{run_cpu_gc, run_unit_gc, MemKind};
+use crate::table::{ms, ratio, Table};
+
+/// `ablA`: FR-FCFS vs FIFO, 16 vs 8 outstanding reads.
+pub fn run_memsched(opts: &Options) -> ExperimentOutput {
+    let spec = by_name("avrora").expect("avrora exists").scaled(opts.scale);
+    let variants: [(&str, Ddr3Config); 4] = [
+        ("frfcfs-16", Ddr3Config::default()),
+        (
+            "frfcfs-8",
+            Ddr3Config {
+                max_reads: 8,
+                ..Ddr3Config::default()
+            },
+        ),
+        (
+            "fifo-16",
+            Ddr3Config {
+                scheduler: Scheduler::Fifo,
+                row_window: 1,
+                ..Ddr3Config::default()
+            },
+        ),
+        ("fifo-8", Ddr3Config::fifo_8_reads()),
+    ];
+    let mut table = Table::new(
+        "ablA: memory scheduler sensitivity (avrora mark phase)",
+        &["config", "unit-mark-ms", "cpu-mark-ms"],
+    );
+    for (name, cfg) in variants {
+        let unit = run_unit_gc(
+            &spec,
+            LayoutKind::Bidirectional,
+            GcUnitConfig::default(),
+            MemKind::Ddr3(cfg),
+        );
+        let cpu = run_cpu_gc(&spec, LayoutKind::Bidirectional, MemKind::Ddr3(cfg));
+        table.row(vec![
+            name.into(),
+            ms(unit.report.mark.cycles()),
+            ms(cpu.mark.cycles),
+        ]);
+    }
+    ExperimentOutput {
+        id: "ablA",
+        title: "Ablation A: memory access scheduler",
+        tables: vec![table],
+        notes: vec![
+            "Paper: the unit improved significantly moving FIFO->FR-FCFS and 8->16 \
+             outstanding reads, while Rocket was insensitive."
+                .into(),
+        ],
+    }
+}
+
+/// `ablB`: bidirectional vs conventional layout.
+pub fn run_layout(opts: &Options) -> ExperimentOutput {
+    let spec = by_name("pmd").expect("pmd exists").scaled(opts.scale);
+    let mut table = Table::new(
+        "ablB: object layout on the cacheless unit (pmd mark phase)",
+        &["layout", "unit-mark-ms", "unit-mem-reqs", "cpu-mark-ms"],
+    );
+    let mut unit_times = Vec::new();
+    for (name, layout) in [
+        ("bidirectional", LayoutKind::Bidirectional),
+        ("conventional-tib", LayoutKind::Conventional),
+    ] {
+        let unit = run_unit_gc(
+            &spec,
+            layout,
+            GcUnitConfig::default(),
+            MemKind::ddr3_default(),
+        );
+        let cpu = run_cpu_gc(&spec, layout, MemKind::ddr3_default());
+        unit_times.push(unit.report.mark.cycles());
+        table.row(vec![
+            name.into(),
+            ms(unit.report.mark.cycles()),
+            format!("{}", unit.snapshot.total_requests),
+            ms(cpu.mark.cycles),
+        ]);
+    }
+    let slowdown = unit_times[1] as f64 / unit_times[0] as f64;
+    ExperimentOutput {
+        id: "ablB",
+        title: "Ablation B: bidirectional object layout",
+        tables: vec![table],
+        notes: vec![format!(
+            "Conventional TIB layout costs the cacheless unit {slowdown:.2}x on mark \
+             (paper §IV-A: two extra memory accesses per object, scattered field \
+             reads instead of a unit-stride copy)."
+        )],
+    }
+}
+
+/// `ablC`: the blocking TLB/PTW of the prototype vs the proposed
+/// non-blocking walker (hit-under-miss + concurrent walks).
+pub fn run_tlb(opts: &Options) -> ExperimentOutput {
+    // TLB pressure needs a large heap, as in fig18/ablE.
+    let spec = by_name("xalan")
+        .expect("xalan exists")
+        .scaled(opts.scale.max(0.5));
+    let mut table = Table::new(
+        "ablC: TLB/PTW blocking behaviour (xalan mark phase, 8 GB/s pipe)",
+        &["walker", "unit-mark-ms", "walks", "walker-wait-kcycles"],
+    );
+    let mut times = Vec::new();
+    let variants: [(&str, bool, usize); 3] = [
+        ("blocking (paper prototype)", true, 1),
+        ("hit-under-miss, 1 walk", false, 1),
+        ("hit-under-miss, 4 walks", false, 4),
+    ];
+    for (name, blocking, walks) in variants {
+        let cfg = GcUnitConfig {
+            tlb: TlbConfig {
+                blocking_requesters: blocking,
+                concurrent_walks: walks,
+                ..TlbConfig::default()
+            },
+            ..GcUnitConfig::default()
+        };
+        let unit = run_unit_gc(&spec, LayoutKind::Bidirectional, cfg, MemKind::pipe_8gbps());
+        times.push(unit.report.mark.cycles());
+        table.row(vec![
+            name.into(),
+            ms(unit.report.mark.cycles()),
+            format!("{}", unit.report.mark.translator.walks),
+            format!("{}", unit.report.mark.translator.walker_wait_cycles / 1000),
+        ]);
+    }
+    ExperimentOutput {
+        id: "ablC",
+        title: "Ablation C: non-blocking TLB/PTW (paper's future work)",
+        tables: vec![table],
+        notes: vec![format!(
+            "The non-blocking walker recovers {} on the mark phase — paper SVI-A \
+             identifies the blocking TLB/PTW as the main gap between the DDR3 \
+             speedup and the 9x bandwidth-bound ceiling.",
+            ratio(times[0] as f64 / times[2].max(1) as f64)
+        )],
+    }
+}
+
+/// `ablD`: the coherence-based barriers of §IV-D vs trap-based barriers.
+pub fn run_barriers(opts: &Options) -> ExperimentOutput {
+    let spec = by_name("lusearch").expect("lusearch exists").scaled(opts.scale);
+    let workload = tracegc_workloads::generate::generate_heap(&spec, LayoutKind::Bidirectional);
+    let live: Vec<ObjRef> = workload.heap.reachable_from_roots().into_iter().collect();
+
+    // A mutator trace: every live object's references are read once
+    // while 5% of pages relocate.
+    let mut fwd = ForwardingState::new();
+    let pages: std::collections::BTreeSet<u64> = live
+        .iter()
+        .map(|o| o.addr() / tracegc_vmem::PAGE_SIZE)
+        .collect();
+    for (i, page) in pages.iter().enumerate() {
+        if i % 20 == 0 {
+            fwd.relocate_page(page * tracegc_vmem::PAGE_SIZE, &[]);
+        }
+    }
+    let mut model = BarrierModel::new(BarrierCosts::default());
+    let mut reads = 0u64;
+    for &obj in &live {
+        for r in workload.heap.refs_of(obj) {
+            model.read_barrier(&mut fwd, r);
+            reads += 1;
+        }
+    }
+    let stats = model.stats();
+    let mut table = Table::new(
+        "ablD: read-barrier cost (lusearch mutator trace, 5% of pages relocating)",
+        &["scheme", "total-kcycles", "per-read-cycles"],
+    );
+    table.row(vec![
+        "coherence (Fig 9)".into(),
+        format!("{}", stats.cycles / 1000),
+        format!("{:.2}", stats.cycles as f64 / reads.max(1) as f64),
+    ]);
+    let trap = model.trap_equivalent_cycles();
+    table.row(vec![
+        "trap-based".into(),
+        format!("{}", trap / 1000),
+        format!("{:.2}", trap as f64 / reads.max(1) as f64),
+    ]);
+    ExperimentOutput {
+        id: "ablD",
+        title: "Ablation D: concurrent-GC barrier cost",
+        tables: vec![table],
+        notes: vec![
+            format!(
+                "{} fast-path reads, {} line acquires, {} acquired-line hits over \
+                 {} reference reads.",
+                stats.read_fast, stats.read_slow_acquire, stats.read_slow_hit, reads
+            ),
+            "Paper §IV-D: the coherence trick eliminates traps and pipeline flushes \
+             on both fast and slow paths."
+                .into(),
+        ],
+    }
+}
+
+/// `ablE`: 4 KiB pages vs 2 MiB superpages (§VII "Heap Size
+/// Scalability": "large heaps could use superpages instead of 4KB
+/// pages").
+pub fn run_superpages(opts: &Options) -> ExperimentOutput {
+    // TLB pressure needs a large heap, as in fig18.
+    let spec = by_name("xalan")
+        .expect("xalan exists")
+        .scaled(opts.scale.max(0.5));
+    let mut table = Table::new(
+        "ablE: page size vs traversal-unit TLB pressure (xalan mark phase)",
+        &["pages", "unit-mark-ms", "walks", "walker-wait-kcycles"],
+    );
+    let mut times = Vec::new();
+    for (name, superpages) in [("4KiB", false), ("2MiB-superpages", true)] {
+        let run = crate::runner::run_unit_gc_opts(
+            &spec,
+            LayoutKind::Bidirectional,
+            GcUnitConfig::default(),
+            MemKind::ddr3_default(),
+            superpages,
+        );
+        times.push(run.report.mark.cycles());
+        table.row(vec![
+            name.into(),
+            ms(run.report.mark.cycles()),
+            format!("{}", run.report.mark.translator.walks),
+            format!("{}", run.report.mark.translator.walker_wait_cycles / 1000),
+        ]);
+    }
+    ExperimentOutput {
+        id: "ablE",
+        title: "Ablation E: superpages (paper SVII)",
+        tables: vec![table],
+        notes: vec![format!(
+            "Superpages speed the mark phase by {} by collapsing TLB misses \
+             (each 2 MiB entry covers 512 pages of reach).",
+            ratio(times[0] as f64 / times[1].max(1) as f64)
+        )],
+    }
+}
+
+/// `ablF`: bandwidth throttling under background mutator traffic (§VII
+/// "Bandwidth Throttling").
+pub fn run_throttle(opts: &Options) -> ExperimentOutput {
+    let spec = by_name("avrora").expect("avrora exists").scaled(opts.scale);
+    let mut table = Table::new(
+        "ablF: unit throttling vs mutator memory interference (avrora mark)",
+        &[
+            "min-issue-interval",
+            "unit-mark-ms",
+            "mutator-mean-latency",
+            "mutator-p-high-latency",
+        ],
+    );
+    for interval in [0u64, 4, 16] {
+        let mut workload = tracegc_workloads::generate::generate_heap(
+            &spec,
+            LayoutKind::Bidirectional,
+        );
+        let mut mem = MemKind::ddr3_default().fresh();
+        let cfg = GcUnitConfig {
+            min_issue_interval: interval,
+            ..GcUnitConfig::default()
+        };
+        let mut unit = tracegc_hwgc::TraversalUnit::new(cfg, &mut workload.heap);
+        // One background 64-byte read every 40 cycles ~ a busy mutator.
+        unit.set_background_traffic(40);
+        let result = unit.run_mark(&mut workload.heap, &mut mem, 0);
+        let lats = unit.background_latencies();
+        let mean = lats.iter().sum::<u64>() as f64 / lats.len().max(1) as f64;
+        let mut sorted: Vec<u64> = lats.to_vec();
+        sorted.sort_unstable();
+        let p95 = sorted
+            .get(sorted.len().saturating_sub(1).min(sorted.len() * 95 / 100))
+            .copied()
+            .unwrap_or(0);
+        table.row(vec![
+            if interval == 0 {
+                "unthrottled".into()
+            } else {
+                format!("{interval}")
+            },
+            ms(result.cycles()),
+            format!("{mean:.1}"),
+            format!("{p95}"),
+        ]);
+    }
+    ExperimentOutput {
+        id: "ablF",
+        title: "Ablation F: bandwidth throttling (paper SVII)",
+        tables: vec![table],
+        notes: vec![
+            "Paper SVII: the unit maximizes bandwidth and may interfere with the \
+             application; throttling to residual bandwidth trades GC time for \
+             mutator memory latency."
+                .into(),
+        ],
+    }
+}
+
+/// `ablG`: in-order Rocket vs an out-of-order (BOOM-like) baseline.
+/// §VI-A: "a preliminary analysis ... showed that it outperformed Rocket
+/// by only around 12% on average".
+pub fn run_ooo(opts: &Options) -> ExperimentOutput {
+    let spec = by_name("avrora").expect("avrora exists").scaled(opts.scale);
+    let mut table = Table::new(
+        "ablG: CPU baseline out-of-order window (avrora mark phase)",
+        &["ooo-window", "cpu-mark-ms", "speedup-vs-inorder"],
+    );
+    let mut base = 0u64;
+    for window in [1usize, 2, 4, 8] {
+        let mut workload =
+            tracegc_workloads::generate::generate_heap(&spec, LayoutKind::Bidirectional);
+        let mut mem = MemKind::ddr3_default().fresh();
+        let cfg = tracegc_cpu::CpuConfig {
+            ooo_window: window,
+            ..tracegc_cpu::CpuConfig::default()
+        };
+        let mut cpu = tracegc_cpu::Cpu::new(cfg, &mut workload.heap);
+        let mark = cpu.run_mark(&mut workload.heap, &mut mem);
+        if window == 1 {
+            base = mark.cycles;
+        }
+        table.row(vec![
+            format!("{window}"),
+            ms(mark.cycles),
+            ratio(base as f64 / mark.cycles.max(1) as f64),
+        ]);
+    }
+    ExperimentOutput {
+        id: "ablG",
+        title: "Ablation G: out-of-order CPU baseline (paper SVI-A)",
+        tables: vec![table],
+        notes: vec![
+            "Paper: BOOM outperformed Rocket by only ~12% on GC — confirmed by \
+             limited benefits of OoO for graph traversal [3]; the window mostly \
+             hides reference-copy latency, not the serializing mark check."
+                .into(),
+        ],
+    }
+}
+
+/// `ablH`: read-barrier implementation schemes (§III taxonomy + the
+/// §IV-E REFLOAD instruction).
+pub fn run_refload(opts: &Options) -> ExperimentOutput {
+    use tracegc_cpu::refload::{barrier_overheads, RefloadCosts};
+    let _ = opts;
+    let costs = RefloadCosts::default();
+    // A mutator executing 1M reference loads over 10M cycles (a
+    // pointer-heavy managed workload).
+    let ref_loads = 1_000_000u64;
+    let baseline = 10_000_000u64;
+    let mut table = Table::new(
+        "ablH: read-barrier scheme overhead vs relocation churn",
+        &["churn", "compiled-check", "vm-trap", "refload (SIV-E)"],
+    );
+    for churn in [0.0, 0.001, 0.01, 0.05, 0.2] {
+        let o = barrier_overheads(&costs, ref_loads, churn, baseline);
+        table.row(vec![
+            format!("{:.1}%", churn * 100.0),
+            format!("{:.1}%", o[0].relative * 100.0),
+            format!("{:.1}%", o[1].relative * 100.0),
+            format!("{:.1}%", o[2].relative * 100.0),
+        ]);
+    }
+    ExperimentOutput {
+        id: "ablH",
+        title: "Ablation H: REFLOAD barrier instruction (paper SIV-E)",
+        tables: vec![table],
+        notes: vec![
+            "Paper SIV-E: VM-trap barriers are free until relocation churn creates \
+             trap storms; the fused REFLOAD turns the slow path into a speculable \
+             long load, eliminating pipeline flushes at every churn level."
+                .into(),
+        ],
+    }
+}

@@ -1,0 +1,389 @@
+//! The shared experiment runner: paired CPU/unit GC runs over identical
+//! heap states.
+//!
+//! Methodology: the CPU collector and the GC unit must be measured on
+//! *identical* heap snapshots. [`DualRun`] therefore maintains two
+//! deterministically identical copies of the workload (same seed, same
+//! churn sequence — possible because both sweeps provably rebuild
+//! identical free lists), runs the software collector on one and the
+//! accelerator on the other with fresh memory systems, and
+//! cross-checks that both marked the same number of objects and freed
+//! the same number of cells.
+
+use tracegc_cpu::{Cpu, CpuConfig};
+use tracegc_heap::LayoutKind;
+use tracegc_hwgc::{GcUnit, GcUnitConfig};
+use tracegc_mem::ddr3::Ddr3Config;
+use tracegc_mem::pipe::PipeConfig;
+use tracegc_mem::{MemSystem, Source};
+use tracegc_sim::Cycle;
+use tracegc_workloads::generate::{churn, generate_heap, WorkloadHeap};
+use tracegc_workloads::spec::BenchSpec;
+
+/// Which memory system backs a measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemKind {
+    /// DDR3 with an explicit configuration.
+    Ddr3(Ddr3Config),
+    /// The latency–bandwidth pipe of Fig. 17.
+    Pipe(PipeConfig),
+}
+
+impl MemKind {
+    /// Table I's DDR3-2000 with FR-FCFS and 16/8 outstanding.
+    pub fn ddr3_default() -> Self {
+        MemKind::Ddr3(Ddr3Config::default())
+    }
+
+    /// The 1-cycle / 8 GB/s pipe of Fig. 17.
+    pub fn pipe_8gbps() -> Self {
+        MemKind::Pipe(PipeConfig::default())
+    }
+
+    /// Builds a fresh memory system.
+    pub fn fresh(self) -> MemSystem {
+        match self {
+            MemKind::Ddr3(cfg) => MemSystem::ddr3(cfg),
+            MemKind::Pipe(cfg) => MemSystem::pipe(cfg),
+        }
+    }
+}
+
+/// A snapshot of memory-controller statistics after one phase.
+#[derive(Debug, Clone)]
+pub struct MemSnapshot {
+    /// Total bytes moved.
+    pub total_bytes: u64,
+    /// Total requests.
+    pub total_requests: u64,
+    /// Requests per source, indexed by [`Source::index`].
+    pub requests_by_source: [u64; Source::ALL.len()],
+    /// Mean cycles between request presentations (Fig. 17b).
+    pub mean_issue_interval: f64,
+    /// DRAM activates (None for the pipe model).
+    pub activates: Option<u64>,
+    /// Bandwidth time series in GB/s per 50 µs window (Fig. 16).
+    pub series_gbps: Vec<f64>,
+}
+
+impl MemSnapshot {
+    /// Captures the state of a memory system.
+    pub fn capture(mem: &MemSystem) -> Self {
+        let stats = mem.stats();
+        Self {
+            total_bytes: stats.total_bytes,
+            total_requests: stats.total_requests,
+            requests_by_source: stats.requests_by_source,
+            mean_issue_interval: stats.mean_issue_interval(),
+            activates: mem.ddr3_stats().map(|d| d.activates),
+            series_gbps: mem.meter().series_gbps(),
+        }
+    }
+
+    /// Requests issued by `source`.
+    pub fn requests(&self, source: Source) -> u64 {
+        self.requests_by_source[source.index()]
+    }
+
+    /// Average bandwidth over `cycles`, in GB/s at 1 GHz.
+    pub fn avg_gbps(&self, cycles: Cycle) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / cycles as f64
+        }
+    }
+}
+
+/// One paired GC pause: the same heap state collected by both agents.
+#[derive(Debug, Clone)]
+pub struct PauseResult {
+    /// CPU mark-phase cycles.
+    pub cpu_mark_cycles: Cycle,
+    /// CPU sweep-phase cycles.
+    pub cpu_sweep_cycles: Cycle,
+    /// Unit mark-phase cycles.
+    pub unit_mark_cycles: Cycle,
+    /// Unit sweep-phase cycles.
+    pub unit_sweep_cycles: Cycle,
+    /// Objects marked (identical on both sides, checked).
+    pub objects_marked: u64,
+    /// Cells freed (identical on both sides, checked).
+    pub cells_freed: u64,
+    /// Memory statistics of the CPU run.
+    pub cpu_mem: MemSnapshot,
+    /// Memory statistics of the unit run.
+    pub unit_mem: MemSnapshot,
+    /// Mark-queue/spill statistics of the unit run.
+    pub unit_markq: tracegc_hwgc::MarkQueueStats,
+    /// Refs the unit's marker filtered via the mark-bit cache.
+    pub unit_filtered: u64,
+    /// Cycles the unit's TileLink port issued a request during mark.
+    pub unit_port_busy: u64,
+    /// Mark operations that found the object already marked.
+    pub unit_already_marked: u64,
+}
+
+impl PauseResult {
+    /// Mark-phase speedup of the unit over the CPU.
+    pub fn mark_speedup(&self) -> f64 {
+        self.cpu_mark_cycles as f64 / self.unit_mark_cycles.max(1) as f64
+    }
+
+    /// Sweep-phase speedup of the unit over the CPU.
+    pub fn sweep_speedup(&self) -> f64 {
+        self.cpu_sweep_cycles as f64 / self.unit_sweep_cycles.max(1) as f64
+    }
+
+    /// Whole-GC speedup.
+    pub fn total_speedup(&self) -> f64 {
+        (self.cpu_mark_cycles + self.cpu_sweep_cycles) as f64
+            / (self.unit_mark_cycles + self.unit_sweep_cycles).max(1) as f64
+    }
+}
+
+/// Two deterministically identical copies of a workload, one collected
+/// by the CPU model and one by the accelerator.
+#[derive(Debug)]
+pub struct DualRun {
+    spec: BenchSpec,
+    layout: LayoutKind,
+    unit_cfg: GcUnitConfig,
+    cpu_side: WorkloadHeap,
+    unit_side: WorkloadHeap,
+}
+
+impl DualRun {
+    /// Generates both copies of the workload.
+    pub fn new(spec: &BenchSpec, layout: LayoutKind, unit_cfg: GcUnitConfig) -> Self {
+        Self {
+            spec: *spec,
+            layout,
+            unit_cfg,
+            cpu_side: generate_heap(spec, layout),
+            unit_side: generate_heap(spec, layout),
+        }
+    }
+
+    /// The benchmark specification.
+    pub fn spec(&self) -> &BenchSpec {
+        &self.spec
+    }
+
+    /// The object layout both copies were generated with.
+    pub fn layout(&self) -> LayoutKind {
+        self.layout
+    }
+
+    /// Access to the unit-side heap (for experiments that need extra
+    /// unit-only instrumentation).
+    pub fn unit_heap_mut(&mut self) -> &mut WorkloadHeap {
+        &mut self.unit_side
+    }
+
+    /// Runs one paired GC pause on fresh memory systems and fresh
+    /// agents (cold caches/TLBs, as after a context switch to GC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two agents diverge (different mark counts or freed
+    /// cells) — that would be a correctness bug, not a measurement.
+    pub fn run_pause(&mut self, mem_kind: MemKind) -> PauseResult {
+        // CPU side.
+        let mut cpu_mem = mem_kind.fresh();
+        let mut cpu = Cpu::new(CpuConfig::default(), &mut self.cpu_side.heap);
+        let cpu_mark = cpu.run_mark(&mut self.cpu_side.heap, &mut cpu_mem);
+        let cpu_sweep = cpu.run_sweep(&mut self.cpu_side.heap, &mut cpu_mem);
+        let cpu_snapshot = MemSnapshot::capture(&cpu_mem);
+
+        // Unit side.
+        let mut unit_mem = mem_kind.fresh();
+        let mut unit = GcUnit::new(self.unit_cfg, &mut self.unit_side.heap);
+        let report = unit.run_gc(&mut self.unit_side.heap, &mut unit_mem);
+        let unit_snapshot = MemSnapshot::capture(&unit_mem);
+
+        assert_eq!(
+            cpu_mark.work_items, report.mark.objects_marked,
+            "CPU and unit marked different object counts"
+        );
+        assert_eq!(
+            cpu_sweep.work_items, report.sweep.cells_freed,
+            "CPU and unit freed different cell counts"
+        );
+
+        PauseResult {
+            cpu_mark_cycles: cpu_mark.cycles,
+            cpu_sweep_cycles: cpu_sweep.cycles,
+            unit_mark_cycles: report.mark.cycles(),
+            unit_sweep_cycles: report.sweep.cycles(),
+            objects_marked: report.mark.objects_marked,
+            cells_freed: report.sweep.cells_freed,
+            cpu_mem: cpu_snapshot,
+            unit_mem: unit_snapshot,
+            unit_markq: report.mark.markq,
+            unit_filtered: report.mark.filtered,
+            unit_port_busy: report.mark.port_busy_cycles,
+            unit_already_marked: report.mark.already_marked,
+        }
+    }
+
+    /// Applies identical mutator churn to both copies (call between
+    /// pauses).
+    pub fn churn(&mut self, fraction: f64) {
+        let a = churn(&mut self.cpu_side, fraction);
+        let b = churn(&mut self.unit_side, fraction);
+        assert_eq!(a, b, "churn diverged between the two copies");
+    }
+
+    /// Runs `pauses` GC pauses with `churn_fraction` mutation between
+    /// them, returning every pause's measurements.
+    pub fn run_pauses(
+        &mut self,
+        mem_kind: MemKind,
+        pauses: usize,
+        churn_fraction: f64,
+    ) -> Vec<PauseResult> {
+        let mut out = Vec::with_capacity(pauses);
+        for i in 0..pauses {
+            out.push(self.run_pause(mem_kind));
+            if i + 1 < pauses {
+                self.churn(churn_fraction);
+            }
+        }
+        out
+    }
+}
+
+/// Result of a unit-only collection (for experiments that need access
+/// to the unit's internal statistics).
+#[derive(Debug)]
+pub struct UnitRun {
+    /// The collection report.
+    pub report: tracegc_hwgc::GcReport,
+    /// Memory statistics.
+    pub snapshot: MemSnapshot,
+    /// The unit itself (access counts, cache stats).
+    pub unit: GcUnit,
+    /// The workload after collection.
+    pub workload: WorkloadHeap,
+}
+
+/// Runs a single accelerator-only collection on a fresh workload.
+pub fn run_unit_gc(
+    spec: &BenchSpec,
+    layout: LayoutKind,
+    cfg: GcUnitConfig,
+    mem_kind: MemKind,
+) -> UnitRun {
+    run_unit_gc_opts(spec, layout, cfg, mem_kind, false)
+}
+
+/// Like [`run_unit_gc`], optionally mapping the heap with 2 MiB
+/// superpages (the §VII `ablE` ablation).
+pub fn run_unit_gc_opts(
+    spec: &BenchSpec,
+    layout: LayoutKind,
+    cfg: GcUnitConfig,
+    mem_kind: MemKind,
+    superpages: bool,
+) -> UnitRun {
+    let mut workload = tracegc_workloads::generate::generate_heap_opts(spec, layout, superpages);
+    let mut mem = mem_kind.fresh();
+    let mut unit = GcUnit::new(cfg, &mut workload.heap);
+    let report = unit.run_gc(&mut workload.heap, &mut mem);
+    UnitRun {
+        report,
+        snapshot: MemSnapshot::capture(&mem),
+        unit,
+        workload,
+    }
+}
+
+/// Result of a CPU-only collection.
+#[derive(Debug)]
+pub struct CpuRun {
+    /// Mark-phase result.
+    pub mark: tracegc_cpu::PhaseResult,
+    /// Sweep-phase result.
+    pub sweep: tracegc_cpu::PhaseResult,
+    /// Memory statistics.
+    pub snapshot: MemSnapshot,
+    /// The workload after collection.
+    pub workload: WorkloadHeap,
+}
+
+/// Runs a single software-collector-only collection on a fresh workload.
+pub fn run_cpu_gc(spec: &BenchSpec, layout: LayoutKind, mem_kind: MemKind) -> CpuRun {
+    let mut workload = generate_heap(spec, layout);
+    let mut mem = mem_kind.fresh();
+    let mut cpu = Cpu::new(CpuConfig::default(), &mut workload.heap);
+    let mark = cpu.run_mark(&mut workload.heap, &mut mem);
+    let sweep = cpu.run_sweep(&mut workload.heap, &mut mem);
+    CpuRun {
+        mark,
+        sweep,
+        snapshot: MemSnapshot::capture(&mem),
+        workload,
+    }
+}
+
+/// Geometric mean of a slice (1.0 when empty).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracegc_workloads::spec::by_name;
+
+    fn quick_spec() -> BenchSpec {
+        by_name("avrora").unwrap().scaled(0.01)
+    }
+
+    #[test]
+    fn paired_pause_agrees_and_unit_wins_mark() {
+        let mut run = DualRun::new(
+            &quick_spec(),
+            LayoutKind::Bidirectional,
+            GcUnitConfig::default(),
+        );
+        let p = run.run_pause(MemKind::ddr3_default());
+        assert!(p.objects_marked > 0);
+        assert!(p.mark_speedup() > 1.0, "speedup {}", p.mark_speedup());
+    }
+
+    #[test]
+    fn multi_pause_with_churn_stays_consistent() {
+        let mut run = DualRun::new(
+            &quick_spec(),
+            LayoutKind::Bidirectional,
+            GcUnitConfig::default(),
+        );
+        let pauses = run.run_pauses(MemKind::ddr3_default(), 3, 0.15);
+        assert_eq!(pauses.len(), 3);
+        // Later pauses should find garbage created by churn.
+        assert!(pauses[1].cells_freed > 0 || pauses[2].cells_freed > 0);
+    }
+
+    #[test]
+    fn pipe_memory_works_too() {
+        let mut run = DualRun::new(
+            &quick_spec(),
+            LayoutKind::Bidirectional,
+            GcUnitConfig::default(),
+        );
+        let p = run.run_pause(MemKind::pipe_8gbps());
+        assert!(p.unit_mem.activates.is_none());
+        assert!(p.mark_speedup() > 1.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+}

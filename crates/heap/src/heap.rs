@@ -1,0 +1,915 @@
+//! The heap proper: spaces, blocks, size classes, segregated free lists
+//! and the functional object API shared by every timed agent.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+use tracegc_mem::PhysMem;
+use tracegc_vmem::{AddressSpace, FrameAlloc, PAGE_SIZE};
+
+use crate::layout::{
+    bidi, conv, decode_cell_start, encode_free_cell_start, encode_live_cell_start, CellStart,
+    Header, LayoutKind, ObjRef, HEADER_MARK_BIT, WORD,
+};
+use crate::space::SpaceMap;
+
+/// Heap construction parameters.
+#[derive(Debug, Clone)]
+pub struct HeapConfig {
+    /// Simulated physical memory size in bytes.
+    pub phys_bytes: u64,
+    /// Object layout (bidirectional by default, per the paper).
+    pub layout: LayoutKind,
+    /// Virtual address-space map.
+    pub spaces: SpaceMap,
+    /// Map heap memory with 2 MiB superpages instead of 4 KiB pages
+    /// (§VII: "large heaps could use superpages instead of 4KB pages").
+    pub superpages: bool,
+    /// Block size in bytes (JikesRVM uses 64 KiB blocks).
+    pub block_bytes: u64,
+    /// Segregated-free-list cell sizes in bytes, ascending.
+    pub size_classes: Vec<u64>,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        Self {
+            phys_bytes: 256 << 20,
+            layout: LayoutKind::Bidirectional,
+            spaces: SpaceMap::default(),
+            superpages: false,
+            block_bytes: 64 * 1024,
+            size_classes: vec![16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 1024, 2048, 8192],
+        }
+    }
+}
+
+/// Allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// No space left in the requested space.
+    OutOfMemory,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory => f.write_str("heap space exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Metadata for one mark-sweep block — the unit of work the reclamation
+/// unit's block sweepers consume (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Virtual address of the block's first cell.
+    pub base_va: u64,
+    /// Cell size in bytes (the block's size class).
+    pub cell_bytes: u64,
+    /// Number of cells in the block.
+    pub ncells: u64,
+    /// Index into the size-class table.
+    pub class: usize,
+    /// VA of the first free cell, 0 when none.
+    pub free_head: u64,
+    /// Number of free cells.
+    pub free_cells: u64,
+}
+
+/// A large-object-space allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LosObject {
+    /// The object.
+    pub obj: ObjRef,
+    /// Pages occupied.
+    pub pages: u64,
+}
+
+/// Running allocation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Objects allocated since heap creation.
+    pub objects_allocated: u64,
+    /// Bytes requested by those allocations.
+    pub bytes_allocated: u64,
+    /// Mark-sweep blocks created.
+    pub blocks_created: u64,
+    /// Large objects allocated.
+    pub los_objects: u64,
+}
+
+/// The simulated JVM heap.
+///
+/// Owns the physical memory, the page tables and all space metadata. The
+/// API is purely functional (no timing): timed agents read and write the
+/// same [`PhysMem`] through their own cost models.
+#[derive(Debug)]
+pub struct Heap {
+    /// Simulated physical memory; agents access it directly.
+    pub phys: PhysMem,
+    cfg: HeapConfig,
+    aspace: AddressSpace,
+    falloc: FrameAlloc,
+    blocks: Vec<BlockInfo>,
+    /// Per-class stack of block indices that still have free cells.
+    class_avail: Vec<Vec<usize>>,
+    ms_next_va: u64,
+    los_next_va: u64,
+    immortal_next_va: u64,
+    mapped_pages: HashSet<u64>,
+    los_objects: Vec<LosObject>,
+    roots: Vec<ObjRef>,
+    /// Conventional mode: TIB address per (nrefs, fields, is_array) shape.
+    tib_cache: HashMap<(u32, u32, bool), u64>,
+    stats: HeapStats,
+}
+
+impl Heap {
+    /// Creates an empty heap with fresh page tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no size classes,
+    /// non-word-aligned classes, or classes too small for the minimal
+    /// cell).
+    pub fn new(cfg: HeapConfig) -> Self {
+        assert!(!cfg.size_classes.is_empty(), "need at least one size class");
+        assert!(
+            cfg.size_classes.windows(2).all(|w| w[0] < w[1]),
+            "size classes must be ascending"
+        );
+        assert!(
+            cfg.size_classes.iter().all(|&c| c % WORD == 0 && c >= 2 * WORD),
+            "size classes must be word multiples >= 16"
+        );
+        assert!(cfg.block_bytes % PAGE_SIZE == 0, "block size must be page-aligned");
+        let mut phys = PhysMem::new(cfg.phys_bytes);
+        let mut falloc = FrameAlloc::new(0, cfg.phys_bytes);
+        let aspace = AddressSpace::new(&mut phys, &mut falloc);
+        let class_avail = vec![Vec::new(); cfg.size_classes.len()];
+        let spaces = cfg.spaces;
+        Self {
+            phys,
+            aspace,
+            falloc,
+            blocks: Vec::new(),
+            class_avail,
+            ms_next_va: spaces.ms_base,
+            los_next_va: spaces.los_base,
+            immortal_next_va: spaces.immortal_base,
+            mapped_pages: HashSet::new(),
+            los_objects: Vec::new(),
+            roots: Vec::new(),
+            tib_cache: HashMap::new(),
+            stats: HeapStats::default(),
+            cfg,
+        }
+    }
+
+    /// The heap's configuration.
+    pub fn config(&self) -> &HeapConfig {
+        &self.cfg
+    }
+
+    /// The object layout in use.
+    pub fn layout(&self) -> LayoutKind {
+        self.cfg.layout
+    }
+
+    /// The page tables (hand the root to a
+    /// [`Translator`](tracegc_vmem::Translator)).
+    pub fn address_space(&self) -> AddressSpace {
+        self.aspace
+    }
+
+    /// The space map.
+    pub fn spaces(&self) -> &SpaceMap {
+        &self.cfg.spaces
+    }
+
+    /// Allocation statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Mark-sweep block metadata, indexed by block id.
+    pub fn blocks(&self) -> &[BlockInfo] {
+        &self.blocks
+    }
+
+    /// Large objects currently allocated.
+    pub fn los_objects(&self) -> &[LosObject] {
+        &self.los_objects
+    }
+
+    /// The current root set.
+    pub fn roots(&self) -> &[ObjRef] {
+        &self.roots
+    }
+
+    fn ensure_mapped(&mut self, va: u64, len: u64) {
+        use tracegc_vmem::pagetable::MEGAPAGE_SIZE;
+        if self.cfg.superpages {
+            let first = va / MEGAPAGE_SIZE;
+            let last = (va + len - 1) / MEGAPAGE_SIZE;
+            for mp in first..=last {
+                let base_page = mp * (MEGAPAGE_SIZE / PAGE_SIZE);
+                if self.mapped_pages.insert(base_page) {
+                    let frame = self.falloc.alloc_region(MEGAPAGE_SIZE, MEGAPAGE_SIZE);
+                    self.aspace.map_superpage(
+                        &mut self.phys,
+                        &mut self.falloc,
+                        mp * MEGAPAGE_SIZE,
+                        frame,
+                    );
+                    for p in base_page..base_page + MEGAPAGE_SIZE / PAGE_SIZE {
+                        self.mapped_pages.insert(p);
+                    }
+                }
+            }
+            return;
+        }
+        let first = va / PAGE_SIZE;
+        let last = (va + len - 1) / PAGE_SIZE;
+        for page in first..=last {
+            if self.mapped_pages.insert(page) {
+                let frame = self.falloc.alloc();
+                self.aspace
+                    .map_page(&mut self.phys, &mut self.falloc, page * PAGE_SIZE, frame);
+            }
+        }
+    }
+
+    /// Maps (if needed) an arbitrary virtual region — used for scratch
+    /// structures like the software collector's mark stack, which in a
+    /// real system the runtime would have mapped long before a GC.
+    pub fn ensure_mapped_region(&mut self, va: u64, len: u64) {
+        self.ensure_mapped(va, len);
+    }
+
+    /// Translates a virtual address through the heap's own page tables
+    /// (the zero-latency oracle used by functional accesses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is unmapped — functional accesses must never fault.
+    pub fn va_to_pa(&self, va: u64) -> u64 {
+        self.aspace
+            .translate(&self.phys, va)
+            .unwrap_or_else(|| panic!("unmapped virtual address {va:#x}"))
+    }
+
+    /// Reads the word at virtual address `va`.
+    pub fn read_va(&self, va: u64) -> u64 {
+        self.phys.read_u64(self.va_to_pa(va))
+    }
+
+    /// Writes the word at virtual address `va`.
+    pub fn write_va(&mut self, va: u64, value: u64) {
+        let pa = self.va_to_pa(va);
+        self.phys.write_u64(pa, value);
+    }
+
+    /// Allocates a contiguous physical region (e.g. the driver's 4 MiB
+    /// spill region, §V-E) and returns its physical base address.
+    pub fn alloc_phys_region(&mut self, bytes: u64) -> u64 {
+        let pages = bytes.div_ceil(PAGE_SIZE);
+        let base = self.falloc.alloc();
+        for _ in 1..pages {
+            self.falloc.alloc();
+        }
+        base
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Bytes a cell must provide for an object of this shape under the
+    /// heap's layout.
+    pub fn cell_bytes_needed(&self, nrefs: u32, scalars: u32) -> u64 {
+        match self.cfg.layout {
+            LayoutKind::Bidirectional => bidi::cell_words(nrefs, scalars) * WORD,
+            LayoutKind::Conventional => conv::cell_words(nrefs + scalars) * WORD,
+        }
+    }
+
+    /// Allocates an object with `nrefs` reference slots (all initialized
+    /// to null) and `scalars` scalar words (zeroed).
+    ///
+    /// Objects larger than the largest size class go to the large-object
+    /// space; everything else goes through the segregated free lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::OutOfMemory`] when the target space is full.
+    pub fn alloc(&mut self, nrefs: u32, scalars: u32, is_array: bool) -> Result<ObjRef, AllocError> {
+        let needed = self.cell_bytes_needed(nrefs, scalars);
+        self.stats.objects_allocated += 1;
+        self.stats.bytes_allocated += needed;
+        if needed > *self.cfg.size_classes.last().expect("non-empty classes") {
+            return self.alloc_los(nrefs, scalars, is_array, needed);
+        }
+        let class = self
+            .cfg
+            .size_classes
+            .iter()
+            .position(|&c| c >= needed)
+            .expect("needed fits the largest class");
+        let cell = self.pop_free_cell(class)?;
+        Ok(self.format_object(cell, nrefs, scalars, is_array))
+    }
+
+    fn pop_free_cell(&mut self, class: usize) -> Result<u64, AllocError> {
+        loop {
+            if let Some(&bidx) = self.class_avail[class].last() {
+                let block = &mut self.blocks[bidx];
+                if block.free_cells == 0 {
+                    self.class_avail[class].pop();
+                    continue;
+                }
+                let cell = block.free_head;
+                debug_assert!(cell != 0, "free_cells > 0 but empty list");
+                block.free_cells -= 1;
+                let next = match decode_cell_start(self.read_va(cell)) {
+                    CellStart::Free { next } => next,
+                    CellStart::Live { .. } => panic!("allocating a live cell at {cell:#x}"),
+                };
+                self.blocks[bidx].free_head = next;
+                return Ok(cell);
+            }
+            self.new_block(class)?;
+        }
+    }
+
+    fn new_block(&mut self, class: usize) -> Result<(), AllocError> {
+        let spaces = self.cfg.spaces;
+        if self.ms_next_va + self.cfg.block_bytes > spaces.ms_base + spaces.ms_size {
+            return Err(AllocError::OutOfMemory);
+        }
+        let base_va = self.ms_next_va;
+        self.ms_next_va += self.cfg.block_bytes;
+        self.ensure_mapped(base_va, self.cfg.block_bytes);
+        let cell_bytes = self.cfg.size_classes[class];
+        let ncells = self.cfg.block_bytes / cell_bytes;
+        // Thread the initial free list through the cells in address order.
+        for i in 0..ncells {
+            let cell = base_va + i * cell_bytes;
+            let next = if i + 1 < ncells { cell + cell_bytes } else { 0 };
+            self.write_va(cell, encode_free_cell_start(next));
+        }
+        let bidx = self.blocks.len();
+        self.blocks.push(BlockInfo {
+            base_va,
+            cell_bytes,
+            ncells,
+            class,
+            free_head: base_va,
+            free_cells: ncells,
+        });
+        self.class_avail[class].push(bidx);
+        self.stats.blocks_created += 1;
+        Ok(())
+    }
+
+    fn alloc_los(
+        &mut self,
+        nrefs: u32,
+        scalars: u32,
+        is_array: bool,
+        needed: u64,
+    ) -> Result<ObjRef, AllocError> {
+        let spaces = self.cfg.spaces;
+        let pages = needed.div_ceil(PAGE_SIZE);
+        if self.los_next_va + pages * PAGE_SIZE > spaces.los_base + spaces.los_size {
+            return Err(AllocError::OutOfMemory);
+        }
+        let base = self.los_next_va;
+        self.los_next_va += pages * PAGE_SIZE;
+        self.ensure_mapped(base, pages * PAGE_SIZE);
+        let obj = self.format_object(base, nrefs, scalars, is_array);
+        self.los_objects.push(LosObject { obj, pages });
+        self.stats.los_objects += 1;
+        Ok(obj)
+    }
+
+    /// Writes a fresh object image into the cell at `cell` and returns
+    /// its reference.
+    fn format_object(&mut self, cell: u64, nrefs: u32, scalars: u32, is_array: bool) -> ObjRef {
+        match self.cfg.layout {
+            LayoutKind::Bidirectional => {
+                self.write_va(cell, encode_live_cell_start(nrefs, is_array));
+                let header = bidi::header_of_cell(cell, nrefs);
+                let obj = ObjRef::new(header);
+                for i in 0..nrefs {
+                    self.write_va(bidi::ref_slot(obj, i), 0);
+                }
+                self.write_va(header, Header::new_object(nrefs, is_array).raw());
+                for i in 0..scalars {
+                    self.write_va(bidi::scalar_slot(obj, i), 0);
+                }
+                obj
+            }
+            LayoutKind::Conventional => {
+                // The cell-start word is still needed for linear sweeps;
+                // the conventional layout's cost shows up in *tracing*.
+                let fields = nrefs + scalars;
+                self.write_va(cell, encode_live_cell_start(nrefs, is_array));
+                let header = conv::header_of_cell(cell);
+                let obj = ObjRef::new(header);
+                self.write_va(header, Header::new_object(nrefs, is_array).raw());
+                let tib = self.tib_for(nrefs, fields, is_array);
+                self.write_va(conv::tib_slot(obj), tib);
+                for i in 0..fields {
+                    self.write_va(conv::field_slot(obj, i), 0);
+                }
+                obj
+            }
+        }
+    }
+
+    /// Allocates (or reuses) a TIB describing an object shape:
+    /// `[nrefs][off_0]..[off_{n-1}]` in the immortal space. Reference
+    /// fields are interspersed (every other field slot) as in real
+    /// class layouts.
+    fn tib_for(&mut self, nrefs: u32, fields: u32, is_array: bool) -> u64 {
+        if let Some(&tib) = self.tib_cache.get(&(nrefs, fields, is_array)) {
+            return tib;
+        }
+        let words = 1 + nrefs as u64;
+        let tib = self.immortal_next_va;
+        self.immortal_next_va += words * WORD;
+        assert!(
+            self.immortal_next_va <= self.cfg.spaces.immortal_base + self.cfg.spaces.immortal_size,
+            "immortal space exhausted"
+        );
+        self.ensure_mapped(tib, words * WORD);
+        self.write_va(tib, nrefs as u64);
+        for i in 0..nrefs {
+            let offset = Self::conv_ref_offset(i, nrefs, fields);
+            self.write_va(tib + (1 + i as u64) * WORD, offset as u64);
+        }
+        self.tib_cache.insert((nrefs, fields, is_array), tib);
+        tib
+    }
+
+    /// Field offset of reference `i` in a conventional object: spread the
+    /// references across the field area to model interspersed layouts.
+    fn conv_ref_offset(i: u32, nrefs: u32, fields: u32) -> u32 {
+        if nrefs == 0 {
+            return 0;
+        }
+        if fields >= 2 * nrefs {
+            2 * i // every other slot
+        } else {
+            i // not enough room to intersperse
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Object access
+    // ------------------------------------------------------------------
+
+    /// Reads and decodes an object's header.
+    pub fn header(&self, obj: ObjRef) -> Header {
+        Header::from_raw(self.read_va(obj.addr()))
+    }
+
+    /// Number of reference slots of `obj`.
+    pub fn nrefs(&self, obj: ObjRef) -> u32 {
+        self.header(obj).nrefs()
+    }
+
+    /// Virtual address of reference slot `i` under the active layout.
+    pub fn ref_slot_va(&self, obj: ObjRef, i: u32) -> u64 {
+        match self.cfg.layout {
+            LayoutKind::Bidirectional => bidi::ref_slot(obj, i),
+            LayoutKind::Conventional => {
+                let tib = self.read_va(conv::tib_slot(obj));
+                let offset = self.read_va(tib + (1 + i as u64) * WORD) as u32;
+                conv::field_slot(obj, offset)
+            }
+        }
+    }
+
+    /// Stores `target` (or null) into reference slot `i` of `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_ref(&mut self, obj: ObjRef, i: u32, target: Option<ObjRef>) {
+        assert!(i < self.nrefs(obj), "reference index out of range");
+        let va = self.ref_slot_va(obj, i);
+        self.write_va(va, target.map_or(0, ObjRef::addr));
+    }
+
+    /// Loads reference slot `i` of `obj`.
+    pub fn get_ref(&self, obj: ObjRef, i: u32) -> Option<ObjRef> {
+        let va = self.ref_slot_va(obj, i);
+        let raw = self.read_va(va);
+        (raw != 0).then(|| ObjRef::new(raw))
+    }
+
+    /// All non-null outgoing references of `obj`.
+    pub fn refs_of(&self, obj: ObjRef) -> Vec<ObjRef> {
+        let n = self.nrefs(obj);
+        (0..n).filter_map(|i| self.get_ref(obj, i)).collect()
+    }
+
+    /// Whether `obj`'s mark bit is set.
+    pub fn is_marked(&self, obj: ObjRef) -> bool {
+        self.header(obj).is_marked()
+    }
+
+    /// Functionally marks `obj` (used by oracles and tests; timed agents
+    /// go through [`PhysMem::fetch_or_u64`] themselves).
+    pub fn mark(&mut self, obj: ObjRef) -> bool {
+        let pa = self.va_to_pa(obj.addr());
+        let old = self.phys.fetch_or_u64(pa, HEADER_MARK_BIT);
+        Header::from_raw(old).is_marked()
+    }
+
+    // ------------------------------------------------------------------
+    // Roots
+    // ------------------------------------------------------------------
+
+    /// Publishes the root set into the hwgc space: `[count][ref_0]..`,
+    /// the region the unit's reader consumes (§IV-C, §V-A).
+    pub fn set_roots(&mut self, roots: &[ObjRef]) {
+        let spaces = self.cfg.spaces;
+        let bytes = (1 + roots.len() as u64) * WORD;
+        assert!(bytes <= spaces.hwgc_size, "too many roots for the hwgc space");
+        self.ensure_mapped(spaces.hwgc_base, bytes);
+        self.write_va(spaces.hwgc_base, roots.len() as u64);
+        for (i, r) in roots.iter().enumerate() {
+            self.write_va(spaces.hwgc_base + (1 + i as u64) * WORD, r.addr());
+        }
+        self.roots = roots.to_vec();
+    }
+
+    // ------------------------------------------------------------------
+    // Traversal & sweep support
+    // ------------------------------------------------------------------
+
+    /// The reachability oracle: a plain BFS over the object graph from
+    /// the roots, ignoring mark bits. Every timed collector's mark set is
+    /// compared against this.
+    pub fn reachable_from_roots(&self) -> BTreeSet<ObjRef> {
+        let mut seen: BTreeSet<ObjRef> = BTreeSet::new();
+        let mut frontier: VecDeque<ObjRef> = self.roots.iter().copied().collect();
+        while let Some(obj) = frontier.pop_front() {
+            if !seen.insert(obj) {
+                continue;
+            }
+            for r in self.refs_of(obj) {
+                if !seen.contains(&r) {
+                    frontier.push_back(r);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The set of objects whose mark bit is currently set (linear scan of
+    /// all blocks plus the LOS).
+    pub fn marked_set(&self) -> BTreeSet<ObjRef> {
+        let mut out = BTreeSet::new();
+        for obj in self.iter_objects() {
+            if self.is_marked(obj) {
+                out.insert(obj);
+            }
+        }
+        out
+    }
+
+    /// Iterates over every live-cell object in the mark-sweep space and
+    /// the LOS, in address order — exactly what a linear sweep sees.
+    pub fn iter_objects(&self) -> Vec<ObjRef> {
+        let mut out = Vec::new();
+        for block in &self.blocks {
+            for i in 0..block.ncells {
+                let cell = block.base_va + i * block.cell_bytes;
+                if let CellStart::Live { nrefs, .. } = decode_cell_start(self.read_va(cell)) {
+                    let header = match self.cfg.layout {
+                        LayoutKind::Bidirectional => bidi::header_of_cell(cell, nrefs),
+                        LayoutKind::Conventional => conv::header_of_cell(cell),
+                    };
+                    out.push(ObjRef::new(header));
+                }
+            }
+        }
+        out.extend(self.los_objects.iter().map(|l| l.obj));
+        out
+    }
+
+    /// Clears every mark bit (start of a GC pass).
+    pub fn clear_marks(&mut self) {
+        for obj in self.iter_objects() {
+            let h = self.header(obj).without_mark();
+            self.write_va(obj.addr(), h.raw());
+        }
+    }
+
+    /// Updates a block's free-list metadata after a sweep agent rebuilt
+    /// the in-memory list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bidx` is out of range.
+    pub fn set_block_free_list(&mut self, bidx: usize, free_head: u64, free_cells: u64) {
+        let block = &mut self.blocks[bidx];
+        block.free_head = free_head;
+        block.free_cells = free_cells;
+    }
+
+    /// Recomputes the allocator's per-class available-block stacks after
+    /// a sweep.
+    pub fn finish_sweep(&mut self) {
+        for stack in &mut self.class_avail {
+            stack.clear();
+        }
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.free_cells > 0 {
+                self.class_avail[b.class].push(i);
+            }
+        }
+    }
+
+    /// Total free cells across all blocks (consistency checks).
+    pub fn total_free_cells(&self) -> u64 {
+        self.blocks.iter().map(|b| b.free_cells).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_heap() -> Heap {
+        Heap::new(HeapConfig {
+            phys_bytes: 64 << 20,
+            ..HeapConfig::default()
+        })
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let mut h = small_heap();
+        let obj = h.alloc(2, 3, false).unwrap();
+        assert_eq!(h.nrefs(obj), 2);
+        assert!(!h.is_marked(obj));
+        assert!(h.header(obj).is_live());
+        assert_eq!(h.refs_of(obj), vec![]);
+    }
+
+    #[test]
+    fn set_and_get_refs() {
+        let mut h = small_heap();
+        let a = h.alloc(2, 0, false).unwrap();
+        let b = h.alloc(0, 1, false).unwrap();
+        h.set_ref(a, 1, Some(b));
+        assert_eq!(h.get_ref(a, 0), None);
+        assert_eq!(h.get_ref(a, 1), Some(b));
+        assert_eq!(h.refs_of(a), vec![b]);
+        h.set_ref(a, 1, None);
+        assert_eq!(h.refs_of(a), vec![]);
+    }
+
+    #[test]
+    fn objects_get_distinct_cells() {
+        let mut h = small_heap();
+        let mut addrs = BTreeSet::new();
+        for _ in 0..1000 {
+            let o = h.alloc(1, 1, false).unwrap();
+            assert!(addrs.insert(o.addr()), "cell reused while live");
+        }
+    }
+
+    #[test]
+    fn large_object_goes_to_los() {
+        let mut h = small_heap();
+        let big = h.alloc(2000, 0, true).unwrap();
+        assert!(h.spaces().in_los(big.addr()));
+        assert_eq!(h.los_objects().len(), 1);
+        assert_eq!(h.nrefs(big), 2000);
+        assert!(h.header(big).is_array());
+    }
+
+    #[test]
+    fn reachability_oracle_follows_graph() {
+        let mut h = small_heap();
+        let a = h.alloc(1, 0, false).unwrap();
+        let b = h.alloc(1, 0, false).unwrap();
+        let c = h.alloc(0, 0, false).unwrap();
+        let dead = h.alloc(1, 0, false).unwrap();
+        h.set_ref(a, 0, Some(b));
+        h.set_ref(b, 0, Some(c));
+        h.set_ref(dead, 0, Some(c));
+        h.set_roots(&[a]);
+        let live = h.reachable_from_roots();
+        assert!(live.contains(&a) && live.contains(&b) && live.contains(&c));
+        assert!(!live.contains(&dead));
+    }
+
+    #[test]
+    fn cycles_do_not_hang_the_oracle() {
+        let mut h = small_heap();
+        let a = h.alloc(1, 0, false).unwrap();
+        let b = h.alloc(1, 0, false).unwrap();
+        h.set_ref(a, 0, Some(b));
+        h.set_ref(b, 0, Some(a));
+        h.set_roots(&[a]);
+        assert_eq!(h.reachable_from_roots().len(), 2);
+    }
+
+    #[test]
+    fn mark_returns_previous_state() {
+        let mut h = small_heap();
+        let a = h.alloc(0, 0, false).unwrap();
+        assert!(!h.mark(a));
+        assert!(h.mark(a));
+        assert!(h.is_marked(a));
+    }
+
+    #[test]
+    fn clear_marks_resets() {
+        let mut h = small_heap();
+        let a = h.alloc(0, 0, false).unwrap();
+        h.mark(a);
+        h.clear_marks();
+        assert!(!h.is_marked(a));
+        // nrefs survives mark churn.
+        assert_eq!(h.nrefs(a), 0);
+    }
+
+    #[test]
+    fn roots_are_visible_in_hwgc_space() {
+        let mut h = small_heap();
+        let a = h.alloc(0, 0, false).unwrap();
+        let b = h.alloc(0, 0, false).unwrap();
+        h.set_roots(&[a, b]);
+        let base = h.spaces().hwgc_base;
+        assert_eq!(h.read_va(base), 2);
+        assert_eq!(h.read_va(base + 8), a.addr());
+        assert_eq!(h.read_va(base + 16), b.addr());
+    }
+
+    #[test]
+    fn iter_objects_sees_all_allocations() {
+        let mut h = small_heap();
+        let mut allocated = BTreeSet::new();
+        for i in 0..200u32 {
+            allocated.insert(h.alloc(i % 5, i % 7, false).unwrap());
+        }
+        let seen: BTreeSet<ObjRef> = h.iter_objects().into_iter().collect();
+        assert_eq!(seen, allocated);
+    }
+
+    #[test]
+    fn free_list_counts_stay_consistent() {
+        let mut h = small_heap();
+        let before = h.total_free_cells();
+        let _ = h.alloc(1, 1, false).unwrap();
+        // One block was created lazily; one cell consumed.
+        assert!(h.total_free_cells() > 0);
+        assert_eq!(h.blocks().len(), 1);
+        let after_one = h.total_free_cells();
+        let _ = h.alloc(1, 1, false).unwrap();
+        assert_eq!(h.total_free_cells(), after_one - 1);
+        assert!(before == 0);
+    }
+
+    #[test]
+    fn conventional_layout_roundtrips_refs() {
+        let mut h = Heap::new(HeapConfig {
+            phys_bytes: 64 << 20,
+            layout: LayoutKind::Conventional,
+            ..HeapConfig::default()
+        });
+        let a = h.alloc(3, 3, false).unwrap();
+        let b = h.alloc(0, 0, false).unwrap();
+        h.set_ref(a, 0, Some(b));
+        h.set_ref(a, 2, Some(a));
+        assert_eq!(h.refs_of(a), vec![b, a]);
+        // TIBs are shared across same-shape objects.
+        let c = h.alloc(3, 3, false).unwrap();
+        let tib_a = h.read_va(conv::tib_slot(a));
+        let tib_c = h.read_va(conv::tib_slot(c));
+        assert_eq!(tib_a, tib_c);
+        assert!(h.spaces().in_immortal(tib_a));
+    }
+
+    #[test]
+    fn conventional_oracle_matches_bidirectional() {
+        // The same graph built under both layouts yields the same
+        // reachable count.
+        let build = |layout| {
+            let mut h = Heap::new(HeapConfig {
+                phys_bytes: 64 << 20,
+                layout,
+                ..HeapConfig::default()
+            });
+            let objs: Vec<ObjRef> = (0..50).map(|i| h.alloc(2, i % 4, false).unwrap()).collect();
+            for i in 0..40usize {
+                h.set_ref(objs[i], 0, Some(objs[i + 1]));
+                h.set_ref(objs[i], 1, Some(objs[(i * 7) % 41]));
+            }
+            h.set_roots(&[objs[0]]);
+            h.reachable_from_roots().len()
+        };
+        assert_eq!(
+            build(LayoutKind::Bidirectional),
+            build(LayoutKind::Conventional)
+        );
+    }
+
+    #[test]
+    fn out_of_memory_is_an_error() {
+        let mut h = Heap::new(HeapConfig {
+            phys_bytes: 16 << 20,
+            spaces: SpaceMap {
+                ms_size: 64 * 1024, // one block only
+                ..SpaceMap::default()
+            },
+            ..HeapConfig::default()
+        });
+        let mut got_oom = false;
+        for _ in 0..10_000 {
+            if h.alloc(0, 1000, false).is_err() {
+                got_oom = true;
+                break;
+            }
+        }
+        assert!(got_oom);
+    }
+
+    #[test]
+    fn phys_region_allocation_is_contiguous() {
+        let mut h = small_heap();
+        let base = h.alloc_phys_region(4 << 20);
+        // Writable across the whole region.
+        h.phys.write_u64(base, 1);
+        h.phys.write_u64(base + (4 << 20) - 8, 2);
+        assert_eq!(h.phys.read_u64(base), 1);
+    }
+}
+
+#[cfg(test)]
+mod superpage_tests {
+    use super::*;
+    use crate::verify::{check_free_lists, software_mark, software_sweep};
+
+    fn super_heap() -> Heap {
+        Heap::new(HeapConfig {
+            phys_bytes: 128 << 20,
+            superpages: true,
+            ..HeapConfig::default()
+        })
+    }
+
+    #[test]
+    fn superpage_heap_allocates_and_collects() {
+        let mut h = super_heap();
+        let objs: Vec<ObjRef> = (0..2000).map(|i| h.alloc(2, (i % 5) as u32, false).unwrap()).collect();
+        for i in 0..1000usize {
+            h.set_ref(objs[i], 0, Some(objs[(i + 1) % 1000]));
+        }
+        h.set_roots(&[objs[0]]);
+        let marked = software_mark(&mut h);
+        assert_eq!(marked.len(), 1000);
+        software_sweep(&mut h);
+        check_free_lists(&h).unwrap();
+    }
+
+    #[test]
+    fn superpage_mappings_report_two_mib_entries() {
+        let mut h = super_heap();
+        let obj = h.alloc(1, 1, false).unwrap();
+        let (pa, page_bytes) = h
+            .address_space()
+            .translate_entry(&h.phys, obj.addr())
+            .expect("mapped");
+        assert_eq!(page_bytes, 2 << 20);
+        assert_eq!(h.va_to_pa(obj.addr()), pa);
+    }
+
+    #[test]
+    fn superpage_and_4k_heaps_hold_identical_contents() {
+        let build = |superpages| {
+            let mut h = Heap::new(HeapConfig {
+                phys_bytes: 128 << 20,
+                superpages,
+                ..HeapConfig::default()
+            });
+            let objs: Vec<ObjRef> = (0..500).map(|_| h.alloc(1, 2, false).unwrap()).collect();
+            for w in objs.windows(2) {
+                h.set_ref(w[0], 0, Some(w[1]));
+            }
+            h.set_roots(&[objs[0]]);
+            h.reachable_from_roots().len()
+        };
+        assert_eq!(build(false), build(true));
+    }
+}

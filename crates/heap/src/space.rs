@@ -1,0 +1,115 @@
+//! The virtual address-space map of the simulated JVM process.
+//!
+//! JikesRVM's MarkSweep plan consists of nine spaces (§V-A); the GC unit
+//! traces all of them but only reclaims the main mark-sweep space. We
+//! model the four that matter to the accelerator:
+//!
+//! * the **immortal space** (type-information blocks, VM structures) —
+//!   traced, never reclaimed;
+//! * the **mark-sweep space** — segregated-free-list blocks, reclaimed by
+//!   the reclamation unit;
+//! * the **large-object space** — page-granular allocations, traced but
+//!   managed by the runtime;
+//! * the **hwgc space** — the root-communication region the runtime
+//!   writes root references into and the unit's reader consumes (§IV-C).
+
+/// Fixed layout of the simulated process's virtual address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceMap {
+    /// Base of the immortal space (TIBs, VM structs).
+    pub immortal_base: u64,
+    /// Size of the immortal space in bytes.
+    pub immortal_size: u64,
+    /// Base of the hwgc root-communication space.
+    pub hwgc_base: u64,
+    /// Size of the hwgc space in bytes.
+    pub hwgc_size: u64,
+    /// Base of the main mark-sweep space.
+    pub ms_base: u64,
+    /// Maximum size of the mark-sweep space in bytes.
+    pub ms_size: u64,
+    /// Base of the large-object space.
+    pub los_base: u64,
+    /// Maximum size of the large-object space in bytes.
+    pub los_size: u64,
+}
+
+impl Default for SpaceMap {
+    fn default() -> Self {
+        Self {
+            immortal_base: 0x2000_0000,
+            immortal_size: 16 << 20,
+            hwgc_base: 0x3000_0000,
+            hwgc_size: 4 << 20,
+            ms_base: 0x4000_0000,
+            ms_size: 512 << 20,
+            los_base: 0x8000_0000,
+            los_size: 128 << 20,
+        }
+    }
+}
+
+impl SpaceMap {
+    /// Whether `va` lies in the mark-sweep space (the only space the
+    /// reclamation unit sweeps).
+    pub fn in_mark_sweep(&self, va: u64) -> bool {
+        (self.ms_base..self.ms_base + self.ms_size).contains(&va)
+    }
+
+    /// Whether `va` lies in the large-object space.
+    pub fn in_los(&self, va: u64) -> bool {
+        (self.los_base..self.los_base + self.los_size).contains(&va)
+    }
+
+    /// Whether `va` lies in the immortal space.
+    pub fn in_immortal(&self, va: u64) -> bool {
+        (self.immortal_base..self.immortal_base + self.immortal_size).contains(&va)
+    }
+
+    /// Whether `va` lies in any traced space (a sanity check for
+    /// references popped off the mark queue).
+    pub fn in_traced_space(&self, va: u64) -> bool {
+        self.in_mark_sweep(va) || self.in_los(va) || self.in_immortal(va)
+    }
+
+    /// Whether `va` lies in the root-communication space.
+    pub fn in_hwgc(&self, va: u64) -> bool {
+        (self.hwgc_base..self.hwgc_base + self.hwgc_size).contains(&va)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spaces_do_not_overlap() {
+        let m = SpaceMap::default();
+        let ranges = [
+            (m.immortal_base, m.immortal_size),
+            (m.hwgc_base, m.hwgc_size),
+            (m.ms_base, m.ms_size),
+            (m.los_base, m.los_size),
+        ];
+        for (i, &(b1, s1)) in ranges.iter().enumerate() {
+            for &(b2, s2) in &ranges[i + 1..] {
+                assert!(b1 + s1 <= b2 || b2 + s2 <= b1, "spaces overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn membership_tests() {
+        let m = SpaceMap::default();
+        assert!(m.in_mark_sweep(m.ms_base));
+        assert!(m.in_mark_sweep(m.ms_base + m.ms_size - 8));
+        assert!(!m.in_mark_sweep(m.ms_base + m.ms_size));
+        assert!(m.in_los(m.los_base + 100));
+        assert!(m.in_immortal(m.immortal_base));
+        assert!(m.in_hwgc(m.hwgc_base + 8));
+        assert!(m.in_traced_space(m.ms_base));
+        assert!(m.in_traced_space(m.los_base));
+        assert!(!m.in_traced_space(m.hwgc_base));
+        assert!(!m.in_traced_space(0));
+    }
+}

@@ -1,0 +1,104 @@
+//! Mark-queue address compression (§V-C).
+//!
+//! "Our JikesRVM heap uses the upper 36 bit of each address to denote the
+//! space, and the lowest 3 bit are 0 because pointers are 64-bit aligned
+//! ... we demonstrate this strategy by compressing addresses into 32
+//! bits, which doubles the effective size of the mark queue and halves
+//! the amount of traffic for spilling."
+//!
+//! The codec maps a 64-bit heap virtual address to a 32-bit word offset
+//! from a configured base, and back. Fig. 19 shows the resulting 2×
+//! reduction in spill traffic.
+
+/// Encodes references for mark-queue storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefCodec {
+    /// Store full 64-bit virtual addresses (8 bytes per entry).
+    Full,
+    /// Store 32-bit word offsets from `base` (4 bytes per entry).
+    Compressed {
+        /// Lowest address the codec can represent.
+        base: u64,
+    },
+}
+
+impl RefCodec {
+    /// Bytes one encoded entry occupies in the queue and spill region.
+    pub fn entry_bytes(self) -> u64 {
+        match self {
+            RefCodec::Full => 8,
+            RefCodec::Compressed { .. } => 4,
+        }
+    }
+
+    /// Encodes a reference.
+    ///
+    /// # Panics
+    ///
+    /// In compressed mode, panics if `va` is below the base, unaligned,
+    /// or more than 32 GiB above the base (beyond 32-bit word offsets) —
+    /// the runtime guarantees heap placement makes this impossible.
+    pub fn encode(self, va: u64) -> u64 {
+        match self {
+            RefCodec::Full => va,
+            RefCodec::Compressed { base } => {
+                assert!(va >= base, "address {va:#x} below compression base");
+                let off = va - base;
+                assert!(off % 8 == 0, "unaligned reference {va:#x}");
+                let word = off / 8;
+                assert!(word <= u32::MAX as u64, "address {va:#x} out of compressed range");
+                word
+            }
+        }
+    }
+
+    /// Decodes an entry back to a full virtual address.
+    pub fn decode(self, stored: u64) -> u64 {
+        match self {
+            RefCodec::Full => stored,
+            RefCodec::Compressed { base } => base + stored * 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_codec_is_identity() {
+        let c = RefCodec::Full;
+        assert_eq!(c.encode(0x4000_0008), 0x4000_0008);
+        assert_eq!(c.decode(0x4000_0008), 0x4000_0008);
+        assert_eq!(c.entry_bytes(), 8);
+    }
+
+    #[test]
+    fn compressed_roundtrip() {
+        let c = RefCodec::Compressed { base: 0x4000_0000 };
+        for va in [0x4000_0000u64, 0x4000_0008, 0x4fff_fff8, 0x4000_0000 + 8 * (u32::MAX as u64)] {
+            assert_eq!(c.decode(c.encode(va)), va);
+        }
+        assert_eq!(c.entry_bytes(), 4);
+    }
+
+    #[test]
+    fn compressed_halves_entry_size() {
+        assert_eq!(
+            RefCodec::Compressed { base: 0 }.entry_bytes() * 2,
+            RefCodec::Full.entry_bytes()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "below compression base")]
+    fn below_base_panics() {
+        RefCodec::Compressed { base: 0x4000_0000 }.encode(0x3fff_fff8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of compressed range")]
+    fn beyond_range_panics() {
+        RefCodec::Compressed { base: 0 }.encode(8 * (u32::MAX as u64 + 1));
+    }
+}

@@ -1,0 +1,127 @@
+//! The memory-mapped register file the Linux driver programs (§V-E,
+//! Fig. 10).
+//!
+//! The unit "acts as a memory-mapped device, similar to a NIC" (§IV-C):
+//! the driver writes the process's page-table base pointer, the hwgc
+//! space location and the spill-region bounds into configuration
+//! registers, launches a collection through the command register, and
+//! polls the status register until the unit is ready.
+
+/// Register indices of the unit's MMIO window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Reg {
+    /// Physical address of the page-table root (from the process's
+    /// `satp`, read by the driver).
+    PageTableRoot = 0,
+    /// Virtual address of the hwgc root-communication space.
+    RootsPtr = 1,
+    /// Physical base of the spill region.
+    SpillBase = 2,
+    /// Spill region size in bytes.
+    SpillSize = 3,
+    /// Command register (write [`MmioRegs::CMD_START_GC`] to launch).
+    Command = 4,
+    /// Status register (see [`MmioRegs::STATUS_IDLE`] /
+    /// [`MmioRegs::STATUS_RUNNING`] / [`MmioRegs::STATUS_DONE`]).
+    Status = 5,
+    /// Objects marked by the last collection (diagnostics).
+    MarkedCount = 6,
+    /// Cells freed by the last collection (diagnostics).
+    FreedCount = 7,
+}
+
+/// Number of registers in the window.
+pub const NUM_REGS: usize = 8;
+
+/// The register file.
+///
+/// # Examples
+///
+/// ```
+/// use tracegc_hwgc::mmio::{MmioRegs, Reg};
+///
+/// let mut regs = MmioRegs::new();
+/// regs.write(Reg::RootsPtr, 0x3000_0000);
+/// assert_eq!(regs.read(Reg::RootsPtr), 0x3000_0000);
+/// assert_eq!(regs.read(Reg::Status), MmioRegs::STATUS_IDLE);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MmioRegs {
+    regs: [u64; NUM_REGS],
+}
+
+impl MmioRegs {
+    /// Status: unit idle, no collection performed yet.
+    pub const STATUS_IDLE: u64 = 0;
+    /// Status: collection in progress.
+    pub const STATUS_RUNNING: u64 = 1;
+    /// Status: last collection complete; counters valid.
+    pub const STATUS_DONE: u64 = 2;
+
+    /// Command: start a full (mark + sweep) collection.
+    pub const CMD_START_GC: u64 = 1;
+
+    /// Creates an idle register file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a register.
+    pub fn read(&self, reg: Reg) -> u64 {
+        self.regs[reg as usize]
+    }
+
+    /// Writes a register.
+    pub fn write(&mut self, reg: Reg, value: u64) {
+        self.regs[reg as usize] = value;
+    }
+
+    /// Whether a start command is pending.
+    pub fn start_requested(&self) -> bool {
+        self.read(Reg::Command) == Self::CMD_START_GC
+    }
+
+    /// Acknowledges the command and flags the unit busy.
+    pub fn begin(&mut self) {
+        self.write(Reg::Command, 0);
+        self.write(Reg::Status, Self::STATUS_RUNNING);
+    }
+
+    /// Publishes completion and diagnostics.
+    pub fn complete(&mut self, marked: u64, freed: u64) {
+        self.write(Reg::MarkedCount, marked);
+        self.write(Reg::FreedCount, freed);
+        self.write(Reg::Status, Self::STATUS_DONE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_lifecycle() {
+        let mut regs = MmioRegs::new();
+        assert!(!regs.start_requested());
+        regs.write(Reg::Command, MmioRegs::CMD_START_GC);
+        assert!(regs.start_requested());
+        regs.begin();
+        assert!(!regs.start_requested());
+        assert_eq!(regs.read(Reg::Status), MmioRegs::STATUS_RUNNING);
+        regs.complete(100, 42);
+        assert_eq!(regs.read(Reg::Status), MmioRegs::STATUS_DONE);
+        assert_eq!(regs.read(Reg::MarkedCount), 100);
+        assert_eq!(regs.read(Reg::FreedCount), 42);
+    }
+
+    #[test]
+    fn registers_are_independent() {
+        let mut regs = MmioRegs::new();
+        regs.write(Reg::PageTableRoot, 7);
+        regs.write(Reg::SpillBase, 9);
+        assert_eq!(regs.read(Reg::PageTableRoot), 7);
+        assert_eq!(regs.read(Reg::SpillBase), 9);
+        assert_eq!(regs.read(Reg::SpillSize), 0);
+    }
+}

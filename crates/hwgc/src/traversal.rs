@@ -1,0 +1,1093 @@
+//! The Traversal Unit: root reader → mark queue → marker → tracer queue →
+//! tracer → mark queue (Figs. 5, 7, 13, 14).
+//!
+//! The unit is a pipeline of state machines advanced one clock cycle at a
+//! time. Each cycle, at most one mark-queue spill action, one marker
+//! issue, one marker delivery, one tracer issue and one tracer response
+//! landing can occur — mirroring the single-ported hardware queues. The
+//! memory system and TLBs are timestamp-passing models, so when every
+//! machine is waiting on memory the simulation skips ahead to the next
+//! completion.
+//!
+//! The decoupling the paper credits for the speedup is structural here:
+//! a long object keeps the *tracer* busy while the *marker* keeps
+//! draining the mark queue and filling the tracer queue, and vice versa
+//! (§IV-A.II).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use tracegc_heap::layout::{bidi, conv, Header, LayoutKind, HEADER_MARK_BIT, WORD};
+use tracegc_heap::Heap;
+use tracegc_mem::cache::MemBacking;
+use tracegc_mem::req::decompose_aligned;
+use tracegc_mem::{Cache, CacheConfig, MemReq, MemSystem, Source};
+use tracegc_sim::{BoundedQueue, Cycle};
+use tracegc_vmem::{Requester, Translator, PAGE_SIZE};
+
+use crate::compress::RefCodec;
+use crate::config::{CacheTopology, GcUnitConfig};
+use crate::markbit_cache::MarkBitCache;
+use crate::markq::{MarkQueue, MarkQueueConfig, MarkQueueStats};
+
+/// Result of one mark pass on the traversal unit.
+#[derive(Debug, Clone)]
+pub struct TraversalResult {
+    /// Cycle the pass began.
+    pub start: Cycle,
+    /// Cycle the pass completed (all queues drained).
+    pub end: Cycle,
+    /// Objects newly marked.
+    pub objects_marked: u64,
+    /// Mark operations that found the object already marked (write-back
+    /// elided, §V-C).
+    pub already_marked: u64,
+    /// Mark operations filtered by the mark-bit cache before reaching
+    /// memory (Fig. 21b).
+    pub filtered: u64,
+    /// References enqueued to the mark queue by the tracer.
+    pub refs_enqueued: u64,
+    /// Cycles in which the unit's TileLink port issued a request — the
+    /// paper reports the port busy 88% of mark cycles (§VI-A).
+    pub port_busy_cycles: Cycle,
+    /// Mark-queue / spill statistics (Fig. 19).
+    pub markq: MarkQueueStats,
+    /// Translation statistics.
+    pub translator: tracegc_vmem::TranslatorStats,
+}
+
+impl TraversalResult {
+    /// Duration of the pass in cycles.
+    pub fn cycles(&self) -> Cycle {
+        self.end - self.start
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MarkerSlot {
+    Free,
+    /// AMO in flight; response arrives at `done`.
+    Busy { done: Cycle, va: u64, old: u64 },
+    /// Response arrived but the tracer queue was full.
+    Deliver { va: u64, old: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TraceJob {
+    obj: u64,
+    nrefs: u32,
+}
+
+#[derive(Debug)]
+enum TraceState {
+    /// Walking a bidirectional reference section with aligned chunks.
+    Bidi { cursor: u64, end: u64 },
+    /// Conventional layout: waiting for the TIB pointer load.
+    ConvTib { obj: u64, nrefs: u32 },
+    /// Conventional layout: issuing per-field loads at the TIB-listed
+    /// offsets.
+    ConvFields { obj: u64, offsets: VecDeque<u32> },
+}
+
+/// A tracer response: references (possibly none) arriving at `done`.
+#[derive(Debug)]
+struct TraceResp {
+    done: Cycle,
+    seq: u64,
+    refs: Vec<u64>,
+}
+
+impl PartialEq for TraceResp {
+    fn eq(&self, other: &Self) -> bool {
+        self.done == other.done && self.seq == other.seq
+    }
+}
+impl Eq for TraceResp {}
+impl PartialOrd for TraceResp {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TraceResp {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.done, self.seq).cmp(&(other.done, other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct RootReader {
+    /// Remaining `(addr, size)` chunks of the root array to read.
+    chunks: VecDeque<(u64, u32)>,
+    /// In-flight chunk: data arrives at `.0`.
+    pending: Option<(Cycle, Vec<u64>)>,
+    /// Roots read but not yet pushed into the mark queue.
+    buf: VecDeque<u64>,
+}
+
+impl RootReader {
+    fn done(&self) -> bool {
+        self.chunks.is_empty() && self.pending.is_none() && self.buf.is_empty()
+    }
+}
+
+/// The traversal unit (Fig. 5, left).
+#[derive(Debug)]
+pub struct TraversalUnit {
+    cfg: GcUnitConfig,
+    translator: Translator,
+    /// Dedicated PTW cache (partitioned topology).
+    ptw_cache: Cache,
+    /// The single shared cache of the unpartitioned topology.
+    shared_cache: Option<Cache>,
+    markq: MarkQueue,
+    markbit: MarkBitCache,
+    tracerq: BoundedQueue<TraceJob>,
+    marker_slots: Vec<MarkerSlot>,
+    trace_state: Option<TraceState>,
+    responses: BinaryHeap<Reverse<TraceResp>>,
+    resp_seq: u64,
+    /// Refs from landed responses awaiting mark-queue space.
+    deliver_buf: VecDeque<u64>,
+    /// References injected by concurrent-mutator write barriers
+    /// (§IV-D: overwritten references written into the root region are
+    /// fed to the mark queue).
+    injected: VecDeque<u64>,
+    roots: RootReader,
+    /// The unit's single TileLink port: one data request may issue per
+    /// cycle, shared by the spill engine, root reader, marker and
+    /// tracer (in that priority order — spill writes first, §V-C).
+    port_free: bool,
+    /// The marker's pipeline is stalled until this cycle: its TLB is
+    /// blocking, so a page-table walk freezes the marker (§VI-A).
+    marker_blocked_until: Cycle,
+    /// Likewise for the tracer's blocking TLB.
+    tracer_blocked_until: Cycle,
+    /// Cycles during which the port issued a request (the "port busy
+    /// 88% of all mark cycles" statistic of §VI-A).
+    port_busy_cycles: u64,
+    /// Cycle of the most recent port issue (for §VII throttling);
+    /// `None` before the first issue.
+    last_issue_at: Option<Cycle>,
+    /// Background mutator traffic: one 64-byte CPU read every this many
+    /// cycles (0 = no background traffic). Models the application
+    /// running on the CPU while a concurrent unit collects (§VII).
+    bg_period: Cycle,
+    bg_next: Cycle,
+    /// Latencies observed by the background traffic (the mutator's view
+    /// of memory interference).
+    bg_latencies: Vec<Cycle>,
+    /// Mark accesses per object reference (Fig. 21a).
+    access_counts: HashMap<u64, u32>,
+    objects_marked: u64,
+    already_marked: u64,
+    filtered: u64,
+    refs_enqueued: u64,
+}
+
+impl TraversalUnit {
+    /// Builds the unit for `heap`'s address space, allocating its spill
+    /// region from physical memory (as the Linux driver does at boot,
+    /// §V-E).
+    pub fn new(cfg: GcUnitConfig, heap: &mut Heap) -> Self {
+        let spill_base = heap.alloc_phys_region(cfg.spill_bytes);
+        let codec = if cfg.compress {
+            RefCodec::Compressed {
+                base: heap.spaces().immortal_base,
+            }
+        } else {
+            RefCodec::Full
+        };
+        let markq = MarkQueue::new(MarkQueueConfig {
+            main_entries: cfg.markq_entries,
+            side_entries: cfg.markq_side,
+            throttle_level: (cfg.markq_side * 3) / 4,
+            codec,
+            spill_base,
+            spill_bytes: cfg.spill_bytes,
+        });
+        let shared_cache = match cfg.topology {
+            CacheTopology::Partitioned => None,
+            CacheTopology::Shared => Some(Cache::new(CacheConfig::hwgc_shared())),
+        };
+        Self {
+            translator: Translator::new(heap.address_space(), cfg.tlb),
+            ptw_cache: Cache::new(cfg.tlb.ptw_cache),
+            shared_cache,
+            markq,
+            markbit: MarkBitCache::new(cfg.markbit_cache),
+            tracerq: BoundedQueue::new(cfg.tracer_queue),
+            marker_slots: vec![MarkerSlot::Free; cfg.marker_slots],
+            trace_state: None,
+            responses: BinaryHeap::new(),
+            resp_seq: 0,
+            deliver_buf: VecDeque::new(),
+            injected: VecDeque::new(),
+            roots: RootReader {
+                chunks: VecDeque::new(),
+                pending: None,
+                buf: VecDeque::new(),
+            },
+            port_free: true,
+            marker_blocked_until: 0,
+            tracer_blocked_until: 0,
+            port_busy_cycles: 0,
+            last_issue_at: None,
+            bg_period: 0,
+            bg_next: 0,
+            bg_latencies: Vec::new(),
+            access_counts: HashMap::new(),
+            objects_marked: 0,
+            already_marked: 0,
+            filtered: 0,
+            refs_enqueued: 0,
+            cfg,
+        }
+    }
+
+    /// The unit's configuration.
+    pub fn config(&self) -> &GcUnitConfig {
+        &self.cfg
+    }
+
+    /// Per-object mark-access counts (the Fig. 21a distribution).
+    pub fn access_counts(&self) -> &HashMap<u64, u32> {
+        &self.access_counts
+    }
+
+    /// Injects background mutator traffic during the mark pass: one
+    /// 64-byte CPU read every `period` cycles (0 disables). Models the
+    /// application sharing the memory system with a concurrent
+    /// collection (§VII Bandwidth Throttling).
+    pub fn set_background_traffic(&mut self, period: Cycle) {
+        self.bg_period = period;
+    }
+
+    /// Latencies the background traffic observed (empty when disabled).
+    pub fn background_latencies(&self) -> &[Cycle] {
+        &self.bg_latencies
+    }
+
+    /// Shared-cache statistics (only in the [`CacheTopology::Shared`]
+    /// configuration; Fig. 18a).
+    pub fn shared_cache_stats(&self) -> Option<&tracegc_mem::CacheStats> {
+        self.shared_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Dedicated PTW-cache statistics (partitioned topology).
+    pub fn ptw_cache_stats(&self) -> &tracegc_mem::CacheStats {
+        self.ptw_cache.stats()
+    }
+
+    fn translate(
+        &mut self,
+        who: Requester,
+        va: u64,
+        now: Cycle,
+        mem: &mut MemSystem,
+        heap: &Heap,
+    ) -> (u64, Cycle) {
+        let cache = match self.cfg.topology {
+            CacheTopology::Partitioned => &mut self.ptw_cache,
+            CacheTopology::Shared => self.shared_cache.as_mut().expect("shared cache"),
+        };
+        self.translator
+            .translate_with_cache(who, va, now, mem, &heap.phys, cache)
+            .unwrap_or_else(|e| panic!("traversal unit fault: {e}"))
+    }
+
+    /// Issues a data request through the configured topology; returns the
+    /// response-ready cycle.
+    fn data_access(
+        &mut self,
+        pa: u64,
+        bytes: u32,
+        write: bool,
+        amo: bool,
+        source: Source,
+        at: Cycle,
+        mem: &mut MemSystem,
+    ) -> Cycle {
+        match &mut self.shared_cache {
+            Some(cache) => {
+                let mut backing = MemBacking { mem, source };
+                cache.access(pa, write || amo, at, source, &mut backing)
+            }
+            None => {
+                let req = if amo {
+                    MemReq::amo(pa, source)
+                } else if write {
+                    MemReq::write(pa, bytes, source)
+                } else {
+                    MemReq::read(pa, bytes, source)
+                };
+                mem.schedule(&req, at)
+            }
+        }
+    }
+
+    /// Runs a complete mark pass starting at cycle `start`.
+    ///
+    /// On return, exactly the objects reachable from the heap's roots
+    /// carry mark bits (verified against the oracle in tests).
+    pub fn run_mark(&mut self, heap: &mut Heap, mem: &mut MemSystem, start: Cycle) -> TraversalResult {
+        self.begin(heap, start);
+        let mut now = start;
+        let mut iterations: u64 = 0;
+        loop {
+            let progress = self.step(now, heap, mem);
+            iterations += 1;
+            if iterations % 5_000_000 == 0
+                && std::env::var_os("TRACEGC_DEBUG_TRAVERSAL").is_some()
+            {
+                eprintln!(
+                    "traversal @cycle {now}: iter={iterations} markq={} tracerq={} deliver={} \
+                     responses={} injected={} roots_done={} marked={} trace_state={}",
+                    self.markq.len(),
+                    self.tracerq.len(),
+                    self.deliver_buf.len(),
+                    self.responses.len(),
+                    self.injected.len(),
+                    self.roots.done(),
+                    self.objects_marked,
+                    self.trace_state.is_some(),
+                );
+            }
+            if self.is_complete() {
+                break;
+            }
+            if progress {
+                now += 1;
+            } else {
+                match self.next_event() {
+                    Some(t) if t > now => now = t,
+                    Some(_) => now += 1,
+                    None => {
+                        panic!(
+                            "traversal unit deadlock at cycle {now}: markq={}, tracerq={}, \
+                             deliver={}, roots_done={}",
+                            self.markq.len(),
+                            self.tracerq.len(),
+                            self.deliver_buf.len(),
+                            self.roots.done()
+                        );
+                    }
+                }
+            }
+        }
+        self.result_at(start, now)
+    }
+
+    /// Starts a mark pass: loads the root-region chunks and resets the
+    /// per-pass machinery. Use with [`TraversalUnit::step`] when driving
+    /// the unit concurrently with a mutator; [`TraversalUnit::run_mark`]
+    /// wraps the whole loop for stop-the-world passes.
+    pub fn begin(&mut self, heap: &Heap, start: Cycle) {
+        self.begin_roots(heap);
+        self.bg_next = start;
+        self.last_issue_at = None;
+        self.marker_blocked_until = 0;
+        self.tracer_blocked_until = 0;
+    }
+
+    /// Advances the unit by one clock cycle; returns whether anything
+    /// happened (when `false`, skip to [`TraversalUnit::next_event_at`]).
+    pub fn step(&mut self, now: Cycle, heap: &mut Heap, mem: &mut MemSystem) -> bool {
+        let mut progress = false;
+        // Background mutator traffic shares the memory controller.
+        if self.bg_period > 0 {
+            while self.bg_next <= now {
+                let addr = 0x100_0000 + (self.bg_next % 8192) * 64;
+                let done = mem.schedule(
+                    &MemReq::read(addr & !63, 64, Source::Cpu),
+                    self.bg_next,
+                );
+                self.bg_latencies.push(done - self.bg_next);
+                self.bg_next += self.bg_period;
+            }
+        }
+        // §VII throttling: the unit may be capped below full issue
+        // rate to leave residual bandwidth to the application.
+        let throttled_cycle = self.cfg.min_issue_interval > 0
+            && self
+                .last_issue_at
+                .is_some_and(|t| now < t + self.cfg.min_issue_interval);
+        self.port_free = !throttled_cycle;
+        // Drain write-barrier injections into the mark queue.
+        while let Some(&va) = self.injected.front() {
+            if self.markq.enqueue(va) {
+                self.injected.pop_front();
+                progress = true;
+            } else {
+                break;
+            }
+        }
+        // The spill engine acts first ("we always give priority to
+        // memory requests from outQ").
+        {
+            // Split borrows: the shared cache is optional.
+            let shared = self.shared_cache.as_mut();
+            let mut port = self.port_free;
+            progress |= self.markq.tick(now, mem, &mut heap.phys, shared, &mut port);
+            self.port_free = port;
+        }
+        progress |= self.tick_roots(now, mem, heap);
+        progress |= self.tick_marker_deliver(now);
+        progress |= self.tick_marker_issue(now, mem, heap);
+        progress |= self.tick_tracer_land(now);
+        progress |= self.tick_tracer_deliver();
+        progress |= self.tick_tracer_issue(now, mem, heap);
+
+        if !self.port_free && !throttled_cycle {
+            self.port_busy_cycles += 1;
+            self.last_issue_at = Some(now);
+        }
+        progress
+    }
+
+    /// Feeds a reference from a concurrent mutator's write barrier into
+    /// the unit (§IV-D: "The traversal unit writes all references that
+    /// are written into this region to the mark queue").
+    pub fn inject_reference(&mut self, va: u64) {
+        if va != 0 {
+            self.injected.push_back(va);
+        }
+    }
+
+    /// Whether the pass has fully drained (queues, slots, responses and
+    /// injected barrier references).
+    pub fn is_complete(&self) -> bool {
+        self.is_done() && self.injected.is_empty()
+    }
+
+    /// Earliest pending completion, for idle skip-ahead while stepping.
+    pub fn next_event_at(&self) -> Option<Cycle> {
+        self.next_event()
+    }
+
+    /// Builds the result for a pass driven externally via
+    /// [`TraversalUnit::step`] (after [`TraversalUnit::is_complete`]).
+    pub fn result_at(&self, start: Cycle, now: Cycle) -> TraversalResult {
+        TraversalResult {
+            start,
+            end: now,
+            objects_marked: self.objects_marked,
+            already_marked: self.already_marked,
+            filtered: self.filtered,
+            refs_enqueued: self.refs_enqueued,
+            port_busy_cycles: self.port_busy_cycles,
+            markq: self.markq.stats(),
+            translator: self.translator.stats(),
+        }
+    }
+
+    fn begin_roots(&mut self, heap: &Heap) {
+        let base = heap.spaces().hwgc_base;
+        let count = heap.read_va(base);
+        self.roots.chunks = decompose_aligned(base + WORD, count * WORD)
+            .into_iter()
+            .collect();
+        self.roots.pending = None;
+        self.roots.buf.clear();
+    }
+
+    fn tick_roots(&mut self, now: Cycle, mem: &mut MemSystem, heap: &Heap) -> bool {
+        let mut progress = false;
+        // Push buffered roots into the mark queue.
+        while let Some(&va) = self.roots.buf.front() {
+            if va == 0 {
+                self.roots.buf.pop_front();
+                progress = true;
+                continue;
+            }
+            if self.markq.enqueue(va) {
+                self.roots.buf.pop_front();
+                progress = true;
+            } else {
+                break;
+            }
+        }
+        // Land a finished read.
+        if let Some((done, _)) = self.roots.pending {
+            if done <= now {
+                let (_, refs) = self.roots.pending.take().expect("pending root read");
+                self.roots.buf.extend(refs);
+                progress = true;
+            }
+            return progress;
+        }
+        // Issue the next chunk (consumes the shared port).
+        if !self.port_free {
+            return progress;
+        }
+        if let Some((addr, size)) = self.roots.chunks.pop_front() {
+            self.port_free = false;
+            let (pa, ready) = self.translate(Requester::Marker, addr, now, mem, heap);
+            let done = self.data_access(pa, size, false, false, Source::RootReader, ready, mem);
+            let refs: Vec<u64> = (0..size as u64 / WORD)
+                .map(|i| heap.read_va(addr + i * WORD))
+                .collect();
+            self.roots.pending = Some((done, refs));
+            progress = true;
+        }
+        progress
+    }
+
+    /// Hands one completed mark response to the tracer queue.
+    fn tick_marker_deliver(&mut self, now: Cycle) -> bool {
+        // Newly completed responses first: they may free their slot
+        // without needing tracer-queue space (already marked / no refs).
+        for slot in &mut self.marker_slots {
+            let (va, old) = match *slot {
+                MarkerSlot::Busy { done, va, old } if done <= now => (va, old),
+                _ => continue,
+            };
+            let header = Header::from_raw(old);
+            if header.is_marked() || header.nrefs() == 0 {
+                // Nothing to trace; free the slot.
+                *slot = MarkerSlot::Free;
+                return true;
+            }
+            let job = TraceJob {
+                obj: va,
+                nrefs: header.nrefs(),
+            };
+            if self.tracerq.try_push(job).is_ok() {
+                *slot = MarkerSlot::Free;
+            } else {
+                // Hold the response: back-pressure on the marker.
+                *slot = MarkerSlot::Deliver { va, old };
+            }
+            return true;
+        }
+        // Retry a parked delivery; a failed retry is *not* progress (the
+        // queue is still full), so idle cycles can skip ahead and real
+        // deadlocks are detected instead of spinning.
+        for slot in &mut self.marker_slots {
+            let (va, old) = match *slot {
+                MarkerSlot::Deliver { va, old } => (va, old),
+                _ => continue,
+            };
+            let header = Header::from_raw(old);
+            let job = TraceJob {
+                obj: va,
+                nrefs: header.nrefs(),
+            };
+            if self.tracerq.try_push(job).is_ok() {
+                *slot = MarkerSlot::Free;
+                return true;
+            }
+            return false;
+        }
+        false
+    }
+
+    /// Issues one mark AMO from the mark queue.
+    fn tick_marker_issue(&mut self, now: Cycle, mem: &mut MemSystem, heap: &mut Heap) -> bool {
+        if !self.port_free || now < self.marker_blocked_until {
+            return false;
+        }
+        let Some(slot_idx) = self
+            .marker_slots
+            .iter()
+            .position(|s| matches!(s, MarkerSlot::Free))
+        else {
+            return false;
+        };
+        let Some(va) = self.markq.dequeue() else {
+            return false;
+        };
+        debug_assert!(
+            heap.spaces().in_traced_space(va),
+            "marker popped a non-heap reference {va:#x}"
+        );
+        *self.access_counts.entry(va).or_insert(0) += 1;
+        if self.markbit.filter(va) {
+            self.filtered += 1;
+            return true;
+        }
+        self.port_free = false;
+        let walks_before = self.translator.stats().walks;
+        let (pa, ready) = self.translate(Requester::Marker, va, now, mem, heap);
+        if self.cfg.tlb.blocking_requesters && self.translator.stats().walks > walks_before {
+            // Blocking TLB: the marker pipeline freezes for the walk.
+            self.marker_blocked_until = ready;
+        }
+        // Functional fetch-or now; timing decided by what the old value
+        // was (write-back elision for already-marked objects, §V-C).
+        let old = heap.phys.fetch_or_u64(pa, HEADER_MARK_BIT);
+        let was_marked = Header::from_raw(old).is_marked();
+        let done = self.data_access(pa, 8, false, !was_marked, Source::Marker, ready, mem);
+        if was_marked {
+            self.already_marked += 1;
+        } else {
+            self.objects_marked += 1;
+        }
+        self.marker_slots[slot_idx] = MarkerSlot::Busy { done, va, old };
+        true
+    }
+
+    /// Lands the earliest due tracer response into the delivery buffer.
+    fn tick_tracer_land(&mut self, now: Cycle) -> bool {
+        if let Some(Reverse(resp)) = self.responses.peek() {
+            if resp.done <= now {
+                let Reverse(resp) = self.responses.pop().expect("peeked");
+                self.deliver_buf.extend(resp.refs);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Moves delivered references into the mark queue (up to one spill
+    /// chunk worth per cycle).
+    fn tick_tracer_deliver(&mut self) -> bool {
+        let mut moved = 0;
+        let budget = self.markq.entries_per_chunk();
+        while moved < budget {
+            let Some(&va) = self.deliver_buf.front() else {
+                break;
+            };
+            if self.markq.enqueue(va) {
+                self.deliver_buf.pop_front();
+                self.refs_enqueued += 1;
+                moved += 1;
+            } else {
+                break;
+            }
+        }
+        moved > 0
+    }
+
+    /// Issues one tracer memory request (Fig. 14's request generator).
+    fn tick_tracer_issue(&mut self, now: Cycle, mem: &mut MemSystem, heap: &mut Heap) -> bool {
+        if !self.port_free || now < self.tracer_blocked_until {
+            return false;
+        }
+        if self.markq.throttled() || self.deliver_buf.len() > 4 * self.markq.entries_per_chunk() {
+            return false;
+        }
+        if self.trace_state.is_none() {
+            let Some(job) = self.tracerq.pop() else {
+                return false;
+            };
+            self.trace_state = Some(match heap.layout() {
+                LayoutKind::Bidirectional => {
+                    let obj = tracegc_heap::ObjRef::new(job.obj);
+                    let base = bidi::ref_section_base(obj, job.nrefs);
+                    TraceState::Bidi {
+                        cursor: base,
+                        end: job.obj,
+                    }
+                }
+                LayoutKind::Conventional => TraceState::ConvTib {
+                    obj: job.obj,
+                    nrefs: job.nrefs,
+                },
+            });
+        }
+
+        self.port_free = false;
+        match self.trace_state.take().expect("set above") {
+            TraceState::Bidi { cursor, end } => {
+                let remaining = end - cursor;
+                debug_assert!(remaining > 0 && remaining % WORD == 0);
+                // Largest aligned power-of-two transfer, clipped at the
+                // page boundary ("the request is interrupted and
+                // re-enqueued to pass through the TLB again", §V-C).
+                let align = 1u64 << cursor.trailing_zeros().min(6);
+                let fit = if remaining >= 64 {
+                    64
+                } else {
+                    1u64 << (63 - remaining.leading_zeros())
+                };
+                let to_page_end = PAGE_SIZE - (cursor % PAGE_SIZE);
+                let size = align.min(fit).min(to_page_end).max(WORD);
+                let walks_before = self.translator.stats().walks;
+                let (pa, ready) = self.translate(Requester::Tracer, cursor, now, mem, heap);
+                if self.cfg.tlb.blocking_requesters
+                    && self.translator.stats().walks > walks_before
+                {
+                    self.tracer_blocked_until = ready;
+                }
+                let done =
+                    self.data_access(pa, size as u32, false, false, Source::Tracer, ready, mem);
+                let refs: Vec<u64> = (0..size / WORD)
+                    .map(|i| heap.read_va(cursor + i * WORD))
+                    .filter(|&r| r != 0)
+                    .collect();
+                self.push_response(done, refs);
+                let next = cursor + size;
+                if next < end {
+                    self.trace_state = Some(TraceState::Bidi { cursor: next, end });
+                }
+                true
+            }
+            TraceState::ConvTib { obj, nrefs } => {
+                // Load the TIB pointer (extra access #1), then the offset
+                // words (extra access #2) — the cacheless-cost the
+                // bidirectional layout removes (§IV-A.I).
+                let objref = tracegc_heap::ObjRef::new(obj);
+                let tib_va = conv::tib_slot(objref);
+                let walks_before = self.translator.stats().walks;
+                let (pa, ready) = self.translate(Requester::Tracer, tib_va, now, mem, heap);
+                if self.cfg.tlb.blocking_requesters
+                    && self.translator.stats().walks > walks_before
+                {
+                    self.tracer_blocked_until = ready;
+                }
+                let t1 = self.data_access(pa, 8, false, false, Source::Tracer, ready, mem);
+                let tib = heap.read_va(tib_va);
+                // Offset words, dependent on the TIB pointer.
+                let mut t2 = t1;
+                let mut offsets = VecDeque::with_capacity(nrefs as usize);
+                for (addr, size) in decompose_aligned(tib + WORD, nrefs as u64 * WORD) {
+                    let (pa, ready) = self.translate(Requester::Tracer, addr, t2, mem, heap);
+                    t2 = self.data_access(pa, size, false, false, Source::Tracer, ready, mem);
+                    for i in 0..size as u64 / WORD {
+                        offsets.push_back(heap.read_va(addr + i * WORD) as u32);
+                    }
+                }
+                // An empty response carries the dependency time forward.
+                self.push_response(t2, Vec::new());
+                self.trace_state = Some(TraceState::ConvFields { obj, offsets });
+                true
+            }
+            TraceState::ConvFields { obj, mut offsets } => {
+                let Some(offset) = offsets.pop_front() else {
+                    return true; // object finished
+                };
+                let objref = tracegc_heap::ObjRef::new(obj);
+                let field_va = conv::field_slot(objref, offset);
+                let walks_before = self.translator.stats().walks;
+                let (pa, ready) = self.translate(Requester::Tracer, field_va, now, mem, heap);
+                if self.cfg.tlb.blocking_requesters
+                    && self.translator.stats().walks > walks_before
+                {
+                    self.tracer_blocked_until = ready;
+                }
+                let done = self.data_access(pa, 8, false, false, Source::Tracer, ready, mem);
+                let raw = heap.read_va(field_va);
+                let refs = if raw != 0 { vec![raw] } else { Vec::new() };
+                self.push_response(done, refs);
+                if !offsets.is_empty() {
+                    self.trace_state = Some(TraceState::ConvFields { obj, offsets });
+                }
+                true
+            }
+        }
+    }
+
+    fn push_response(&mut self, done: Cycle, refs: Vec<u64>) {
+        self.resp_seq += 1;
+        self.responses.push(Reverse(TraceResp {
+            done,
+            seq: self.resp_seq,
+            refs,
+        }));
+    }
+
+    fn is_done(&self) -> bool {
+        self.roots.done()
+            && self.markq.is_empty()
+            && self.tracerq.is_empty()
+            && self.trace_state.is_none()
+            && self.responses.is_empty()
+            && self.deliver_buf.is_empty()
+            && self
+                .marker_slots
+                .iter()
+                .all(|s| matches!(s, MarkerSlot::Free))
+    }
+
+    fn next_event(&self) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut consider = |t: Cycle| {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        };
+        if let Some(t) = self.markq.next_event() {
+            consider(t);
+        }
+        if let Some((t, _)) = self.roots.pending {
+            consider(t);
+        }
+        for s in &self.marker_slots {
+            if let MarkerSlot::Busy { done, .. } = s {
+                consider(*done);
+            }
+        }
+        if let Some(Reverse(r)) = self.responses.peek() {
+            consider(r.done);
+        }
+        if self.marker_blocked_until > 0 {
+            consider(self.marker_blocked_until);
+        }
+        if self.tracer_blocked_until > 0 {
+            consider(self.tracer_blocked_until);
+        }
+        if self.cfg.min_issue_interval > 0 {
+            if let Some(t) = self.last_issue_at {
+                consider(t + self.cfg.min_issue_interval);
+            }
+        }
+        if self.bg_period > 0 {
+            consider(self.bg_next);
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracegc_heap::verify::check_marks_match_reachability;
+    use tracegc_heap::{HeapConfig, ObjRef};
+
+    /// A heap whose live graph is a binary tree with cross edges — wide
+    /// BFS frontiers, like real heaps (the paper notes "most of the
+    /// parallelism in the heap traversal exists at the beginning").
+    fn build_heap(n: usize, layout: LayoutKind) -> Heap {
+        let mut h = Heap::new(HeapConfig {
+            phys_bytes: 256 << 20,
+            layout,
+            ..HeapConfig::default()
+        });
+        let objs: Vec<ObjRef> = (0..n)
+            .map(|i| h.alloc(3, (i % 6) as u32, false).unwrap())
+            .collect();
+        let live = n * 3 / 5;
+        for i in 0..live {
+            if 2 * i + 1 < live {
+                h.set_ref(objs[i], 0, Some(objs[2 * i + 1]));
+            }
+            if 2 * i + 2 < live {
+                h.set_ref(objs[i], 1, Some(objs[2 * i + 2]));
+            }
+            h.set_ref(objs[i], 2, Some(objs[(i * 31 + 7) % live]));
+        }
+        for i in live..n - 1 {
+            h.set_ref(objs[i], 0, Some(objs[i + 1]));
+        }
+        h.set_roots(&[objs[0]]);
+        h
+    }
+
+    #[test]
+    fn unit_marks_exactly_the_reachable_set() {
+        let mut heap = build_heap(2000, LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut heap);
+        let result = unit.run_mark(&mut heap, &mut mem, 0);
+        check_marks_match_reachability(&heap).unwrap();
+        assert_eq!(result.objects_marked, 1200);
+        assert!(result.cycles() > 0);
+    }
+
+    #[test]
+    fn unit_is_faster_than_serialized_marking() {
+        // With 16 slots and decoupled tracing, the pass must take far
+        // fewer cycles than objects * DRAM latency.
+        let mut heap = build_heap(2000, LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut heap);
+        let result = unit.run_mark(&mut heap, &mut mem, 0);
+        let serial_floor = result.objects_marked * 40;
+        assert!(
+            result.cycles() < serial_floor,
+            "no memory-level parallelism: {} >= {}",
+            result.cycles(),
+            serial_floor
+        );
+    }
+
+    #[test]
+    fn tiny_mark_queue_still_completes_via_spilling() {
+        let mut heap = build_heap(3000, LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let cfg = GcUnitConfig {
+            markq_entries: 16,
+            markq_side: 16,
+            ..GcUnitConfig::default()
+        };
+        let mut unit = TraversalUnit::new(cfg, &mut heap);
+        let result = unit.run_mark(&mut heap, &mut mem, 0);
+        check_marks_match_reachability(&heap).unwrap();
+        assert!(result.markq.spill_writes > 0, "expected spilling");
+        assert_eq!(
+            result.markq.enqueued,
+            result.markq.dequeued,
+            "every enqueued ref must be consumed"
+        );
+    }
+
+    #[test]
+    fn compression_preserves_correctness_and_halves_spill() {
+        let run = |compress: bool| {
+            let mut heap = build_heap(3000, LayoutKind::Bidirectional);
+            let mut mem = MemSystem::ddr3(Default::default());
+            let cfg = GcUnitConfig {
+                markq_entries: 16,
+                markq_side: 16,
+                compress,
+                ..GcUnitConfig::default()
+            };
+            let mut unit = TraversalUnit::new(cfg, &mut heap);
+            let r = unit.run_mark(&mut heap, &mut mem, 0);
+            check_marks_match_reachability(&heap).unwrap();
+            r.markq.spill_bytes_written
+        };
+        let full = run(false);
+        let compressed = run(true);
+        assert!(compressed > 0 && compressed < full);
+    }
+
+    #[test]
+    fn markbit_cache_filters_hot_objects() {
+        // A hub object referenced by everyone: the cache should filter
+        // most of the duplicate marks.
+        let mut h = Heap::new(HeapConfig {
+            phys_bytes: 64 << 20,
+            ..HeapConfig::default()
+        });
+        let hub = h.alloc(0, 0, false).unwrap();
+        let objs: Vec<ObjRef> = (0..500).map(|_| h.alloc(2, 0, false).unwrap()).collect();
+        for i in 0..500usize {
+            h.set_ref(objs[i], 0, Some(hub));
+            if i + 1 < 500 {
+                h.set_ref(objs[i], 1, Some(objs[i + 1]));
+            }
+        }
+        h.set_roots(&[objs[0]]);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let cfg = GcUnitConfig {
+            markbit_cache: 64,
+            ..GcUnitConfig::default()
+        };
+        let mut unit = TraversalUnit::new(cfg, &mut h);
+        let result = unit.run_mark(&mut h, &mut mem, 0);
+        check_marks_match_reachability(&h).unwrap();
+        assert!(
+            result.filtered > 400,
+            "hub marks should be filtered: {}",
+            result.filtered
+        );
+    }
+
+    #[test]
+    fn access_counts_reflect_popularity() {
+        let mut h = Heap::new(HeapConfig {
+            phys_bytes: 64 << 20,
+            ..HeapConfig::default()
+        });
+        let hub = h.alloc(0, 0, false).unwrap();
+        let objs: Vec<ObjRef> = (0..100).map(|_| h.alloc(2, 0, false).unwrap()).collect();
+        for i in 0..100usize {
+            h.set_ref(objs[i], 0, Some(hub));
+            if i + 1 < 100 {
+                h.set_ref(objs[i], 1, Some(objs[i + 1]));
+            }
+        }
+        h.set_roots(&[objs[0]]);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut h);
+        unit.run_mark(&mut h, &mut mem, 0);
+        assert_eq!(unit.access_counts()[&hub.addr()], 100);
+    }
+
+    #[test]
+    fn conventional_layout_marks_correctly_but_slower() {
+        let n = 800;
+        let run = |layout| {
+            let mut heap = build_heap(n, layout);
+            let mut mem = MemSystem::ddr3(Default::default());
+            let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut heap);
+            let r = unit.run_mark(&mut heap, &mut mem, 0);
+            check_marks_match_reachability(&heap).unwrap();
+            (r.objects_marked, r.cycles())
+        };
+        let (bidi_marked, bidi_cycles) = run(LayoutKind::Bidirectional);
+        let (conv_marked, conv_cycles) = run(LayoutKind::Conventional);
+        assert_eq!(bidi_marked, conv_marked);
+        assert!(
+            conv_cycles > bidi_cycles,
+            "conventional {conv_cycles} should exceed bidirectional {bidi_cycles}"
+        );
+    }
+
+    #[test]
+    fn shared_topology_marks_correctly_and_ptw_dominates_cache() {
+        // Large enough that the live set far exceeds the TLB reach
+        // (32 + 128 entries x 4 KiB), with randomized edges to kill page
+        // locality, as in the paper's 200 MB heaps.
+        use rand::{RngExt as _, SeedableRng};
+        let n = 40_000;
+        let mut h = Heap::new(HeapConfig {
+            phys_bytes: 256 << 20,
+            ..HeapConfig::default()
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let objs: Vec<ObjRef> = (0..n)
+            .map(|i| h.alloc(3, (i % 6) as u32, false).unwrap())
+            .collect();
+        for i in 0..n {
+            for slot in 0..3 {
+                let target = rng.random_range(0..n);
+                h.set_ref(objs[i], slot, Some(objs[target]));
+            }
+        }
+        let _: bool = rng.random();
+        h.set_roots(&[objs[0]]);
+        let mut heap = h;
+        let mut mem = MemSystem::ddr3(Default::default());
+        let cfg = GcUnitConfig {
+            topology: CacheTopology::Shared,
+            ..GcUnitConfig::default()
+        };
+        let mut unit = TraversalUnit::new(cfg, &mut heap);
+        unit.run_mark(&mut heap, &mut mem, 0);
+        check_marks_match_reachability(&heap).unwrap();
+        let stats = unit.shared_cache_stats().expect("shared cache");
+        let ptw = stats.accesses(Source::Ptw);
+        let total: u64 = Source::ALL.iter().map(|&s| stats.accesses(s)).sum();
+        assert!(ptw > 0 && total > 0);
+        // Fig. 18a: the PTW is by far the largest requester at the
+        // shared cache (the paper reports ~2/3 of all requests).
+        for s in [Source::Marker, Source::Tracer, Source::MarkQueue] {
+            assert!(
+                ptw > stats.accesses(s),
+                "PTW ({ptw}) should exceed {s} ({})",
+                stats.accesses(s)
+            );
+        }
+        assert!(
+            ptw * 2 > total,
+            "PTW should be the majority of shared-cache requests: {ptw}/{total}"
+        );
+    }
+
+    #[test]
+    fn empty_roots_complete_immediately() {
+        let mut heap = Heap::new(HeapConfig {
+            phys_bytes: 64 << 20,
+            ..HeapConfig::default()
+        });
+        let _garbage = heap.alloc(1, 0, false).unwrap();
+        heap.set_roots(&[]);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut heap);
+        let result = unit.run_mark(&mut heap, &mut mem, 0);
+        assert_eq!(result.objects_marked, 0);
+        assert!(heap.marked_set().is_empty());
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let run = || {
+            let mut heap = build_heap(1500, LayoutKind::Bidirectional);
+            let mut mem = MemSystem::ddr3(Default::default());
+            let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut heap);
+            let r = unit.run_mark(&mut heap, &mut mem, 0);
+            (r.end, r.objects_marked, r.refs_enqueued, r.markq.spill_writes)
+        };
+        assert_eq!(run(), run());
+    }
+}

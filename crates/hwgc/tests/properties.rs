@@ -1,0 +1,140 @@
+//! Property-based tests for the accelerator: the mark queue's spill
+//! machinery never loses or duplicates entries, compression round-trips,
+//! and the traversal unit matches the reachability oracle on arbitrary
+//! graphs under arbitrary (legal) configurations.
+
+use proptest::prelude::*;
+
+use tracegc_heap::verify::check_marks_match_reachability;
+use tracegc_heap::{Heap, HeapConfig, ObjRef};
+use tracegc_hwgc::{GcUnitConfig, MarkQueue, MarkQueueConfig, RefCodec, TraversalUnit};
+use tracegc_mem::{MemSystem, PhysMem};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compression_roundtrips(word_off in 0u64..=u32::MAX as u64) {
+        let base = 0x2000_0000u64;
+        let codec = RefCodec::Compressed { base };
+        let va = base + word_off * 8;
+        prop_assert_eq!(codec.decode(codec.encode(va)), va);
+    }
+
+    #[test]
+    fn markq_preserves_the_multiset_under_arbitrary_interleavings(
+        main in 1usize..32,
+        ops in proptest::collection::vec((any::<bool>(), 1u64..1 << 20), 1..300),
+        compress: bool,
+    ) {
+        let codec = if compress {
+            RefCodec::Compressed { base: 0x4000_0000 }
+        } else {
+            RefCodec::Full
+        };
+        let mut q = MarkQueue::new(MarkQueueConfig {
+            main_entries: main,
+            side_entries: 32,
+            throttle_level: 24,
+            codec,
+            spill_base: 0,
+            spill_bytes: 1 << 20,
+        });
+        let mut mem = MemSystem::pipe(Default::default());
+        let mut phys = PhysMem::new(2 << 20);
+        let mut pushed: Vec<u64> = Vec::new();
+        let mut popped: Vec<u64> = Vec::new();
+        let mut now = 0u64;
+        for (is_push, off) in &ops {
+            let mut port = true;
+            q.tick(now, &mut mem, &mut phys, None, &mut port);
+            if *is_push {
+                let va = 0x4000_0000 + off * 8;
+                if q.enqueue(va) {
+                    pushed.push(va);
+                }
+            } else if let Some(v) = q.dequeue() {
+                popped.push(v);
+            }
+            now += 7;
+        }
+        // Drain completely.
+        let mut idle = 0;
+        now += 1_000_000;
+        while !q.is_empty() {
+            let mut port = true;
+            q.tick(now, &mut mem, &mut phys, None, &mut port);
+            while let Some(v) = q.dequeue() {
+                popped.push(v);
+            }
+            now += 50;
+            idle += 1;
+            prop_assert!(idle < 50_000, "queue failed to drain");
+        }
+        pushed.sort_unstable();
+        popped.sort_unstable();
+        prop_assert_eq!(pushed, popped);
+    }
+}
+
+/// Builds a heap from a random edge list.
+fn build_random_heap(
+    n: usize,
+    edges: &[(usize, usize)],
+    roots: &[usize],
+) -> Heap {
+    let mut heap = Heap::new(HeapConfig {
+        phys_bytes: 32 << 20,
+        ..HeapConfig::default()
+    });
+    let objs: Vec<ObjRef> = (0..n)
+        .map(|i| heap.alloc(3, (i % 3) as u32, false).expect("fits"))
+        .collect();
+    let mut used = vec![0u32; n];
+    for &(from, to) in edges {
+        if used[from] < 3 {
+            heap.set_ref(objs[from], used[from], Some(objs[to]));
+            used[from] += 1;
+        }
+    }
+    let root_refs: Vec<ObjRef> = roots.iter().map(|&i| objs[i]).collect();
+    heap.set_roots(&root_refs);
+    heap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn unit_matches_oracle_on_random_graphs(
+        n in 4usize..80,
+        seed_edges in proptest::collection::vec((0usize..80, 0usize..80), 0..200),
+        root in 0usize..80,
+        markq_entries in 16usize..256,
+        marker_slots in 1usize..24,
+        markbit in prop_oneof![Just(0usize), Just(16), Just(64)],
+        compress: bool,
+    ) {
+        let edges: Vec<(usize, usize)> = seed_edges
+            .into_iter()
+            .map(|(a, b)| (a % n, b % n))
+            .collect();
+        let mut heap = build_random_heap(n, &edges, &[root % n]);
+        let cfg = GcUnitConfig {
+            markq_entries,
+            markq_side: 16,
+            marker_slots,
+            markbit_cache: markbit,
+            compress,
+            ..GcUnitConfig::default()
+        };
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut unit = TraversalUnit::new(cfg, &mut heap);
+        let result = unit.run_mark(&mut heap, &mut mem, 0);
+        prop_assert!(check_marks_match_reachability(&heap).is_ok());
+        prop_assert_eq!(
+            result.objects_marked as usize,
+            heap.reachable_from_roots().len()
+        );
+    }
+}

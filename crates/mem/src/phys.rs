@@ -1,0 +1,151 @@
+//! Simulated physical memory.
+//!
+//! A flat, word-addressed array standing in for the 2 GiB DRAM of the
+//! paper's Table I (scaled down — the workloads use tens of MiB). Both the
+//! CPU collector model and the accelerator operate *functionally* on this
+//! memory: the heap, the page tables, the spill region and the root region
+//! all live here, so the marked-object sets produced by every agent can be
+//! compared bit-for-bit.
+
+/// Byte-addressed simulated physical memory backed by 64-bit words.
+///
+/// All accesses are 8-byte aligned 64-bit word operations — the paper's
+/// heap stores references, headers and free-list links as 64-bit words,
+/// and the accelerator's functional work is entirely word-granular.
+///
+/// # Examples
+///
+/// ```
+/// use tracegc_mem::PhysMem;
+///
+/// let mut mem = PhysMem::new(4096);
+/// mem.write_u64(16, 0xdead_beef);
+/// assert_eq!(mem.read_u64(16), 0xdead_beef);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhysMem {
+    words: Vec<u64>,
+}
+
+impl PhysMem {
+    /// Creates a zeroed memory of `bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a multiple of 8.
+    pub fn new(bytes: u64) -> Self {
+        assert!(bytes % 8 == 0, "physical memory size must be word-aligned");
+        Self {
+            words: vec![0; (bytes / 8) as usize],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.words.len() as u64 * 8
+    }
+
+    #[inline]
+    fn index(&self, paddr: u64) -> usize {
+        debug_assert!(paddr % 8 == 0, "unaligned word access at {paddr:#x}");
+        let idx = (paddr / 8) as usize;
+        assert!(
+            idx < self.words.len(),
+            "physical address {paddr:#x} out of range ({} bytes)",
+            self.size_bytes()
+        );
+        idx
+    }
+
+    /// Reads the word at byte address `paddr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paddr` is unaligned (debug builds) or out of range.
+    #[inline]
+    pub fn read_u64(&self, paddr: u64) -> u64 {
+        self.words[self.index(paddr)]
+    }
+
+    /// Writes the word at byte address `paddr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paddr` is unaligned (debug builds) or out of range.
+    #[inline]
+    pub fn write_u64(&mut self, paddr: u64, value: u64) {
+        let idx = self.index(paddr);
+        self.words[idx] = value;
+    }
+
+    /// Atomically ORs `bits` into the word at `paddr` and returns the *old*
+    /// value — the accelerator's single-AMO mark operation (§IV-A.II).
+    #[inline]
+    pub fn fetch_or_u64(&mut self, paddr: u64, bits: u64) -> u64 {
+        let idx = self.index(paddr);
+        let old = self.words[idx];
+        self.words[idx] = old | bits;
+        old
+    }
+
+    /// Zeroes `len` bytes starting at `paddr` (word-aligned, word-sized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is unaligned or out of bounds.
+    pub fn zero_range(&mut self, paddr: u64, len: u64) {
+        assert!(len % 8 == 0, "zero_range length must be word-aligned");
+        for off in (0..len).step_by(8) {
+            self.write_u64(paddr + off, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut mem = PhysMem::new(64);
+        mem.write_u64(0, 1);
+        mem.write_u64(56, u64::MAX);
+        assert_eq!(mem.read_u64(0), 1);
+        assert_eq!(mem.read_u64(56), u64::MAX);
+        assert_eq!(mem.read_u64(8), 0);
+    }
+
+    #[test]
+    fn fetch_or_returns_old_value() {
+        let mut mem = PhysMem::new(16);
+        mem.write_u64(8, 0b100);
+        let old = mem.fetch_or_u64(8, 0b011);
+        assert_eq!(old, 0b100);
+        assert_eq!(mem.read_u64(8), 0b111);
+    }
+
+    #[test]
+    fn zero_range_clears_words() {
+        let mut mem = PhysMem::new(64);
+        for a in (0..64).step_by(8) {
+            mem.write_u64(a, 7);
+        }
+        mem.zero_range(16, 24);
+        assert_eq!(mem.read_u64(8), 7);
+        assert_eq!(mem.read_u64(16), 0);
+        assert_eq!(mem.read_u64(32), 0);
+        assert_eq!(mem.read_u64(40), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mem = PhysMem::new(8);
+        let _ = mem.read_u64(8);
+    }
+
+    #[test]
+    fn size_reports_bytes() {
+        assert_eq!(PhysMem::new(4096).size_bytes(), 4096);
+    }
+}

@@ -1,0 +1,250 @@
+//! The TileLink-style memory request vocabulary.
+//!
+//! The accelerator talks to the memory system through a TileLink-like port
+//! that supports transfer sizes from 8 to 64 bytes, naturally aligned
+//! (§V-C: copying 15 references at `0x1a18` decomposes into 8-, 32-, 64-
+//! and 16-byte requests). Every request carries a [`Source`] so the
+//! per-requester breakdowns of Fig. 18 can be reconstructed.
+
+/// Identifies which unit issued a request (the categories of Fig. 18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Source {
+    /// The traversal unit's marker (fetch-or AMO on header words).
+    Marker,
+    /// The traversal unit's tracer (reference-section copies).
+    Tracer,
+    /// Mark-queue spill engine traffic (`outQ` writes / `inQ` reads).
+    MarkQueue,
+    /// Page-table walker fills.
+    Ptw,
+    /// Reclamation-unit block sweepers.
+    Sweeper,
+    /// The root reader copying `hwgc-space` into the mark queue.
+    RootReader,
+    /// CPU cache hierarchy traffic (L2 fills and write-backs).
+    Cpu,
+}
+
+impl Source {
+    /// All source kinds, in the display order used by the figures.
+    pub const ALL: [Source; 7] = [
+        Source::MarkQueue,
+        Source::Tracer,
+        Source::Ptw,
+        Source::Marker,
+        Source::Sweeper,
+        Source::RootReader,
+        Source::Cpu,
+    ];
+
+    /// Stable index for per-source stat arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Source::MarkQueue => 0,
+            Source::Tracer => 1,
+            Source::Ptw => 2,
+            Source::Marker => 3,
+            Source::Sweeper => 4,
+            Source::RootReader => 5,
+            Source::Cpu => 6,
+        }
+    }
+
+    /// Human-readable label used in printed tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Source::MarkQueue => "mark-queue",
+            Source::Tracer => "tracer",
+            Source::Ptw => "ptw",
+            Source::Marker => "marker",
+            Source::Sweeper => "sweeper",
+            Source::RootReader => "root-reader",
+            Source::Cpu => "cpu",
+        }
+    }
+}
+
+impl std::fmt::Display for Source {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a request does to memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Plain read (TileLink `Get`).
+    Read,
+    /// Plain write (TileLink `Put`).
+    Write,
+    /// Atomic fetch-or, returning the old value — the marker's single-AMO
+    /// mark (§IV-A.II). Occupies the bus like a read plus a write-back.
+    Amo,
+}
+
+/// One memory request presented to the controller.
+///
+/// # Examples
+///
+/// ```
+/// use tracegc_mem::{MemReq, Source};
+///
+/// let req = MemReq::read(0x1a18, 8, Source::Tracer);
+/// assert!(req.is_aligned());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemReq {
+    /// Physical byte address.
+    pub addr: u64,
+    /// Transfer size in bytes (8–64, power of two for TileLink requests).
+    pub bytes: u32,
+    /// Read, write or AMO.
+    pub kind: AccessKind,
+    /// Issuing unit.
+    pub source: Source,
+}
+
+impl MemReq {
+    /// Builds a read request.
+    pub fn read(addr: u64, bytes: u32, source: Source) -> Self {
+        Self {
+            addr,
+            bytes,
+            kind: AccessKind::Read,
+            source,
+        }
+    }
+
+    /// Builds a write request.
+    pub fn write(addr: u64, bytes: u32, source: Source) -> Self {
+        Self {
+            addr,
+            bytes,
+            kind: AccessKind::Write,
+            source,
+        }
+    }
+
+    /// Builds an atomic fetch-or request (always 8 bytes: one header word).
+    pub fn amo(addr: u64, source: Source) -> Self {
+        Self {
+            addr,
+            bytes: 8,
+            kind: AccessKind::Amo,
+            source,
+        }
+    }
+
+    /// TileLink requires power-of-two sizes, naturally aligned, 8–64 bytes.
+    pub fn is_aligned(&self) -> bool {
+        self.bytes.is_power_of_two()
+            && (8..=64).contains(&self.bytes)
+            && self.addr % self.bytes as u64 == 0
+    }
+}
+
+/// Decomposes a `[start, start+len)` byte range into the largest naturally
+/// aligned power-of-two transfers the TileLink port supports, in address
+/// order — the tracer's request generator (§V-C, Fig. 14).
+///
+/// The paper's example: 15 references (120 bytes) at `0x1a18` produce
+/// transfer sizes 8, 32, 64, 16.
+///
+/// # Examples
+///
+/// ```
+/// use tracegc_mem::req::decompose_aligned;
+///
+/// let chunks = decompose_aligned(0x1a18, 120);
+/// let sizes: Vec<u32> = chunks.iter().map(|c| c.1).collect();
+/// assert_eq!(sizes, vec![8, 32, 64, 16]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `start` or `len` is not 8-byte aligned.
+pub fn decompose_aligned(start: u64, len: u64) -> Vec<(u64, u32)> {
+    assert!(start % 8 == 0, "transfer start must be 8-byte aligned");
+    assert!(len % 8 == 0, "transfer length must be a multiple of 8");
+    let mut out = Vec::new();
+    let mut addr = start;
+    let mut remaining = len;
+    while remaining > 0 {
+        // Largest power-of-two size (<= 64) that the current alignment
+        // permits and that fits in the remainder.
+        let align = if addr == 0 { 64 } else { 1u64 << addr.trailing_zeros().min(6) };
+        let fit = if remaining >= 64 {
+            64
+        } else {
+            1u64 << (63 - remaining.leading_zeros())
+        };
+        let size = align.min(fit).min(64);
+        out.push((addr, size as u32));
+        addr += size;
+        remaining -= size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_decomposition() {
+        // 15 refs * 8B at 0x1a18 -> 8, 32, 64, 16 (paper §V-C).
+        let chunks = decompose_aligned(0x1a18, 15 * 8);
+        assert_eq!(
+            chunks,
+            vec![(0x1a18, 8), (0x1a20, 32), (0x1a40, 64), (0x1a80, 16)]
+        );
+    }
+
+    #[test]
+    fn decomposition_covers_range_exactly() {
+        let chunks = decompose_aligned(0x100, 256);
+        let total: u64 = chunks.iter().map(|c| c.1 as u64).sum();
+        assert_eq!(total, 256);
+        assert_eq!(chunks[0].0, 0x100);
+        // Contiguous, non-overlapping.
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].0 + w[0].1 as u64, w[1].0);
+        }
+    }
+
+    #[test]
+    fn every_chunk_is_tilelink_legal() {
+        for (start, len) in [(0x1a18u64, 120u64), (0x8, 8), (0x38, 72), (0x0, 64)] {
+            for (addr, bytes) in decompose_aligned(start, len) {
+                let r = MemReq::read(addr, bytes, Source::Tracer);
+                assert!(r.is_aligned(), "illegal chunk {addr:#x}+{bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_checks() {
+        assert!(MemReq::read(0x40, 64, Source::Cpu).is_aligned());
+        assert!(!MemReq::read(0x48, 64, Source::Cpu).is_aligned());
+        assert!(!MemReq::read(0x40, 4, Source::Cpu).is_aligned());
+        assert!(!MemReq::read(0x40, 48, Source::Cpu).is_aligned());
+    }
+
+    #[test]
+    fn source_indices_are_unique_and_dense() {
+        let mut seen = [false; Source::ALL.len()];
+        for s in Source::ALL {
+            assert!(!seen[s.index()]);
+            seen[s.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn amo_is_one_word() {
+        let r = MemReq::amo(0x1008, Source::Marker);
+        assert_eq!(r.bytes, 8);
+        assert_eq!(r.kind, AccessKind::Amo);
+        assert!(r.is_aligned());
+    }
+}

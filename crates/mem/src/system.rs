@@ -1,0 +1,216 @@
+//! The shared memory port: one controller, many requesters, full accounting.
+//!
+//! [`MemSystem`] wraps either the DDR3 model or the latency–bandwidth pipe
+//! behind a single interface and layers on the instrumentation the paper's
+//! figures need: per-[`Source`](crate::Source) request and byte counters
+//! (Fig. 18b), a windowed [`BandwidthMeter`] (Fig. 16), and inter-request
+//! gap tracking (Fig. 17b reports one request every 8.66 cycles).
+
+use tracegc_sim::{BandwidthMeter, Cycle};
+
+use crate::ddr3::{Ddr3Config, Ddr3Model, Ddr3Stats};
+use crate::pipe::{PipeConfig, PipeModel};
+use crate::req::{MemReq, Source};
+
+/// Aggregated controller statistics.
+#[derive(Debug, Clone)]
+pub struct MemStats {
+    /// Requests per source (indexed by [`Source::index`]).
+    pub requests_by_source: [u64; Source::ALL.len()],
+    /// Bytes per source.
+    pub bytes_by_source: [u64; Source::ALL.len()],
+    /// Total requests.
+    pub total_requests: u64,
+    /// Total bytes moved.
+    pub total_bytes: u64,
+    /// Cycle of the first scheduled request.
+    pub first_request_at: Option<Cycle>,
+    /// Presentation cycle of the most recent request.
+    pub last_request_at: Cycle,
+    /// Sum of presentation-time gaps between consecutive requests, for the
+    /// mean-issue-interval statistic of Fig. 17b.
+    pub gap_sum: u64,
+}
+
+impl Default for MemStats {
+    fn default() -> Self {
+        Self {
+            requests_by_source: [0; Source::ALL.len()],
+            bytes_by_source: [0; Source::ALL.len()],
+            total_requests: 0,
+            total_bytes: 0,
+            first_request_at: None,
+            last_request_at: 0,
+            gap_sum: 0,
+        }
+    }
+}
+
+impl MemStats {
+    /// Requests issued by `source`.
+    pub fn requests(&self, source: Source) -> u64 {
+        self.requests_by_source[source.index()]
+    }
+
+    /// Bytes moved by `source`.
+    pub fn bytes(&self, source: Source) -> u64 {
+        self.bytes_by_source[source.index()]
+    }
+
+    /// Mean cycles between consecutive request presentations (Fig. 17b).
+    pub fn mean_issue_interval(&self) -> f64 {
+        if self.total_requests <= 1 {
+            0.0
+        } else {
+            self.gap_sum as f64 / (self.total_requests - 1) as f64
+        }
+    }
+}
+
+enum Controller {
+    Ddr3(Ddr3Model),
+    Pipe(PipeModel),
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Controller::Ddr3(_) => f.write_str("Controller::Ddr3"),
+            Controller::Pipe(_) => f.write_str("Controller::Pipe"),
+        }
+    }
+}
+
+/// The SoC's single memory controller with full per-source accounting.
+///
+/// # Examples
+///
+/// ```
+/// use tracegc_mem::{MemReq, MemSystem, Source};
+///
+/// let mut mem = MemSystem::pipe(Default::default());
+/// mem.schedule(&MemReq::read(0, 64, Source::Tracer), 0);
+/// assert_eq!(mem.stats().requests(Source::Tracer), 1);
+/// ```
+#[derive(Debug)]
+pub struct MemSystem {
+    controller: Controller,
+    stats: MemStats,
+    meter: BandwidthMeter,
+}
+
+/// Bandwidth-meter window: 50 µs at 1 GHz, fine enough for Fig. 16's
+/// time-series plot over multi-millisecond pauses.
+const METER_WINDOW: Cycle = 50_000;
+
+impl MemSystem {
+    /// Creates a DDR3-backed memory system (Table I defaults via
+    /// `Ddr3Config::default()`).
+    pub fn ddr3(cfg: Ddr3Config) -> Self {
+        Self {
+            controller: Controller::Ddr3(Ddr3Model::new(cfg)),
+            stats: MemStats::default(),
+            meter: BandwidthMeter::new(METER_WINDOW),
+        }
+    }
+
+    /// Creates the idealized latency–bandwidth pipe system (Fig. 17).
+    pub fn pipe(cfg: PipeConfig) -> Self {
+        Self {
+            controller: Controller::Pipe(PipeModel::new(cfg)),
+            stats: MemStats::default(),
+            meter: BandwidthMeter::new(METER_WINDOW),
+        }
+    }
+
+    /// Schedules a request presented at `earliest`; returns the
+    /// response-ready cycle.
+    pub fn schedule(&mut self, req: &MemReq, earliest: Cycle) -> Cycle {
+        debug_assert!(req.is_aligned(), "misaligned request {req:?}");
+        let done = match &mut self.controller {
+            Controller::Ddr3(m) => m.schedule(req, earliest),
+            Controller::Pipe(m) => m.schedule(req, earliest),
+        };
+        let s = &mut self.stats;
+        s.requests_by_source[req.source.index()] += 1;
+        s.bytes_by_source[req.source.index()] += req.bytes as u64;
+        s.total_requests += 1;
+        s.total_bytes += req.bytes as u64;
+        if s.first_request_at.is_none() {
+            s.first_request_at = Some(earliest);
+        } else {
+            s.gap_sum += earliest.saturating_sub(s.last_request_at);
+        }
+        s.last_request_at = s.last_request_at.max(earliest);
+        self.meter.record(done, req.bytes as u64);
+        done
+    }
+
+    /// Aggregated per-source statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// The bandwidth-over-time meter (Fig. 16).
+    pub fn meter(&self) -> &BandwidthMeter {
+        &self.meter
+    }
+
+    /// DDR3-level stats when backed by the DDR3 model (activates, row hits
+    /// and conflicts feed the energy model of Fig. 23).
+    pub fn ddr3_stats(&self) -> Option<Ddr3Stats> {
+        match &self.controller {
+            Controller::Ddr3(m) => Some(m.stats()),
+            Controller::Pipe(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::req::MemReq;
+
+    #[test]
+    fn per_source_accounting() {
+        let mut mem = MemSystem::pipe(PipeConfig::default());
+        mem.schedule(&MemReq::read(0, 64, Source::Tracer), 0);
+        mem.schedule(&MemReq::read(64, 8, Source::Marker), 10);
+        mem.schedule(&MemReq::amo(128, Source::Marker), 20);
+        let s = mem.stats();
+        assert_eq!(s.requests(Source::Tracer), 1);
+        assert_eq!(s.requests(Source::Marker), 2);
+        assert_eq!(s.bytes(Source::Tracer), 64);
+        assert_eq!(s.bytes(Source::Marker), 16);
+        assert_eq!(s.total_requests, 3);
+        assert_eq!(s.total_bytes, 80);
+    }
+
+    #[test]
+    fn mean_issue_interval_reflects_gaps() {
+        let mut mem = MemSystem::pipe(PipeConfig::default());
+        for i in 0..10u64 {
+            mem.schedule(&MemReq::read(i * 64, 64, Source::Tracer), i * 10);
+        }
+        assert!((mem.stats().mean_issue_interval() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_accumulates_bytes() {
+        let mut mem = MemSystem::ddr3(Ddr3Config::default());
+        for i in 0..4u64 {
+            mem.schedule(&MemReq::read(i * 64, 64, Source::Sweeper), 0);
+        }
+        assert_eq!(mem.meter().total_bytes(), 256);
+    }
+
+    #[test]
+    fn ddr3_stats_only_for_ddr3() {
+        let mem = MemSystem::ddr3(Ddr3Config::default());
+        assert!(mem.ddr3_stats().is_some());
+        let pipe = MemSystem::pipe(PipeConfig::default());
+        assert!(pipe.ddr3_stats().is_none());
+    }
+
+    use crate::pipe::PipeConfig;
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the memory system: TileLink decomposition,
+//! DDR3 timing sanity and cache coherence of the timestamp model.
+
+use proptest::prelude::*;
+
+use tracegc_mem::cache::{Backing, MemBacking};
+use tracegc_mem::ddr3::{Ddr3Config, Ddr3Model};
+use tracegc_mem::pipe::{PipeConfig, PipeModel};
+use tracegc_mem::req::decompose_aligned;
+use tracegc_mem::{Cache, CacheConfig, MemReq, MemSystem, Source};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn decomposition_covers_exactly_and_legally(
+        start in (0u64..1 << 30).prop_map(|v| v & !7),
+        words in 1u64..64,
+    ) {
+        let len = words * 8;
+        let chunks = decompose_aligned(start, len);
+        // Contiguous, covering, non-overlapping.
+        let mut cursor = start;
+        for (addr, bytes) in &chunks {
+            prop_assert_eq!(*addr, cursor);
+            cursor += *bytes as u64;
+            // TileLink legality.
+            let req = MemReq::read(*addr, *bytes, Source::Tracer);
+            prop_assert!(req.is_aligned(), "illegal chunk {:#x}+{}", addr, bytes);
+        }
+        prop_assert_eq!(cursor, start + len);
+    }
+
+    #[test]
+    fn ddr3_completion_always_after_presentation(
+        addrs in proptest::collection::vec((0u64..1 << 26).prop_map(|v| v & !63), 1..64),
+        gaps in proptest::collection::vec(0u64..50, 1..64),
+    ) {
+        let mut model = Ddr3Model::new(Ddr3Config::default());
+        let mut now = 0;
+        for (addr, gap) in addrs.iter().zip(&gaps) {
+            now += gap;
+            let done = model.schedule(&MemReq::read(*addr, 64, Source::Cpu), now);
+            prop_assert!(done > now, "completion {done} <= presentation {now}");
+        }
+    }
+
+    #[test]
+    fn ddr3_single_stream_completions_are_monotone(
+        addrs in proptest::collection::vec((0u64..1 << 26).prop_map(|v| v & !63), 2..64),
+    ) {
+        // One agent issuing strictly after each completion must observe
+        // monotone completions.
+        let mut model = Ddr3Model::new(Ddr3Config::default());
+        let mut now = 0;
+        let mut last_done = 0;
+        for addr in &addrs {
+            let done = model.schedule(&MemReq::read(*addr, 64, Source::Cpu), now);
+            prop_assert!(done >= last_done);
+            last_done = done;
+            now = done;
+        }
+    }
+
+    #[test]
+    fn ddr3_bandwidth_never_exceeds_the_bus(
+        addrs in proptest::collection::vec((0u64..1 << 26).prop_map(|v| v & !63), 16..128),
+    ) {
+        let mut model = Ddr3Model::new(Ddr3Config::default());
+        let mut last = 0u64;
+        for addr in &addrs {
+            last = last.max(model.schedule(&MemReq::read(*addr, 64, Source::Cpu), 0));
+        }
+        // 16 bytes per cycle is the physical DDR3-2000 limit.
+        let bytes = addrs.len() as u64 * 64;
+        prop_assert!(bytes <= last * 16, "{bytes} bytes in {last} cycles");
+    }
+
+    #[test]
+    fn pipe_respects_configured_bandwidth(
+        sizes in proptest::collection::vec(prop_oneof![Just(8u32), Just(16), Just(32), Just(64)], 8..64),
+    ) {
+        let mut pipe = PipeModel::new(PipeConfig::default());
+        let mut last = 0;
+        for (i, &s) in sizes.iter().enumerate() {
+            last = pipe.schedule(&MemReq::read(i as u64 * 64, s, Source::Tracer), 0);
+        }
+        let bytes: u64 = sizes.iter().map(|&s| s as u64).sum();
+        prop_assert!(bytes <= last * 8, "{bytes} bytes by cycle {last} exceeds 8 B/cyc");
+    }
+
+    #[test]
+    fn cache_hits_after_fill_and_never_loses_data(
+        addrs in proptest::collection::vec((0u64..1 << 16).prop_map(|v| v & !7), 1..64),
+    ) {
+        let mut cache = Cache::new(CacheConfig::rocket_l1d());
+        let mut mem = MemSystem::pipe(PipeConfig::default());
+        let mut now = 0;
+        for addr in &addrs {
+            let mut backing = MemBacking { mem: &mut mem, source: Source::Cpu };
+            now = cache.access(*addr, false, now, Source::Cpu, &mut backing);
+            // Immediate re-access is a hit costing exactly hit latency.
+            let mut backing = MemBacking { mem: &mut mem, source: Source::Cpu };
+            let again = cache.access(*addr, false, now, Source::Cpu, &mut backing);
+            prop_assert_eq!(again, now + cache.config().hit_latency);
+            now = again;
+        }
+    }
+
+    #[test]
+    fn cache_timing_is_monotone_for_one_agent(
+        addrs in proptest::collection::vec((0u64..1 << 20).prop_map(|v| v & !7), 2..96),
+        writes in proptest::collection::vec(any::<bool>(), 2..96),
+    ) {
+        let mut cache = Cache::new(CacheConfig::rocket_l1d());
+        let mut mem = MemSystem::ddr3(Ddr3Config::default());
+        let mut now = 0;
+        for (addr, write) in addrs.iter().zip(&writes) {
+            let mut backing = MemBacking { mem: &mut mem, source: Source::Cpu };
+            let done = cache.access(*addr, *write, now, Source::Cpu, &mut backing);
+            prop_assert!(done >= now);
+            now = done;
+        }
+    }
+
+    #[test]
+    fn writeback_preserves_stats_consistency(
+        addrs in proptest::collection::vec((0u64..1 << 14).prop_map(|v| v & !7), 8..128),
+    ) {
+        // Tiny cache to force evictions.
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 4 * 64,
+            ways: 2,
+            hit_latency: 1,
+            mshrs: 4,
+        });
+        let mut mem = MemSystem::pipe(PipeConfig::default());
+        let mut now = 0;
+        for addr in &addrs {
+            let mut backing = MemBacking { mem: &mut mem, source: Source::Cpu };
+            now = cache.access(*addr, true, now, Source::Cpu, &mut backing);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits() + s.misses(), addrs.len() as u64);
+        prop_assert!(s.writebacks <= s.misses());
+    }
+}
+
+/// A backing that records fills, for structural checks.
+#[derive(Default)]
+struct CountingBacking {
+    fills: u64,
+}
+
+impl Backing for CountingBacking {
+    fn fill(&mut self, _line: u64, at: u64) -> u64 {
+        self.fills += 1;
+        at + 10
+    }
+    fn writeback(&mut self, _line: u64, _at: u64) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn at_most_one_fill_per_distinct_line(
+        lines in proptest::collection::vec(0u64..32, 1..64),
+    ) {
+        // A cache big enough to never evict: each distinct line fills
+        // exactly once no matter the access pattern.
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 64 * 64,
+            ways: 4,
+            hit_latency: 1,
+            mshrs: 8,
+        });
+        let mut backing = CountingBacking::default();
+        let mut now = 0;
+        let mut distinct = std::collections::BTreeSet::new();
+        for line in &lines {
+            distinct.insert(*line);
+            now = cache.access(line * 64, false, now, Source::Cpu, &mut backing);
+        }
+        prop_assert_eq!(backing.fills, distinct.len() as u64);
+    }
+}

@@ -1,0 +1,203 @@
+//! Area model (Fig. 22), parameterized by the unit configuration.
+//!
+//! Constants approximate the SAED EDK 32/28 library the paper used:
+//! dense SRAM macros for caches, flip-flop-based storage (several times
+//! less dense) for the unit's queues and CAM-style TLBs, plus per-block
+//! control-logic constants. At the default configuration the unit totals
+//! ≈0.50 mm² — 18.5% of the ≈2.7 mm² Rocket core, "an amount equivalent
+//! to 64 KB of SRAM" (§I, Fig. 22).
+
+use tracegc_hwgc::GcUnitConfig;
+
+/// mm² per KiB of SRAM macro at the modelled 32/28 nm node.
+pub const SRAM_MM2_PER_KB: f64 = 0.0078;
+/// Flip-flop storage (queues, request slots) is several times less
+/// dense than SRAM macros.
+pub const FLOP_FACTOR: f64 = 3.5;
+/// CAM storage (fully associative TLBs) costs even more per bit.
+pub const CAM_FACTOR: f64 = 5.0;
+
+/// A named area breakdown in mm².
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaBreakdown {
+    /// `(component, mm²)` pairs in display order.
+    pub components: Vec<(String, f64)>,
+}
+
+impl AreaBreakdown {
+    /// Total area in mm².
+    pub fn total(&self) -> f64 {
+        self.components.iter().map(|c| c.1).sum()
+    }
+
+    /// Area of a named component (0.0 if absent).
+    pub fn component(&self, name: &str) -> f64 {
+        self.components
+            .iter()
+            .find(|c| c.0 == name)
+            .map_or(0.0, |c| c.1)
+    }
+
+    /// The largest component by area.
+    pub fn largest(&self) -> &str {
+        self.components
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|c| c.0.as_str())
+            .unwrap_or("")
+    }
+}
+
+fn sram_kb(kb: f64) -> f64 {
+    kb * SRAM_MM2_PER_KB
+}
+
+fn flop_bytes(bytes: f64) -> f64 {
+    bytes / 1024.0 * SRAM_MM2_PER_KB * FLOP_FACTOR
+}
+
+fn cam_bytes(bytes: f64) -> f64 {
+    bytes / 1024.0 * SRAM_MM2_PER_KB * CAM_FACTOR
+}
+
+/// TLB area: entries of ~16 bytes (tag + data) in CAM cells plus a
+/// small comparator/control constant.
+fn tlb_area(entries: usize) -> f64 {
+    cam_bytes(entries as f64 * 16.0) + 0.004
+}
+
+/// The Rocket core breakdown of Fig. 22b (16 KiB I- and D-caches,
+/// frontend, integer/FP pipelines). The L2 is reported separately, as in
+/// Fig. 22a.
+pub fn rocket_core_area() -> AreaBreakdown {
+    let l1d = sram_kb(16.0) * 1.5 + 0.30; // data + tags/ECC + control
+    let frontend = sram_kb(16.0) * 1.5 + 0.35; // I$ + fetch/branch
+    let other = 1.60; // int/FP pipelines, CSRs, etc.
+    AreaBreakdown {
+        components: vec![
+            ("l1-dcache".into(), l1d),
+            ("frontend".into(), frontend),
+            ("other".into(), other),
+        ],
+    }
+}
+
+/// The 256 KiB L2 of Table I, in mm².
+pub fn l2_area() -> f64 {
+    sram_kb(256.0) * 1.2 // data + tags
+}
+
+/// The GC unit breakdown of Fig. 22c, computed from the configuration.
+pub fn gc_unit_area(cfg: &GcUnitConfig) -> AreaBreakdown {
+    // Mark queue: flip-flop storage for main + side queues, plus the
+    // spill state machine.
+    let markq = flop_bytes(cfg.markq_sram_bytes() as f64) * 1.08 + 0.015;
+    // Tracer: its TLB, the request generator and the tracer queue.
+    let entry = if cfg.compress { 4.0 } else { 8.0 };
+    let tracer =
+        tlb_area(cfg.tlb.l1_entries) + flop_bytes(cfg.tracer_queue as f64 * (entry + 4.0)) + 0.006;
+    // Marker: its TLB and the tag/address request slots (Fig. 13).
+    let marker = tlb_area(cfg.tlb.l1_entries) + flop_bytes(cfg.marker_slots as f64 * 12.0) + 0.004;
+    // PTW: shared L2 TLB (set-associative SRAM, not CAM) plus the
+    // 8 KiB PTW cache.
+    let l2_tlb = cfg.tlb.l2_entries as f64 * 16.0 / 1024.0 * SRAM_MM2_PER_KB * 2.0;
+    let ptw = l2_tlb
+        + sram_kb(cfg.tlb.ptw_cache.size_bytes as f64 / 1024.0) * 1.1
+        + 0.004;
+    // Block sweepers are tiny state machines; "a large part of the
+    // design is the cross-bar that connects them" (§IV-B).
+    let sweeper = 0.004 * cfg.sweepers as f64 + 0.002 * (cfg.sweepers * cfg.sweepers) as f64 / 4.0;
+    // MMIO, arbitration, misc control.
+    let other = 0.015;
+    let mut components = vec![
+        ("mark-queue".into(), markq),
+        ("tracer".into(), tracer),
+        ("marker".into(), marker),
+        ("ptw".into(), ptw),
+        ("sweeper".into(), sweeper),
+        ("other".into(), other),
+    ];
+    if cfg.markbit_cache > 0 {
+        components.push(("markbit-cache".into(), cam_bytes(cfg.markbit_cache as f64 * 9.0)));
+    }
+    AreaBreakdown { components }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_unit_is_about_18_5_percent_of_rocket() {
+        let unit = gc_unit_area(&GcUnitConfig::default()).total();
+        let core = rocket_core_area().total();
+        let ratio = unit / core;
+        assert!(
+            (0.15..=0.22).contains(&ratio),
+            "unit/core = {ratio:.3} (unit {unit:.3} mm², core {core:.3} mm²)"
+        );
+    }
+
+    #[test]
+    fn default_unit_is_about_64kb_of_sram() {
+        let unit = gc_unit_area(&GcUnitConfig::default()).total();
+        let sram64 = 64.0 * SRAM_MM2_PER_KB;
+        assert!(
+            (unit / sram64 - 1.0).abs() < 0.35,
+            "unit {unit:.3} vs 64KB SRAM {sram64:.3}"
+        );
+    }
+
+    #[test]
+    fn mark_queue_is_the_largest_unit_block() {
+        let unit = gc_unit_area(&GcUnitConfig::default());
+        assert_eq!(unit.largest(), "mark-queue");
+    }
+
+    #[test]
+    fn bigger_mark_queue_grows_the_unit() {
+        let small = gc_unit_area(&GcUnitConfig::default()).total();
+        let big = gc_unit_area(&GcUnitConfig {
+            markq_entries: 16 * 1024,
+            ..GcUnitConfig::default()
+        })
+        .total();
+        assert!(big > small * 2.0);
+    }
+
+    #[test]
+    fn compression_shrinks_the_mark_queue() {
+        let full = gc_unit_area(&GcUnitConfig::default());
+        let compressed = gc_unit_area(&GcUnitConfig {
+            compress: true,
+            ..GcUnitConfig::default()
+        });
+        assert!(compressed.component("mark-queue") < full.component("mark-queue"));
+    }
+
+    #[test]
+    fn more_sweepers_cost_quadratic_crossbar() {
+        let two = gc_unit_area(&GcUnitConfig::default()).component("sweeper");
+        let eight = gc_unit_area(&GcUnitConfig {
+            sweepers: 8,
+            ..GcUnitConfig::default()
+        })
+        .component("sweeper");
+        assert!(eight > two * 4.0, "crossbar should grow superlinearly");
+    }
+
+    #[test]
+    fn l2_is_comparable_to_the_core() {
+        // Fig. 22a: the 256 KiB L2 macro is of the same order as the
+        // whole Rocket core.
+        let ratio = l2_area() / rocket_core_area().total();
+        assert!((0.6..=1.4).contains(&ratio), "l2/core = {ratio:.2}");
+    }
+
+    #[test]
+    fn breakdown_component_lookup() {
+        let core = rocket_core_area();
+        assert!(core.component("l1-dcache") > 0.0);
+        assert_eq!(core.component("nonexistent"), 0.0);
+    }
+}

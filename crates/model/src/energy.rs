@@ -1,0 +1,180 @@
+//! Power and energy model (Fig. 23).
+//!
+//! Methodology follows §VI-C: "we collected DRAM-level counters for the
+//! GC pauses and ran them through MICRON's DDR3 Power Calculator
+//! spreadsheet. Power numbers for the GC unit and processor were taken
+//! from Design Compiler. Using these power numbers and execution times,
+//! we calculate the total energy." The paper concludes the unit's DRAM
+//! power is much higher (it sustains more bandwidth) but total energy is
+//! ~14.5% lower.
+
+use tracegc_sim::{Cycle, CLOCK_HZ};
+
+/// Which compute agent performed the GC phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agent {
+    /// The Rocket in-order core running the software collector.
+    RocketCore,
+    /// The GC accelerator.
+    GcUnit,
+}
+
+/// Energy/power constants (defaults: DC estimates for the 32/28 nm node
+/// plus Micron-calculator-style DDR3 coefficients).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Nominal active power of the Rocket core in mW.
+    pub core_active_mw: f64,
+    /// Activity factor of the core while running GC: the mark loop is
+    /// memory-bound, so the in-order core spends most cycles stalled
+    /// (the paper's DC numbers lack activity counters; Fig. 23 shows a
+    /// GC-time core power well below nominal).
+    pub core_gc_activity: f64,
+    /// Active power of the GC unit in mW.
+    pub unit_active_mw: f64,
+    /// DRAM background (standby + refresh) power in mW.
+    pub dram_background_mw: f64,
+    /// Energy per DRAM access — command/IO energy with the activate
+    /// amortized in, largely independent of the transfer size, which is
+    /// why the unit's many small requests cost it DRAM *power* — in nJ.
+    pub access_nj: f64,
+    /// Energy per DRAM activate command in nJ.
+    pub activate_nj: f64,
+    /// Transfer energy per byte moved, in nJ.
+    pub transfer_nj_per_byte: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            core_active_mw: 300.0,
+            core_gc_activity: 0.35,
+            unit_active_mw: 40.0,
+            dram_background_mw: 80.0,
+            access_nj: 9.0,
+            activate_nj: 2.0,
+            transfer_nj_per_byte: 0.02,
+        }
+    }
+}
+
+/// One phase's energy estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyEstimate {
+    /// Compute-side energy in mJ.
+    pub compute_mj: f64,
+    /// DRAM energy (background + activates + transfers) in mJ.
+    pub dram_mj: f64,
+    /// Average DRAM power over the phase in mW.
+    pub dram_power_mw: f64,
+    /// Phase duration in milliseconds.
+    pub duration_ms: f64,
+}
+
+impl EnergyEstimate {
+    /// Total energy in mJ.
+    pub fn total_mj(&self) -> f64 {
+        self.compute_mj + self.dram_mj
+    }
+
+    /// Average total power in mW.
+    pub fn total_power_mw(&self) -> f64 {
+        if self.duration_ms == 0.0 {
+            0.0
+        } else {
+            self.total_mj() / (self.duration_ms / 1000.0)
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Estimates the energy of a GC phase from the simulator's activity
+    /// counters.
+    pub fn pause_energy(
+        &self,
+        agent: Agent,
+        cycles: Cycle,
+        bytes_transferred: u64,
+        requests: u64,
+        activates: u64,
+    ) -> EnergyEstimate {
+        let seconds = cycles as f64 / CLOCK_HZ as f64;
+        let compute_mw = match agent {
+            Agent::RocketCore => self.core_active_mw * self.core_gc_activity,
+            Agent::GcUnit => self.unit_active_mw,
+        };
+        let compute_mj = compute_mw * seconds;
+        let dram_mj = self.dram_background_mw * seconds
+            + requests as f64 * self.access_nj * 1e-6
+            + activates as f64 * self.activate_nj * 1e-6
+            + bytes_transferred as f64 * self.transfer_nj_per_byte * 1e-6;
+        let duration_ms = seconds * 1e3;
+        let dram_power_mw = if seconds > 0.0 { dram_mj / seconds } else { 0.0 };
+        EnergyEstimate {
+            compute_mj,
+            dram_mj,
+            dram_power_mw,
+            duration_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Cycle = 1_000_000; // cycles per ms at 1 GHz
+
+    #[test]
+    fn faster_unit_with_same_traffic_uses_less_energy() {
+        let m = EnergyModel::default();
+        // Same bytes/activates, unit finishes 4x faster.
+        let cpu = m.pause_energy(Agent::RocketCore, 40 * MS, 100 << 20, 800_000, 200_000);
+        let unit = m.pause_energy(Agent::GcUnit, 10 * MS, 100 << 20, 800_000, 200_000);
+        assert!(unit.total_mj() < cpu.total_mj());
+    }
+
+    #[test]
+    fn unit_dram_power_is_higher_when_bandwidth_is_higher() {
+        // Fig. 23: "Due to its higher bandwidth, the GC Unit's DRAM
+        // power is much higher, but the overall energy is still lower."
+        let m = EnergyModel::default();
+        let cpu = m.pause_energy(Agent::RocketCore, 40 * MS, 100 << 20, 800_000, 200_000);
+        let unit = m.pause_energy(Agent::GcUnit, 10 * MS, 100 << 20, 800_000, 200_000);
+        assert!(unit.dram_power_mw > cpu.dram_power_mw);
+        assert!(unit.total_mj() < cpu.total_mj());
+    }
+
+    #[test]
+    fn energy_scales_with_duration() {
+        let m = EnergyModel::default();
+        let short = m.pause_energy(Agent::RocketCore, MS, 0, 0, 0);
+        let long = m.pause_energy(Agent::RocketCore, 10 * MS, 0, 0, 0);
+        assert!((long.total_mj() / short.total_mj() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfers_and_activates_add_energy() {
+        let m = EnergyModel::default();
+        let idle = m.pause_energy(Agent::GcUnit, MS, 0, 0, 0);
+        let busy = m.pause_energy(Agent::GcUnit, MS, 10 << 20, 200_000, 50_000);
+        assert!(busy.dram_mj > idle.dram_mj);
+        assert!(busy.compute_mj == idle.compute_mj);
+    }
+
+    #[test]
+    fn total_power_is_energy_over_time() {
+        let m = EnergyModel::default();
+        let e = m.pause_energy(Agent::RocketCore, 2 * MS, 1 << 20, 16_000, 1000);
+        let expected = e.total_mj() / 0.002;
+        assert!((e.total_power_mw() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_is_safe() {
+        let m = EnergyModel::default();
+        let e = m.pause_energy(Agent::GcUnit, 0, 0, 0, 0);
+        assert_eq!(e.total_mj(), 0.0);
+        assert_eq!(e.total_power_mw(), 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Deterministic cycle-level simulation primitives shared by every `tracegc`
+//! crate.
+//!
+//! The tracegc project models the ISCA 2018 garbage-collection accelerator as
+//! a set of explicitly ticked state machines operating against a timestamped
+//! memory system. This crate provides the vocabulary those models share:
+//!
+//! * [`Cycle`] — the global clock domain (1 GHz in the paper's Table I).
+//! * [`BoundedQueue`] — a fixed-capacity FIFO with back-pressure, the direct
+//!   analogue of a Chisel `Queue`.
+//! * [`stats`] — counters, histograms, latency percentiles and windowed
+//!   bandwidth time series used to regenerate the paper's figures.
+//! * [`dist`] — seeded random distributions (uniform, log-normal, Zipf) used
+//!   by the synthetic DaCapo workload generators.
+//!
+//! Everything in this crate is deterministic: given the same seed and the
+//! same sequence of calls, the results are bit-identical.
+//!
+//! # Examples
+//!
+//! ```
+//! use tracegc_sim::BoundedQueue;
+//!
+//! let mut q: BoundedQueue<u64> = BoundedQueue::new(2);
+//! assert!(q.try_push(1).is_ok());
+//! assert!(q.try_push(2).is_ok());
+//! assert!(q.try_push(3).is_err()); // back-pressure
+//! assert_eq!(q.pop(), Some(1));
+//! ```
+
+pub mod dist;
+pub mod queue;
+pub mod stats;
+
+pub use queue::BoundedQueue;
+pub use stats::{BandwidthMeter, Counter, Histogram, LatencyRecorder};
+
+/// A point in simulated time, measured in core clock cycles.
+///
+/// The paper's SoC runs at 1 GHz, so one cycle is one nanosecond; helper
+/// conversions live in [`cycles_to_ms`] and [`ns`].
+pub type Cycle = u64;
+
+/// The simulated core clock frequency in Hz (1 GHz, per Table I).
+pub const CLOCK_HZ: u64 = 1_000_000_000;
+
+/// Converts a cycle count to milliseconds at the simulated 1 GHz clock.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tracegc_sim::cycles_to_ms(2_000_000), 2.0);
+/// ```
+pub fn cycles_to_ms(cycles: Cycle) -> f64 {
+    cycles as f64 * 1e3 / CLOCK_HZ as f64
+}
+
+/// Converts a duration in nanoseconds to cycles at the simulated 1 GHz clock.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(tracegc_sim::ns(14), 14);
+/// ```
+pub const fn ns(nanos: u64) -> Cycle {
+    // 1 GHz: one cycle per nanosecond.
+    nanos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_to_ms_converts_at_one_ghz() {
+        assert_eq!(cycles_to_ms(0), 0.0);
+        assert_eq!(cycles_to_ms(1_000_000_000), 1000.0);
+        assert!((cycles_to_ms(1234) - 0.001234).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ns_is_identity_at_one_ghz() {
+        assert_eq!(ns(0), 0);
+        assert_eq!(ns(47), 47);
+    }
+}

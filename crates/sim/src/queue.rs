@@ -1,0 +1,215 @@
+//! Fixed-capacity FIFO queues with back-pressure.
+//!
+//! Hardware queues (Chisel `Queue`s) are the central structural element of
+//! the paper's traversal unit: the mark queue, the tracer queue and the
+//! spill `inQ`/`outQ` are all bounded FIFOs whose *fullness* drives control
+//! decisions (spilling, tracer throttling). [`BoundedQueue`] models exactly
+//! that: pushes fail when the queue is full and the caller must apply
+//! back-pressure.
+
+use std::collections::VecDeque;
+
+/// Error returned by [`BoundedQueue::try_push`] when the queue is full.
+///
+/// The rejected element is handed back so the caller can retry on a later
+/// cycle without cloning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull<T>(pub T);
+
+impl<T> std::fmt::Display for QueueFull<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "queue is full")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for QueueFull<T> {}
+
+/// A fixed-capacity FIFO with back-pressure, modelling a hardware queue.
+///
+/// Unlike `VecDeque`, pushing beyond the capacity is an error rather than a
+/// reallocation: hardware queues cannot grow, and the paper's spill logic
+/// (Fig. 12) exists precisely because the mark queue can fill up.
+///
+/// # Examples
+///
+/// ```
+/// use tracegc_sim::BoundedQueue;
+///
+/// let mut q = BoundedQueue::new(3);
+/// q.try_push("a").unwrap();
+/// q.try_push("b").unwrap();
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(q.pop(), Some("a"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    /// High-water mark: the largest occupancy ever observed.
+    peak: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates an empty queue holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero; a zero-entry hardware queue cannot
+    /// exist.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            peak: 0,
+        }
+    }
+
+    /// Attempts to append `item`; returns it back inside [`QueueFull`] when
+    /// the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] carrying the rejected element when full.
+    pub fn try_push(&mut self, item: T) -> Result<(), QueueFull<T>> {
+        if self.items.len() == self.capacity {
+            return Err(QueueFull(item));
+        }
+        self.items.push_back(item);
+        self.peak = self.peak.max(self.items.len());
+        Ok(())
+    }
+
+    /// Removes and returns the oldest element, or `None` when empty.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Returns a reference to the oldest element without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Number of elements currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity (pushes would fail).
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// The fixed capacity this queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Remaining slots before the queue is full.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// The largest occupancy ever observed (for sizing studies like Fig. 19).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Iterates over queued elements from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes all elements, leaving capacity and peak statistics intact.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl<T> Extend<T> for BoundedQueue<T> {
+    /// Extends the queue, silently dropping the remainder once full. Prefer
+    /// [`BoundedQueue::try_push`] in simulation code where back-pressure
+    /// matters; `extend` is a convenience for test setup.
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            if self.try_push(item).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let mut q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_returns_item() {
+        let mut q = BoundedQueue::new(1);
+        q.try_push(7).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.try_push(9), Err(QueueFull(9)));
+        // The original element is untouched.
+        assert_eq!(q.pop(), Some(7));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        q.pop();
+        q.pop();
+        q.try_push(4).unwrap();
+        assert_eq!(q.peak(), 3);
+    }
+
+    #[test]
+    fn free_slots_counts_down() {
+        let mut q = BoundedQueue::new(2);
+        assert_eq!(q.free_slots(), 2);
+        q.try_push(0).unwrap();
+        assert_eq!(q.free_slots(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn extend_stops_at_capacity() {
+        let mut q = BoundedQueue::new(3);
+        q.extend(0..10);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(0));
+    }
+
+    #[test]
+    fn clear_preserves_capacity() {
+        let mut q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 2);
+    }
+}

@@ -1,0 +1,402 @@
+//! Measurement instruments: counters, histograms, latency percentiles and
+//! windowed bandwidth meters.
+//!
+//! Each of the paper's evaluation figures is driven by one of these
+//! instruments: Fig. 16's bandwidth-over-time plot by [`BandwidthMeter`],
+//! Fig. 21a's object-access-frequency histogram by [`Histogram`], and
+//! Fig. 1b's query-latency CDF by [`LatencyRecorder`].
+
+use crate::Cycle;
+
+/// A named monotonic event counter.
+///
+/// # Examples
+///
+/// ```
+/// use tracegc_sim::Counter;
+///
+/// let mut marks = Counter::default();
+/// marks.add(3);
+/// marks.inc();
+/// assert_eq!(marks.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A linear-binned histogram over `u64` samples.
+///
+/// Samples beyond the last bin are accumulated in an overflow bin so no
+/// event is ever lost.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: u64,
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins of `bin_width` each, covering
+    /// `[0, bins * bin_width)`, plus an overflow bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` or `bins` is zero.
+    pub fn new(bin_width: u64, bins: usize) -> Self {
+        assert!(bin_width > 0, "bin width must be non-zero");
+        assert!(bins > 0, "bin count must be non-zero");
+        Self {
+            bin_width,
+            bins: vec![0; bins],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.bin_width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample recorded.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sample count in the bin covering `[i*w, (i+1)*w)`.
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins.get(i).copied().unwrap_or(0)
+    }
+
+    /// Sample count beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `(lower_bound, count)` pairs for every non-empty bin.
+    pub fn nonzero_bins(&self) -> Vec<(u64, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u64 * self.bin_width, c))
+            .collect()
+    }
+}
+
+/// Records individual latency samples and reports percentiles and CDFs.
+///
+/// Used for the paper's Fig. 1b (query latency CDF under GC pauses).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample (in any consistent unit).
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (0.0 ..= 100.0) by nearest-rank, or `None` when
+    /// empty.
+    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * (self.samples.len() as f64 - 1.0)).round() as usize;
+        Some(self.samples[rank])
+    }
+
+    /// The full cumulative distribution as `(value, fraction ≤ value)`
+    /// pairs, one per distinct sample value.
+    pub fn cdf(&mut self) -> Vec<(u64, f64)> {
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let v = self.samples[i];
+            let mut j = i;
+            while j < n && self.samples[j] == v {
+                j += 1;
+            }
+            out.push((v, j as f64 / n as f64));
+            i = j;
+        }
+        out
+    }
+
+    /// Mean of all samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+}
+
+/// Accumulates bytes transferred into fixed-width time windows, producing
+/// the bandwidth-over-time series of Fig. 16.
+///
+/// # Examples
+///
+/// ```
+/// use tracegc_sim::BandwidthMeter;
+///
+/// let mut meter = BandwidthMeter::new(1000); // 1000-cycle windows
+/// meter.record(10, 64);
+/// meter.record(1500, 64);
+/// let series = meter.series_gbps();
+/// assert_eq!(series.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandwidthMeter {
+    window: Cycle,
+    bytes_per_window: Vec<u64>,
+    total_bytes: u64,
+    last_cycle: Cycle,
+}
+
+impl BandwidthMeter {
+    /// Creates a meter with `window`-cycle accumulation windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: Cycle) -> Self {
+        assert!(window > 0, "window must be non-zero");
+        Self {
+            window,
+            bytes_per_window: Vec::new(),
+            total_bytes: 0,
+            last_cycle: 0,
+        }
+    }
+
+    /// Records `bytes` transferred at `cycle`.
+    pub fn record(&mut self, cycle: Cycle, bytes: u64) {
+        let idx = (cycle / self.window) as usize;
+        if idx >= self.bytes_per_window.len() {
+            self.bytes_per_window.resize(idx + 1, 0);
+        }
+        self.bytes_per_window[idx] += bytes;
+        self.total_bytes += bytes;
+        self.last_cycle = self.last_cycle.max(cycle);
+    }
+
+    /// Total bytes observed.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// The accumulation window size in cycles.
+    pub fn window(&self) -> Cycle {
+        self.window
+    }
+
+    /// Bandwidth per window in GB/s at the 1 GHz clock (bytes / window
+    /// cycles, scaled).
+    pub fn series_gbps(&self) -> Vec<f64> {
+        self.bytes_per_window
+            .iter()
+            .map(|&b| b as f64 / self.window as f64) // bytes per cycle == GB/s at 1 GHz
+            .collect()
+    }
+
+    /// Average bandwidth in GB/s over the `[0, last_cycle]` span.
+    pub fn average_gbps(&self) -> f64 {
+        if self.last_cycle == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.last_cycle as f64
+        }
+    }
+
+    /// Peak single-window bandwidth in GB/s.
+    pub fn peak_gbps(&self) -> f64 {
+        self.series_gbps().into_iter().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+        assert_eq!(c.to_string(), "11");
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(10, 4);
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(39);
+        h.record(40); // overflow
+        assert_eq!(h.bin(0), 2);
+        assert_eq!(h.bin(1), 1);
+        assert_eq!(h.bin(3), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 40);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::new(1, 8);
+        h.record(2);
+        h.record(4);
+        assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    fn histogram_nonzero_bins() {
+        let mut h = Histogram::new(5, 4);
+        h.record(7);
+        h.record(8);
+        let nz = h.nonzero_bins();
+        assert_eq!(nz, vec![(5, 2)]);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut r = LatencyRecorder::new();
+        for v in 1..=100 {
+            r.record(v);
+        }
+        assert_eq!(r.percentile(0.0), Some(1));
+        assert_eq!(r.percentile(100.0), Some(100));
+        assert_eq!(r.percentile(50.0), Some(51)); // nearest-rank on 0..=99 index
+        assert_eq!(r.max(), Some(100));
+    }
+
+    #[test]
+    fn latency_cdf_is_monotone_and_ends_at_one() {
+        let mut r = LatencyRecorder::new();
+        for v in [5u64, 1, 5, 9, 1] {
+            r.record(v);
+        }
+        let cdf = r.cdf();
+        assert_eq!(cdf.first().unwrap().0, 1);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn latency_empty_is_safe() {
+        let mut r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.percentile(50.0), None);
+        assert_eq!(r.mean(), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_meter_windows() {
+        let mut m = BandwidthMeter::new(100);
+        m.record(0, 50);
+        m.record(99, 50);
+        m.record(100, 200);
+        let s = m.series_gbps();
+        assert_eq!(s.len(), 2);
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert!((s[1] - 2.0).abs() < 1e-12);
+        assert_eq!(m.total_bytes(), 300);
+        assert!((m.peak_gbps() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the simulation primitives.
+
+use proptest::prelude::*;
+
+use tracegc_sim::dist::Zipf;
+use tracegc_sim::{BandwidthMeter, BoundedQueue, Histogram, LatencyRecorder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bounded_queue_is_fifo_and_lossless(
+        capacity in 1usize..64,
+        ops in proptest::collection::vec(any::<Option<u32>>(), 1..300),
+    ) {
+        let mut q = BoundedQueue::new(capacity);
+        let mut model = std::collections::VecDeque::new();
+        for op in &ops {
+            match op {
+                Some(v) => {
+                    let accepted = q.try_push(*v).is_ok();
+                    prop_assert_eq!(accepted, model.len() < capacity);
+                    if accepted {
+                        model.push_back(*v);
+                    }
+                }
+                None => {
+                    prop_assert_eq!(q.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_full(), model.len() == capacity);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_every_sample(
+        samples in proptest::collection::vec(0u64..1000, 1..200),
+        bin_width in 1u64..50,
+    ) {
+        let mut h = Histogram::new(bin_width, 16);
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let binned: u64 = (0..16).map(|i| h.bin(i)).sum::<u64>() + h.overflow();
+        prop_assert_eq!(binned, samples.len() as u64);
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+    }
+
+    #[test]
+    fn percentiles_are_monotone(
+        samples in proptest::collection::vec(0u64..100_000, 2..300),
+    ) {
+        let mut r = LatencyRecorder::new();
+        for &s in &samples {
+            r.record(s);
+        }
+        let mut last = 0;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = r.percentile(p).unwrap();
+            prop_assert!(v >= last, "p{p} = {v} < previous {last}");
+            last = v;
+        }
+        prop_assert_eq!(r.percentile(100.0), Some(*samples.iter().max().unwrap()));
+    }
+
+    #[test]
+    fn cdf_is_a_distribution(
+        samples in proptest::collection::vec(0u64..1000, 1..200),
+    ) {
+        let mut r = LatencyRecorder::new();
+        for &s in &samples {
+            r.record(s);
+        }
+        let cdf = r.cdf();
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 < w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn bandwidth_meter_conserves_bytes(
+        events in proptest::collection::vec((0u64..1 << 20, 1u64..128), 1..200),
+        window in 1u64..100_000,
+    ) {
+        let mut m = BandwidthMeter::new(window);
+        let mut total = 0;
+        for (cycle, bytes) in &events {
+            m.record(*cycle, *bytes);
+            total += bytes;
+        }
+        prop_assert_eq!(m.total_bytes(), total);
+        let series_total: f64 = m.series_gbps().iter().sum::<f64>() * window as f64;
+        prop_assert!((series_total - total as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zipf_is_a_valid_distribution(n in 1usize..500, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        // Monotone non-increasing popularity.
+        for r in 1..n {
+            prop_assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12);
+        }
+    }
+}

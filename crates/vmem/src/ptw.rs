@@ -1,0 +1,375 @@
+//! The translation pipeline: per-requester L1 TLBs, a shared L2 TLB, and
+//! the (by default blocking) page-table walker with its 8 KiB cache.
+//!
+//! §VI-A: "as the TLB and page table walker are blocking, TLB misses can
+//! serialize execution. Future work should therefore introduce a
+//! non-blocking TLB that can perform multiple page-table walks
+//! concurrently while still serving requests that hit in the TLB." Both
+//! behaviours are implemented: [`TlbConfig::concurrent_walks`] = 1 is the
+//! paper's prototype; larger values are the proposed extension measured
+//! by the `ablC` ablation.
+
+use tracegc_mem::cache::MemBacking;
+use tracegc_mem::{Cache, CacheConfig, MemSystem, PhysMem, Source};
+use tracegc_sim::Cycle;
+
+use crate::pagetable::AddressSpace;
+use crate::tlb::Tlb;
+
+/// Which unit is asking for a translation. Each requester owns a private
+/// L1 TLB, mirroring the marker/tracer split in the paper's Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Requester {
+    /// The traversal unit's marker.
+    Marker,
+    /// The traversal unit's tracer.
+    Tracer,
+    /// A reclamation-unit block sweeper.
+    Sweeper,
+    /// The CPU core's data accesses.
+    Cpu,
+}
+
+impl Requester {
+    fn index(self) -> usize {
+        match self {
+            Requester::Marker => 0,
+            Requester::Tracer => 1,
+            Requester::Sweeper => 2,
+            Requester::Cpu => 3,
+        }
+    }
+
+    /// Number of distinct requesters.
+    pub const COUNT: usize = 4;
+}
+
+/// TLB/PTW sizing (defaults = the paper's prototype).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Entries in each requester's private L1 TLB (paper: 32).
+    pub l1_entries: usize,
+    /// Entries in the shared L2 TLB (paper: 128).
+    pub l2_entries: usize,
+    /// Added latency of an L2 TLB hit.
+    pub l2_hit_latency: Cycle,
+    /// Concurrent page-table walks (1 = the paper's blocking PTW).
+    pub concurrent_walks: usize,
+    /// Whether a requester's pipeline freezes during its own walk (the
+    /// paper's prototype; §VI-A). `false` models the proposed
+    /// non-blocking TLB "that can perform multiple page-table walks
+    /// concurrently while still serving requests that hit in the TLB".
+    pub blocking_requesters: bool,
+    /// Geometry of the PTW's dedicated cache (paper: 8 KiB).
+    pub ptw_cache: CacheConfig,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        Self {
+            l1_entries: 32,
+            l2_entries: 128,
+            l2_hit_latency: 4,
+            concurrent_walks: 1,
+            blocking_requesters: true,
+            ptw_cache: CacheConfig::ptw_cache(),
+        }
+    }
+}
+
+/// A translation attempt on an unmapped address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslateFault {
+    /// The faulting virtual address.
+    pub va: u64,
+}
+
+impl std::fmt::Display for TranslateFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page fault at virtual address {:#x}", self.va)
+    }
+}
+
+impl std::error::Error for TranslateFault {}
+
+/// Translation statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TranslatorStats {
+    /// L1 TLB hits across all requesters.
+    pub l1_hits: u64,
+    /// Shared L2 TLB hits.
+    pub l2_hits: u64,
+    /// Full page-table walks performed.
+    pub walks: u64,
+    /// Cycles some requester spent waiting for a busy walker (the
+    /// serialization the paper calls out).
+    pub walker_wait_cycles: u64,
+}
+
+/// The shared translation machinery of the traversal unit (and, reused,
+/// of the CPU model).
+#[derive(Debug)]
+pub struct Translator {
+    aspace: AddressSpace,
+    cfg: TlbConfig,
+    l1: Vec<Tlb>,
+    l2: Tlb,
+    /// `Some` between calls; taken while a walk borrows it.
+    ptw_cache: Option<Cache>,
+    /// Completion times of in-flight walks (bounded by
+    /// `concurrent_walks`).
+    walks_inflight: Vec<Cycle>,
+    stats: TranslatorStats,
+}
+
+impl Translator {
+    /// Creates the translator for `aspace`.
+    pub fn new(aspace: AddressSpace, cfg: TlbConfig) -> Self {
+        Self {
+            aspace,
+            l1: (0..Requester::COUNT).map(|_| Tlb::new(cfg.l1_entries)).collect(),
+            l2: Tlb::new(cfg.l2_entries),
+            ptw_cache: Some(Cache::new(cfg.ptw_cache)),
+            walks_inflight: Vec::new(),
+            cfg,
+            stats: TranslatorStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TranslatorStats {
+        self.stats
+    }
+
+    /// Statistics of the PTW cache (Fig. 18a's dominant requester).
+    pub fn ptw_cache_stats(&self) -> &tracegc_mem::CacheStats {
+        self.ptw_cache
+            .as_ref()
+            .expect("PTW cache present between calls")
+            .stats()
+    }
+
+    /// Drops all TLB contents (address-space switch / new GC pass).
+    pub fn flush(&mut self) {
+        for tlb in &mut self.l1 {
+            tlb.flush();
+        }
+        self.l2.flush();
+        self.walks_inflight.clear();
+    }
+
+    /// Translates `va` for `who` starting at `now`.
+    ///
+    /// Returns the physical address and the cycle at which it is
+    /// available. TLB hits cost nothing (L1) or `l2_hit_latency`; misses
+    /// walk the real page table in `phys` through the PTW cache, issuing
+    /// PTE fills into `mem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateFault`] when `va` is unmapped.
+    pub fn translate(
+        &mut self,
+        who: Requester,
+        va: u64,
+        now: Cycle,
+        mem: &mut MemSystem,
+        phys: &PhysMem,
+    ) -> Result<(u64, Cycle), TranslateFault> {
+        let mut cache = self.ptw_cache.take().expect("PTW cache present");
+        let result = self.translate_with_cache(who, va, now, mem, phys, &mut cache);
+        self.ptw_cache = Some(cache);
+        result
+    }
+
+    /// Like [`Translator::translate`], but PTE reads go through a
+    /// caller-supplied cache — the traversal unit's *shared* cache in the
+    /// unpartitioned configuration of Fig. 18a.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateFault`] when `va` is unmapped.
+    pub fn translate_with_cache(
+        &mut self,
+        who: Requester,
+        va: u64,
+        now: Cycle,
+        mem: &mut MemSystem,
+        phys: &PhysMem,
+        ptw_cache: &mut Cache,
+    ) -> Result<(u64, Cycle), TranslateFault> {
+        if let Some(pa) = self.l1[who.index()].lookup(va) {
+            self.stats.l1_hits += 1;
+            return Ok((pa, now));
+        }
+        if let Some(pa) = self.l2.lookup(va) {
+            self.stats.l2_hits += 1;
+            self.l1[who.index()].insert(va, pa);
+            return Ok((pa, now + self.cfg.l2_hit_latency));
+        }
+
+        // Walk. The walker has a bounded number of concurrent walks; the
+        // paper's prototype has exactly one, serializing misses.
+        let mut start = now + self.cfg.l2_hit_latency;
+        self.walks_inflight.retain(|&t| t > start);
+        if self.walks_inflight.len() >= self.cfg.concurrent_walks {
+            let earliest = *self
+                .walks_inflight
+                .iter()
+                .min()
+                .expect("inflight walks non-empty");
+            self.stats.walker_wait_cycles += earliest.saturating_sub(start);
+            start = earliest;
+            self.walks_inflight.retain(|&t| t > start);
+        }
+
+        let path = self.aspace.walk_path(phys, va);
+        let mut t = start;
+        for &pte_pa in &path {
+            let mut backing = MemBacking {
+                mem,
+                source: Source::Ptw,
+            };
+            t = ptw_cache.access(pte_pa, false, t, Source::Ptw, &mut backing);
+        }
+        self.stats.walks += 1;
+        self.walks_inflight.push(t);
+
+        let (pa, page_bytes) = self
+            .aspace
+            .translate_entry(phys, va)
+            .ok_or(TranslateFault { va })?;
+        // Superpage mappings install reach-appropriate TLB entries.
+        self.l2.insert_sized(va, pa, page_bytes);
+        self.l1[who.index()].insert_sized(va, pa, page_bytes);
+        Ok((pa, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagetable::{FrameAlloc, PAGE_SIZE};
+
+    fn setup(pages: u64) -> (PhysMem, AddressSpace, MemSystem, u64) {
+        let mut phys = PhysMem::new(64 * 1024 * 1024);
+        let mut falloc = FrameAlloc::new(0, 64 * 1024 * 1024);
+        let aspace = AddressSpace::new(&mut phys, &mut falloc);
+        let base_va = 0x4000_0000;
+        aspace.map_range(&mut phys, &mut falloc, base_va, pages * PAGE_SIZE);
+        let mem = MemSystem::pipe(Default::default());
+        (phys, aspace, mem, base_va)
+    }
+
+    #[test]
+    fn translation_matches_oracle() {
+        let (phys, aspace, mut mem, base) = setup(16);
+        let mut tr = Translator::new(aspace, TlbConfig::default());
+        for i in 0..16 {
+            let va = base + i * PAGE_SIZE + 0x18;
+            let (pa, _) = tr.translate(Requester::Marker, va, 0, &mut mem, &phys).unwrap();
+            assert_eq!(Some(pa), aspace.translate(&phys, va));
+        }
+    }
+
+    #[test]
+    fn l1_hit_is_free_after_first_walk() {
+        let (phys, aspace, mut mem, base) = setup(1);
+        let mut tr = Translator::new(aspace, TlbConfig::default());
+        let (_, t1) = tr.translate(Requester::Marker, base, 0, &mut mem, &phys).unwrap();
+        assert!(t1 > 0, "first access walks");
+        let (_, t2) = tr
+            .translate(Requester::Marker, base + 8, t1, &mut mem, &phys)
+            .unwrap();
+        assert_eq!(t2, t1, "L1 hit adds no latency");
+        assert_eq!(tr.stats().walks, 1);
+        assert_eq!(tr.stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn l2_serves_cross_requester_sharing() {
+        let (phys, aspace, mut mem, base) = setup(1);
+        let mut tr = Translator::new(aspace, TlbConfig::default());
+        tr.translate(Requester::Marker, base, 0, &mut mem, &phys).unwrap();
+        let (_, t) = tr
+            .translate(Requester::Tracer, base, 1000, &mut mem, &phys)
+            .unwrap();
+        assert_eq!(t, 1000 + tr.config().l2_hit_latency);
+        assert_eq!(tr.stats().walks, 1);
+        assert_eq!(tr.stats().l2_hits, 1);
+    }
+
+    #[test]
+    fn blocking_walker_serializes_misses() {
+        let (phys, aspace, mut mem, base) = setup(64);
+        let blocking = TlbConfig::default();
+        let mut tr = Translator::new(aspace, blocking);
+        // Two misses presented at the same cycle: second waits.
+        let (_, t0) = tr.translate(Requester::Marker, base, 0, &mut mem, &phys).unwrap();
+        let (_, t1) = tr
+            .translate(Requester::Tracer, base + PAGE_SIZE, 0, &mut mem, &phys)
+            .unwrap();
+        assert!(t1 >= t0, "second walk must wait for the first");
+        assert!(tr.stats().walker_wait_cycles > 0);
+    }
+
+    #[test]
+    fn nonblocking_walker_overlaps_misses() {
+        let (phys, aspace, mut mem, base) = setup(64);
+        let cfg = TlbConfig {
+            concurrent_walks: 4,
+            ..TlbConfig::default()
+        };
+        let mut tr = Translator::new(aspace, cfg);
+        let (_, t0) = tr.translate(Requester::Marker, base, 0, &mut mem, &phys).unwrap();
+        let (_, t1) = tr
+            .translate(Requester::Tracer, base + PAGE_SIZE, 0, &mut mem, &phys)
+            .unwrap();
+        // With PTW-cache hits on the upper levels, the second walk's
+        // completion should be well before a fully serialized walk.
+        assert!(t1 < t0 * 2, "walks should overlap: {t0} {t1}");
+        assert_eq!(tr.stats().walker_wait_cycles, 0);
+    }
+
+    #[test]
+    fn fault_on_unmapped() {
+        let (phys, aspace, mut mem, _) = setup(1);
+        let mut tr = Translator::new(aspace, TlbConfig::default());
+        let err = tr
+            .translate(Requester::Marker, 0xdead_0000, 0, &mut mem, &phys)
+            .unwrap_err();
+        assert_eq!(err.va, 0xdead_0000);
+    }
+
+    #[test]
+    fn flush_forces_rewalk() {
+        let (phys, aspace, mut mem, base) = setup(1);
+        let mut tr = Translator::new(aspace, TlbConfig::default());
+        tr.translate(Requester::Marker, base, 0, &mut mem, &phys).unwrap();
+        tr.flush();
+        tr.translate(Requester::Marker, base, 100, &mut mem, &phys).unwrap();
+        assert_eq!(tr.stats().walks, 2);
+    }
+
+    #[test]
+    fn ptw_cache_absorbs_upper_levels() {
+        let (phys, aspace, mut mem, base) = setup(64);
+        let mut tr = Translator::new(aspace, TlbConfig::default());
+        let mut t = 0;
+        for i in 0..64 {
+            let (_, done) = tr
+                .translate(Requester::Marker, base + i * PAGE_SIZE, t, &mut mem, &phys)
+                .unwrap();
+            t = done;
+        }
+        // 64 walks * 3 levels = 192 PTE reads, but the root/interior PTEs
+        // are cached: far fewer than 192 memory requests.
+        let ptw_fills = mem.stats().requests(Source::Ptw);
+        assert!(ptw_fills < 64, "PTW cache ineffective: {ptw_fills} fills");
+    }
+}

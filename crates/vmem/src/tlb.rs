@@ -1,0 +1,242 @@
+//! Fully-associative LRU translation look-aside buffers.
+//!
+//! The traversal unit carries 32-entry L1 TLBs in the marker and tracer
+//! and a 128-entry shared L2 TLB (§VI-A). At these sizes hardware TLBs
+//! are fully associative; the model is a simple LRU map from virtual page
+//! number to physical page number.
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// VA of the mapping's base (aligned to its page size).
+    base_va: u64,
+    /// PA of the mapping's base.
+    base_pa: u64,
+    /// Page size in bytes (4 KiB entries by default; 2 MiB for
+    /// superpages, §VII).
+    page_bytes: u64,
+    last_use: u64,
+}
+
+/// A fully-associative, LRU-replaced TLB.
+///
+/// # Examples
+///
+/// ```
+/// use tracegc_vmem::Tlb;
+///
+/// let mut tlb = Tlb::new(2);
+/// tlb.insert(0x4000_0000, 0x1000);
+/// assert_eq!(tlb.lookup(0x4000_0123), Some(0x1123));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<Entry>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be non-zero");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `va`; on a hit returns the full physical address.
+    pub fn lookup(&mut self, va: u64) -> Option<u64> {
+        self.clock += 1;
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| va & !(e.page_bytes - 1) == e.base_va)
+        {
+            e.last_use = self.clock;
+            self.hits += 1;
+            Some(e.base_pa + (va & (e.page_bytes - 1)))
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Installs a 4 KiB translation for the page containing `va`,
+    /// evicting the LRU entry when full.
+    pub fn insert(&mut self, va: u64, pa: u64) {
+        self.insert_sized(va, pa, crate::PAGE_SIZE);
+    }
+
+    /// Installs a translation with an explicit page size (superpage
+    /// entries cover far more reach per TLB slot — the §VII argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is not a power of two.
+    pub fn insert_sized(&mut self, va: u64, pa: u64, page_bytes: u64) {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        self.clock += 1;
+        let base_va = va & !(page_bytes - 1);
+        let base_pa = pa & !(page_bytes - 1);
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.base_va == base_va && e.page_bytes == page_bytes)
+        {
+            e.base_pa = base_pa;
+            e.last_use = self.clock;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i)
+                .expect("full TLB is non-empty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push(Entry {
+            base_va,
+            base_pa,
+            page_bytes,
+            last_use: self.clock,
+        });
+    }
+
+    /// Drops every entry (e.g. on address-space switch).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGE_SIZE;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(0x4000_0000, 7 * PAGE_SIZE);
+        assert_eq!(tlb.lookup(0x4000_0ab0), Some(7 * PAGE_SIZE + 0xab0));
+        assert_eq!(tlb.hits(), 1);
+    }
+
+    #[test]
+    fn miss_on_unknown_page() {
+        let mut tlb = Tlb::new(4);
+        assert_eq!(tlb.lookup(0x1000), None);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(0 * PAGE_SIZE, 0);
+        tlb.insert(1 * PAGE_SIZE, PAGE_SIZE);
+        // Touch page 0 so page 1 becomes LRU.
+        tlb.lookup(0);
+        tlb.insert(2 * PAGE_SIZE, 2 * PAGE_SIZE);
+        assert!(tlb.lookup(0).is_some());
+        assert!(tlb.lookup(1 * PAGE_SIZE).is_none());
+        assert!(tlb.lookup(2 * PAGE_SIZE).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_mapping() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(0, 0);
+        tlb.insert(0, 5 * PAGE_SIZE);
+        assert_eq!(tlb.lookup(0x10), Some(5 * PAGE_SIZE + 0x10));
+        assert_eq!(tlb.len(), 1);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(0, 0);
+        tlb.flush();
+        assert!(tlb.is_empty());
+        assert_eq!(tlb.lookup(0), None);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut tlb = Tlb::new(3);
+        for i in 0..10u64 {
+            tlb.insert(i * PAGE_SIZE, i * PAGE_SIZE);
+        }
+        assert_eq!(tlb.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod superpage_tests {
+    use super::*;
+    use crate::pagetable::MEGAPAGE_SIZE;
+    use crate::PAGE_SIZE;
+
+    #[test]
+    fn one_superpage_entry_covers_two_mib() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert_sized(0x4000_0000, 0x80_0000, MEGAPAGE_SIZE);
+        // Any 4 KiB page inside the megapage hits the single entry.
+        for off in [0u64, PAGE_SIZE, 511 * PAGE_SIZE, MEGAPAGE_SIZE - 8] {
+            assert_eq!(
+                tlb.lookup(0x4000_0000 + off),
+                Some(0x80_0000 + off),
+                "offset {off:#x}"
+            );
+        }
+        assert_eq!(tlb.lookup(0x4000_0000 + MEGAPAGE_SIZE), None);
+        assert_eq!(tlb.len(), 1);
+    }
+
+    #[test]
+    fn mixed_sizes_coexist() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert_sized(0, 0x10_0000, PAGE_SIZE);
+        tlb.insert_sized(MEGAPAGE_SIZE, 0x80_0000, MEGAPAGE_SIZE);
+        assert_eq!(tlb.lookup(0x10), Some(0x10_0010));
+        assert_eq!(tlb.lookup(MEGAPAGE_SIZE + 0x1234), Some(0x80_1234));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_page_panics() {
+        let mut tlb = Tlb::new(1);
+        tlb.insert_sized(0, 0, 3000);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for virtual memory: the timed translator always
+//! agrees with the page-table oracle, for arbitrary mappings and access
+//! orders.
+
+use proptest::prelude::*;
+
+use tracegc_mem::{Cache, CacheConfig, MemSystem, PhysMem};
+use tracegc_vmem::{AddressSpace, FrameAlloc, Requester, Tlb, TlbConfig, Translator, PAGE_SIZE};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn translator_matches_oracle_for_random_access_orders(
+        pages in 1u64..64,
+        accesses in proptest::collection::vec((0u64..64, 0u64..4096), 1..200),
+        l1 in 1usize..64,
+        l2 in 1usize..256,
+        walks in 1usize..4,
+    ) {
+        let mut phys = PhysMem::new(32 << 20);
+        let mut falloc = FrameAlloc::new(0, 32 << 20);
+        let aspace = AddressSpace::new(&mut phys, &mut falloc);
+        let base = 0x4000_0000u64;
+        aspace.map_range(&mut phys, &mut falloc, base, pages * PAGE_SIZE);
+
+        let cfg = TlbConfig {
+            l1_entries: l1,
+            l2_entries: l2,
+            concurrent_walks: walks,
+            ..TlbConfig::default()
+        };
+        let mut tr = Translator::new(aspace, cfg);
+        let mut mem = MemSystem::pipe(Default::default());
+        let mut now = 0;
+        for (page, offset) in &accesses {
+            let va = base + (page % pages) * PAGE_SIZE + (offset & !7);
+            let (pa, t) = tr
+                .translate(Requester::Marker, va, now, &mut mem, &phys)
+                .expect("mapped");
+            prop_assert_eq!(Some(pa), aspace.translate(&phys, va));
+            prop_assert!(t >= now);
+            now = t;
+        }
+    }
+
+    #[test]
+    fn tlb_never_returns_a_wrong_translation(
+        inserts in proptest::collection::vec((0u64..128, 0u64..128), 1..200),
+        lookups in proptest::collection::vec(0u64..128, 1..200),
+        capacity in 1usize..32,
+    ) {
+        let mut tlb = Tlb::new(capacity);
+        let mut truth = std::collections::HashMap::new();
+        for (vpn, ppn) in &inserts {
+            tlb.insert(vpn * PAGE_SIZE, ppn * PAGE_SIZE);
+            truth.insert(*vpn, *ppn);
+        }
+        for vpn in &lookups {
+            if let Some(pa) = tlb.lookup(vpn * PAGE_SIZE + 8) {
+                // A hit must agree with the last inserted mapping.
+                prop_assert_eq!(pa, truth[vpn] * PAGE_SIZE + 8);
+            }
+        }
+    }
+
+    #[test]
+    fn tlb_capacity_is_never_exceeded(
+        inserts in proptest::collection::vec(0u64..256, 1..300),
+        capacity in 1usize..16,
+    ) {
+        let mut tlb = Tlb::new(capacity);
+        for vpn in &inserts {
+            tlb.insert(vpn * PAGE_SIZE, vpn * PAGE_SIZE);
+            prop_assert!(tlb.len() <= capacity);
+        }
+    }
+
+    #[test]
+    fn walk_path_lengths_are_bounded(
+        pages in 1u64..32,
+        probe in 0u64..64,
+    ) {
+        let mut phys = PhysMem::new(16 << 20);
+        let mut falloc = FrameAlloc::new(0, 16 << 20);
+        let aspace = AddressSpace::new(&mut phys, &mut falloc);
+        let base = 0x4000_0000u64;
+        aspace.map_range(&mut phys, &mut falloc, base, pages * PAGE_SIZE);
+        let path = aspace.walk_path(&phys, base + probe * PAGE_SIZE);
+        prop_assert!((1..=3).contains(&path.len()));
+        if probe < pages {
+            prop_assert_eq!(path.len(), 3, "mapped page must walk to the leaf");
+        }
+    }
+}
+
+#[test]
+fn translator_uses_external_cache_identically() {
+    // translate() and translate_with_cache() must produce the same
+    // physical addresses (timing may differ with cache geometry).
+    let mut phys = PhysMem::new(16 << 20);
+    let mut falloc = FrameAlloc::new(0, 16 << 20);
+    let aspace = AddressSpace::new(&mut phys, &mut falloc);
+    let base = 0x4000_0000u64;
+    aspace.map_range(&mut phys, &mut falloc, base, 8 * PAGE_SIZE);
+    let mut internal = Translator::new(aspace, TlbConfig::default());
+    let mut external = Translator::new(aspace, TlbConfig::default());
+    let mut shared = Cache::new(CacheConfig::hwgc_shared());
+    let mut mem = MemSystem::pipe(Default::default());
+    for i in 0..8 {
+        let va = base + i * PAGE_SIZE + 16;
+        let (pa1, _) = internal
+            .translate(Requester::Tracer, va, 0, &mut mem, &phys)
+            .unwrap();
+        let (pa2, _) = external
+            .translate_with_cache(Requester::Tracer, va, 0, &mut mem, &phys, &mut shared)
+            .unwrap();
+        assert_eq!(pa1, pa2);
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic DaCapo-inspired workloads.
+//!
+//! The paper evaluates on six DaCapo benchmarks (avrora, luindex,
+//! lusearch, pmd, sunflow, xalan) running on JikesRVM with the *small*
+//! input size and a 200 MB heap cap (§VI-A). We cannot run Java here, so
+//! this crate generates heaps whose *shape* matches what the traversal
+//! and reclamation work depends on: object count, size distribution,
+//! out-degree distribution, reference-popularity skew (a ~56-object hot
+//! set receiving ~10% of mark operations, Fig. 21a), live fraction, and
+//! the relative scale of the six benchmarks. Everything is seeded and
+//! deterministic.
+//!
+//! Scale substitution (documented in DESIGN.md): heaps are ~10× smaller
+//! than the paper's so that full cycle-level simulation of every pause
+//! runs quickly; all reported comparisons are unit-vs-CPU ratios, which
+//! are scale-stable.
+//!
+//! The crate also provides the mutator-churn model used for multi-pause
+//! runs and the lusearch query-latency simulation behind Fig. 1b.
+
+pub mod generate;
+pub mod queries;
+pub mod spec;
+
+pub use generate::{churn, generate_heap, WorkloadHeap};
+pub use queries::{QueryLatencySim, QueryLatencySpec};
+pub use spec::{BenchSpec, DACAPO};

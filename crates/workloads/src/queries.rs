@@ -1,0 +1,185 @@
+//! The lusearch query-latency simulation behind Fig. 1b.
+//!
+//! The paper "took the lusearch DaCapo benchmark (which simulates
+//! interactive requests to the Lucene search engine) and recorded
+//! request latencies of a 10K query run (discarding the first 1K queries
+//! for warm-up), assuming that a request is issued every 100 ms and
+//! accounting for coordinated omission" (§II). The result: without GC
+//! most requests complete quickly, but GC pauses introduce stragglers
+//! two orders of magnitude longer than the average request.
+//!
+//! This module reproduces that experiment as a single-server FIFO queue:
+//! queries arrive on a fixed schedule, service times are log-normal, and
+//! GC pauses (whose lengths come from the *measured* collector pauses)
+//! block the server. Latency is measured from the *intended* issue time
+//! — the coordinated-omission correction.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tracegc_sim::dist::log_normal;
+use tracegc_sim::LatencyRecorder;
+
+/// Parameters of the query experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryLatencySpec {
+    /// Total queries issued (paper: 10,000).
+    pub total_queries: usize,
+    /// Warm-up queries discarded (paper: 1,000).
+    pub warmup_queries: usize,
+    /// Microseconds between intended query issues (paper: 100 ms).
+    pub inter_arrival_us: u64,
+    /// Log-normal `mu` of service time in microseconds.
+    pub service_mu: f64,
+    /// Log-normal `sigma` of service time.
+    pub service_sigma: f64,
+    /// Queries processed between two GC pauses (allocation-driven).
+    pub queries_per_gc: usize,
+    /// Seed for service-time randomness.
+    pub seed: u64,
+}
+
+impl Default for QueryLatencySpec {
+    fn default() -> Self {
+        Self {
+            total_queries: 10_000,
+            warmup_queries: 1_000,
+            inter_arrival_us: 100_000,
+            service_mu: 8.3, // e^8.3 us ~ 4 ms median service
+            service_sigma: 0.5,
+            queries_per_gc: 120,
+            seed: 0x1b,
+        }
+    }
+}
+
+/// The query-latency simulator.
+#[derive(Debug)]
+pub struct QueryLatencySim {
+    spec: QueryLatencySpec,
+}
+
+impl QueryLatencySim {
+    /// Creates the simulator.
+    pub fn new(spec: QueryLatencySpec) -> Self {
+        Self { spec }
+    }
+
+    /// Runs the experiment with the given GC pause length (µs), cycling
+    /// through `pause_lengths_us` each time a GC triggers. Returns
+    /// latencies in microseconds (post-warm-up only) and, separately,
+    /// which recorded queries were "close to a pause" (the paper's
+    /// Fig. 1b colors queries by pause proximity).
+    ///
+    /// Passing an empty slice simulates the no-GC baseline.
+    pub fn run(&self, pause_lengths_us: &[u64]) -> (LatencyRecorder, Vec<bool>) {
+        let spec = &self.spec;
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut recorder = LatencyRecorder::new();
+        let mut near_pause = Vec::new();
+        let mut server_free_at: u64 = 0;
+        let mut queries_since_gc = 0usize;
+        let mut pause_idx = 0usize;
+
+        for q in 0..spec.total_queries {
+            let intended = q as u64 * spec.inter_arrival_us;
+            // GC triggers by allocation, i.e. by queries processed.
+            let mut hit_pause = false;
+            if !pause_lengths_us.is_empty() && queries_since_gc >= spec.queries_per_gc {
+                let pause = pause_lengths_us[pause_idx % pause_lengths_us.len()];
+                pause_idx += 1;
+                // The pause begins when the server would next be free.
+                let pause_start = server_free_at.max(intended);
+                server_free_at = pause_start + pause;
+                queries_since_gc = 0;
+                hit_pause = true;
+            }
+            let service = log_normal(&mut rng, spec.service_mu, spec.service_sigma) as u64;
+            let start = server_free_at.max(intended);
+            let done = start + service;
+            server_free_at = done;
+            queries_since_gc += 1;
+            if q >= spec.warmup_queries {
+                // Coordinated omission: latency from the intended issue.
+                recorder.record(done - intended);
+                near_pause.push(hit_pause || start > intended);
+            }
+        }
+        (recorder, near_pause)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> QueryLatencySpec {
+        QueryLatencySpec {
+            total_queries: 2_000,
+            warmup_queries: 200,
+            ..QueryLatencySpec::default()
+        }
+    }
+
+    #[test]
+    fn no_gc_baseline_has_no_long_tail() {
+        let sim = QueryLatencySim::new(small_spec());
+        let (mut lat, _) = sim.run(&[]);
+        let p50 = lat.percentile(50.0).unwrap();
+        let p999 = lat.percentile(99.9).unwrap();
+        // Without GC the tail is within one order of magnitude.
+        assert!(p999 < p50 * 10, "p50={p50} p999={p999}");
+    }
+
+    #[test]
+    fn gc_pauses_create_stragglers() {
+        let sim = QueryLatencySim::new(small_spec());
+        let (mut no_gc, _) = sim.run(&[]);
+        // 150 ms pauses, as a stop-the-world collector would produce.
+        let (mut with_gc, _) = sim.run(&[150_000]);
+        let base_p50 = no_gc.percentile(50.0).unwrap();
+        let tail = with_gc.percentile(99.5).unwrap();
+        // The paper: stragglers "two orders of magnitude longer than the
+        // average request".
+        assert!(
+            tail > base_p50 * 20,
+            "GC tail should dwarf the median: {tail} vs {base_p50}"
+        );
+        // But the median is barely affected.
+        let gc_p50 = with_gc.percentile(50.0).unwrap();
+        assert!(gc_p50 < base_p50 * 3);
+    }
+
+    #[test]
+    fn shorter_pauses_shrink_the_tail() {
+        let sim = QueryLatencySim::new(small_spec());
+        let (mut long, _) = sim.run(&[150_000]);
+        let (mut short, _) = sim.run(&[15_000]);
+        assert!(short.percentile(99.5).unwrap() < long.percentile(99.5).unwrap());
+    }
+
+    #[test]
+    fn warmup_is_discarded() {
+        let spec = small_spec();
+        let sim = QueryLatencySim::new(spec);
+        let (lat, flags) = sim.run(&[]);
+        assert_eq!(lat.len(), spec.total_queries - spec.warmup_queries);
+        assert_eq!(flags.len(), lat.len());
+    }
+
+    #[test]
+    fn near_pause_flags_mark_the_stragglers() {
+        let sim = QueryLatencySim::new(small_spec());
+        let (_, flags) = sim.run(&[200_000]);
+        assert!(flags.iter().any(|&f| f), "some queries near a pause");
+        assert!(flags.iter().any(|&f| !f), "most queries unaffected");
+    }
+
+    #[test]
+    fn deterministic() {
+        let sim = QueryLatencySim::new(small_spec());
+        let (mut a, _) = sim.run(&[100_000]);
+        let (mut b, _) = sim.run(&[100_000]);
+        assert_eq!(a.cdf(), b.cdf());
+    }
+}
