@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The deterministic test wall: everything CI runs, runnable locally.
+#
+#   ./ci.sh
+#
+# Requires only a Rust toolchain — the workspace builds with zero
+# registry dependencies, so every step runs with --offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test"
+cargo test -q --offline
+
+echo "ci.sh: all green"

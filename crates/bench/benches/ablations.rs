@@ -12,6 +12,7 @@ fn bench(c: &mut Criterion) {
     let opts = Options {
         scale: 0.03,
         pauses: 1,
+        ..Options::default()
     };
     for id in ["ablA", "ablB", "ablC", "ablD"] {
         let out = run(id, &opts).expect("ablation exists");

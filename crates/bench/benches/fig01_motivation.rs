@@ -9,6 +9,7 @@ fn opts() -> Options {
     Options {
         scale: 0.02,
         pauses: 1,
+        ..Options::default()
     }
 }
 

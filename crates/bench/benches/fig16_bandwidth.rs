@@ -14,6 +14,7 @@ fn bench(c: &mut Criterion) {
         &Options {
             scale: 0.03,
             pauses: 2,
+            ..Options::default()
         },
     )
     .expect("fig16 exists");

@@ -24,7 +24,12 @@ fn bench(c: &mut Criterion) {
         MemKind::ddr3_default(),
     );
     println!("fig18b (partitioned) memory requests @ bench scale:");
-    for s in [Source::MarkQueue, Source::Tracer, Source::Ptw, Source::Marker] {
+    for s in [
+        Source::MarkQueue,
+        Source::Tracer,
+        Source::Ptw,
+        Source::Marker,
+    ] {
         println!("  {:<11} {}", s.label(), r.snapshot.requests(s));
     }
     println!("(run `experiments -- fig18` for the full-scale shared-cache breakdown)");

@@ -13,6 +13,7 @@ fn bench(c: &mut Criterion) {
         &Options {
             scale: 0.03,
             pauses: 1,
+            ..Options::default()
         },
     )
     .expect("fig19 exists");

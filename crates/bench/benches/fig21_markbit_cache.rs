@@ -10,6 +10,7 @@ fn bench(c: &mut Criterion) {
         &Options {
             scale: 0.03,
             pauses: 1,
+            ..Options::default()
         },
     )
     .expect("fig21 exists");
@@ -24,8 +25,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     // The raw filter structure: a Zipf-skewed reference stream.
     let zipf = tracegc::sim::dist::Zipf::new(10_000, 1.0);
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let mut rng = tracegc::sim::rng::StdRng::seed_from_u64(21);
     let stream: Vec<u64> = (0..100_000)
         .map(|_| 0x4000_0000 + zipf.sample(&mut rng) as u64 * 8)
         .collect();

@@ -11,6 +11,7 @@ fn bench(c: &mut Criterion) {
         &Options {
             scale: 1.0,
             pauses: 1,
+            ..Options::default()
         },
     )
     .expect("fig22 exists");

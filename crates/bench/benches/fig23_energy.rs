@@ -10,6 +10,7 @@ fn bench(c: &mut Criterion) {
         &Options {
             scale: 0.03,
             pauses: 1,
+            ..Options::default()
         },
     )
     .expect("fig23 exists");

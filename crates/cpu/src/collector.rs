@@ -260,7 +260,10 @@ impl Cpu {
         sp: &mut u64,
         obj: ObjRef,
     ) {
-        assert!(*sp * WORD < MARK_STACK_BYTES, "software mark stack overflow");
+        assert!(
+            *sp * WORD < MARK_STACK_BYTES,
+            "software mark stack overflow"
+        );
         let va = MARK_STACK_BASE + *sp * WORD;
         heap.write_va(va, obj.addr());
         // Stack stores are fire-and-forget on a write-back cache.

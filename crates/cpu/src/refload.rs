@@ -107,7 +107,10 @@ pub fn barrier_overheads(
     slow_fraction: f64,
     baseline_cycles: Cycle,
 ) -> Vec<BarrierOverhead> {
-    assert!((0.0..=1.0).contains(&slow_fraction), "fraction out of range");
+    assert!(
+        (0.0..=1.0).contains(&slow_fraction),
+        "fraction out of range"
+    );
     let slow = (ref_loads as f64 * slow_fraction) as u64;
     let fast = ref_loads - slow;
     BarrierScheme::ALL
@@ -136,11 +139,16 @@ mod tests {
     use super::*;
 
     fn overhead_of(scheme: BarrierScheme, slow_fraction: f64) -> f64 {
-        barrier_overheads(&RefloadCosts::default(), 1_000_000, slow_fraction, 10_000_000)
-            .into_iter()
-            .find(|o| o.scheme == scheme)
-            .expect("scheme present")
-            .relative
+        barrier_overheads(
+            &RefloadCosts::default(),
+            1_000_000,
+            slow_fraction,
+            10_000_000,
+        )
+        .into_iter()
+        .find(|o| o.scheme == scheme)
+        .expect("scheme present")
+        .relative
     }
 
     #[test]
@@ -156,8 +164,7 @@ mod tests {
         // (resulting in trap storms)".
         let churn = 0.05;
         assert!(
-            overhead_of(BarrierScheme::VmTrap, churn)
-                > overhead_of(BarrierScheme::Refload, churn)
+            overhead_of(BarrierScheme::VmTrap, churn) > overhead_of(BarrierScheme::Refload, churn)
         );
         assert!(
             overhead_of(BarrierScheme::VmTrap, churn)
@@ -193,9 +200,7 @@ mod tests {
             overhead_of(BarrierScheme::VmTrap, 0.0001)
                 < overhead_of(BarrierScheme::Refload, 0.0001)
         );
-        assert!(
-            overhead_of(BarrierScheme::VmTrap, 0.1) > overhead_of(BarrierScheme::Refload, 0.1)
-        );
+        assert!(overhead_of(BarrierScheme::VmTrap, 0.1) > overhead_of(BarrierScheme::Refload, 0.1));
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! A tiny, dependency-free stand-in for the subset of the
+//! [Criterion.rs](https://docs.rs/criterion) API that the `tracegc-bench`
+//! targets use.
+//!
+//! The project must build and test on machines with **no registry
+//! access**, so the real `criterion` crate cannot appear anywhere in the
+//! dependency graph (even optional registry dependencies participate in
+//! resolution). This shim keeps the bench sources compiling unchanged —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}` and
+//! `Bencher::iter` — and reports wall-clock statistics (min / median /
+//! mean) instead of Criterion's full statistical machinery.
+//!
+//! Timing methodology: each `bench_function` is warmed up once, then run
+//! for `sample_size` samples. Each sample executes the closure in a
+//! batch sized so a sample takes ≳1 ms (amortizing timer overhead) and
+//! records the mean per-iteration time.
+//!
+//! # Examples
+//!
+//! ```
+//! use criterion::{criterion_group, criterion_main, Criterion};
+//!
+//! fn bench(c: &mut Criterion) {
+//!     let mut group = c.benchmark_group("demo");
+//!     group.sample_size(10);
+//!     group.bench_function("add", |b| b.iter(|| std::hint::black_box(1u64) + 1));
+//!     group.finish();
+//! }
+//!
+//! criterion_group!(benches, bench);
+//! # fn main() {} // criterion_main!(benches) in a real bench target
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The bench context handed to every registered bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut per_iter = bencher.samples;
+        if per_iter.is_empty() {
+            println!(
+                "{}/{}: no measurements (Bencher::iter never called)",
+                self.name, id
+            );
+            return self;
+        }
+        per_iter.sort_unstable();
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        println!(
+            "{}/{}: min {:?}  median {:?}  mean {:?}  ({} samples)",
+            self.name,
+            id,
+            min,
+            median,
+            mean,
+            per_iter.len()
+        );
+        self
+    }
+
+    /// Ends the group (reporting happens per bench; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the closure under timing; handed to `bench_function` callbacks.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording `sample_size` samples of its mean
+    /// per-iteration wall-clock time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up and batch sizing: aim for >= 1 ms per sample.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+}
+
+/// Registers bench functions under a group name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_the_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 3, "warm-up plus 3 samples of >=1 iteration: {runs}");
+    }
+
+    #[test]
+    fn sample_size_clamps_to_one() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(0);
+        group.bench_function("noop", |b| b.iter(|| 1));
+    }
+}

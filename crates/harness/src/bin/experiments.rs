@@ -5,10 +5,13 @@
 //! cargo run -p tracegc --release --bin experiments -- all
 //! cargo run -p tracegc --release --bin experiments -- fig15 fig20
 //! cargo run -p tracegc --release --bin experiments -- --scale 1.0 --pauses 6 fig15
-//! cargo run -p tracegc --release --bin experiments -- --quick all
+//! cargo run -p tracegc --release --bin experiments -- --quick --jobs 8 all
 //! ```
 //!
 //! Each experiment prints its tables and writes CSVs under `results/`.
+//! With `--jobs N` the experiments (and the grid points inside sweep
+//! experiments) run on N worker threads; output order and CSV contents
+//! are byte-identical to a serial run.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -17,14 +20,23 @@ use tracegc::experiments::{self, Options};
 
 fn usage() -> String {
     format!(
-        "usage: experiments [--quick] [--scale F] [--pauses N] [--out DIR] <id>...\n\
+        "usage: experiments [--quick] [--scale F] [--pauses N] [--jobs N] [--out DIR] <id>...\n\
          ids: all {}",
         experiments::ALL.join(" ")
     )
 }
 
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 fn main() -> ExitCode {
-    let mut opts = Options::default();
+    let mut opts = Options {
+        jobs: default_jobs(),
+        ..Options::default()
+    };
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -45,6 +57,13 @@ fn main() -> ExitCode {
                 Some(v) => opts.pauses = v,
                 None => {
                     eprintln!("--pauses needs a number\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => opts.jobs = v,
+                _ => {
+                    eprintln!("--jobs needs a positive number\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -70,12 +89,21 @@ fn main() -> ExitCode {
         ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
     }
 
-    for id in &ids {
-        let started = std::time::Instant::now();
-        let Some(output) = experiments::run(id, &opts) else {
-            eprintln!("unknown experiment '{id}'\n{}", usage());
+    let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+    let started = std::time::Instant::now();
+    let completed = match experiments::run_ids(&id_refs, &opts) {
+        Ok(completed) => completed,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
             return ExitCode::FAILURE;
-        };
+        }
+    };
+    let wall = started.elapsed();
+
+    // Rendering happens after the pool drains, in registry order, so
+    // output and CSVs are identical for every --jobs value.
+    for (id, done) in id_refs.iter().zip(&completed) {
+        let output = &done.output;
         println!("\n################ {} ################", output.title);
         for (i, table) in output.tables.iter().enumerate() {
             println!("{}", table.render());
@@ -93,10 +121,23 @@ fn main() -> ExitCode {
         }
         println!(
             "[{id} done in {:.1}s, scale={}, pauses={}]",
-            started.elapsed().as_secs_f64(),
+            done.wall.as_secs_f64(),
             opts.scale,
             opts.pauses
         );
     }
+
+    let busy: f64 = completed.iter().map(|c| c.wall.as_secs_f64()).sum();
+    let wall_s = wall.as_secs_f64();
+    println!(
+        "\n[{} experiments in {:.1}s wall with --jobs {} ({:.1} experiment-seconds of work, \
+         {:.2}x parallel speedup, {:.2} experiments/s)]",
+        completed.len(),
+        wall_s,
+        opts.jobs,
+        busy,
+        busy / wall_s.max(1e-9),
+        completed.len() as f64 / wall_s.max(1e-9),
+    );
     ExitCode::SUCCESS
 }

@@ -47,7 +47,7 @@ pub fn run_memsched(opts: &Options) -> ExperimentOutput {
         "ablA: memory scheduler sensitivity (avrora mark phase)",
         &["config", "unit-mark-ms", "cpu-mark-ms"],
     );
-    for (name, cfg) in variants {
+    let rows = crate::parallel::par_map(opts.jobs, variants.to_vec(), |(name, cfg)| {
         let unit = run_unit_gc(
             &spec,
             LayoutKind::Bidirectional,
@@ -55,11 +55,14 @@ pub fn run_memsched(opts: &Options) -> ExperimentOutput {
             MemKind::Ddr3(cfg),
         );
         let cpu = run_cpu_gc(&spec, LayoutKind::Bidirectional, MemKind::Ddr3(cfg));
-        table.row(vec![
+        vec![
             name.into(),
             ms(unit.report.mark.cycles()),
             ms(cpu.mark.cycles),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     ExperimentOutput {
         id: "ablA",
@@ -81,10 +84,11 @@ pub fn run_layout(opts: &Options) -> ExperimentOutput {
         &["layout", "unit-mark-ms", "unit-mem-reqs", "cpu-mark-ms"],
     );
     let mut unit_times = Vec::new();
-    for (name, layout) in [
+    let layouts = vec![
         ("bidirectional", LayoutKind::Bidirectional),
         ("conventional-tib", LayoutKind::Conventional),
-    ] {
+    ];
+    let results = crate::parallel::par_map(opts.jobs, layouts, |(name, layout)| {
         let unit = run_unit_gc(
             &spec,
             layout,
@@ -92,12 +96,20 @@ pub fn run_layout(opts: &Options) -> ExperimentOutput {
             MemKind::ddr3_default(),
         );
         let cpu = run_cpu_gc(&spec, layout, MemKind::ddr3_default());
-        unit_times.push(unit.report.mark.cycles());
+        (
+            name,
+            unit.report.mark.cycles(),
+            unit.snapshot.total_requests,
+            cpu.mark.cycles,
+        )
+    });
+    for (name, unit_mark, unit_reqs, cpu_mark) in results {
+        unit_times.push(unit_mark);
         table.row(vec![
             name.into(),
-            ms(unit.report.mark.cycles()),
-            format!("{}", unit.snapshot.total_requests),
-            ms(cpu.mark.cycles),
+            ms(unit_mark),
+            format!("{unit_reqs}"),
+            ms(cpu_mark),
         ]);
     }
     let slowdown = unit_times[1] as f64 / unit_times[0] as f64;
@@ -130,22 +142,26 @@ pub fn run_tlb(opts: &Options) -> ExperimentOutput {
         ("hit-under-miss, 1 walk", false, 1),
         ("hit-under-miss, 4 walks", false, 4),
     ];
-    for (name, blocking, walks) in variants {
-        let cfg = GcUnitConfig {
-            tlb: TlbConfig {
-                blocking_requesters: blocking,
-                concurrent_walks: walks,
-                ..TlbConfig::default()
-            },
-            ..GcUnitConfig::default()
-        };
-        let unit = run_unit_gc(&spec, LayoutKind::Bidirectional, cfg, MemKind::pipe_8gbps());
-        times.push(unit.report.mark.cycles());
+    let results =
+        crate::parallel::par_map(opts.jobs, variants.to_vec(), |(name, blocking, walks)| {
+            let cfg = GcUnitConfig {
+                tlb: TlbConfig {
+                    blocking_requesters: blocking,
+                    concurrent_walks: walks,
+                    ..TlbConfig::default()
+                },
+                ..GcUnitConfig::default()
+            };
+            let unit = run_unit_gc(&spec, LayoutKind::Bidirectional, cfg, MemKind::pipe_8gbps());
+            (name, unit.report.mark.cycles(), unit.report.mark.translator)
+        });
+    for (name, cycles, translator) in results {
+        times.push(cycles);
         table.row(vec![
             name.into(),
-            ms(unit.report.mark.cycles()),
-            format!("{}", unit.report.mark.translator.walks),
-            format!("{}", unit.report.mark.translator.walker_wait_cycles / 1000),
+            ms(cycles),
+            format!("{}", translator.walks),
+            format!("{}", translator.walker_wait_cycles / 1000),
         ]);
     }
     ExperimentOutput {
@@ -163,7 +179,9 @@ pub fn run_tlb(opts: &Options) -> ExperimentOutput {
 
 /// `ablD`: the coherence-based barriers of §IV-D vs trap-based barriers.
 pub fn run_barriers(opts: &Options) -> ExperimentOutput {
-    let spec = by_name("lusearch").expect("lusearch exists").scaled(opts.scale);
+    let spec = by_name("lusearch")
+        .expect("lusearch exists")
+        .scaled(opts.scale);
     let workload = tracegc_workloads::generate::generate_heap(&spec, LayoutKind::Bidirectional);
     let live: Vec<ObjRef> = workload.heap.reachable_from_roots().into_iter().collect();
 
@@ -233,7 +251,8 @@ pub fn run_superpages(opts: &Options) -> ExperimentOutput {
         &["pages", "unit-mark-ms", "walks", "walker-wait-kcycles"],
     );
     let mut times = Vec::new();
-    for (name, superpages) in [("4KiB", false), ("2MiB-superpages", true)] {
+    let variants = vec![("4KiB", false), ("2MiB-superpages", true)];
+    let results = crate::parallel::par_map(opts.jobs, variants, |(name, superpages)| {
         let run = crate::runner::run_unit_gc_opts(
             &spec,
             LayoutKind::Bidirectional,
@@ -241,12 +260,15 @@ pub fn run_superpages(opts: &Options) -> ExperimentOutput {
             MemKind::ddr3_default(),
             superpages,
         );
-        times.push(run.report.mark.cycles());
+        (name, run.report.mark.cycles(), run.report.mark.translator)
+    });
+    for (name, cycles, translator) in results {
+        times.push(cycles);
         table.row(vec![
             name.into(),
-            ms(run.report.mark.cycles()),
-            format!("{}", run.report.mark.translator.walks),
-            format!("{}", run.report.mark.translator.walker_wait_cycles / 1000),
+            ms(cycles),
+            format!("{}", translator.walks),
+            format!("{}", translator.walker_wait_cycles / 1000),
         ]);
     }
     ExperimentOutput {
@@ -274,11 +296,9 @@ pub fn run_throttle(opts: &Options) -> ExperimentOutput {
             "mutator-p-high-latency",
         ],
     );
-    for interval in [0u64, 4, 16] {
-        let mut workload = tracegc_workloads::generate::generate_heap(
-            &spec,
-            LayoutKind::Bidirectional,
-        );
+    let rows = crate::parallel::par_map(opts.jobs, vec![0u64, 4, 16], |interval| {
+        let mut workload =
+            tracegc_workloads::generate::generate_heap(&spec, LayoutKind::Bidirectional);
         let mut mem = MemKind::ddr3_default().fresh();
         let cfg = GcUnitConfig {
             min_issue_interval: interval,
@@ -296,7 +316,7 @@ pub fn run_throttle(opts: &Options) -> ExperimentOutput {
             .get(sorted.len().saturating_sub(1).min(sorted.len() * 95 / 100))
             .copied()
             .unwrap_or(0);
-        table.row(vec![
+        vec![
             if interval == 0 {
                 "unthrottled".into()
             } else {
@@ -305,7 +325,10 @@ pub fn run_throttle(opts: &Options) -> ExperimentOutput {
             ms(result.cycles()),
             format!("{mean:.1}"),
             format!("{p95}"),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     ExperimentOutput {
         id: "ablF",
@@ -329,8 +352,8 @@ pub fn run_ooo(opts: &Options) -> ExperimentOutput {
         "ablG: CPU baseline out-of-order window (avrora mark phase)",
         &["ooo-window", "cpu-mark-ms", "speedup-vs-inorder"],
     );
-    let mut base = 0u64;
-    for window in [1usize, 2, 4, 8] {
+    let windows = vec![1usize, 2, 4, 8];
+    let cycles = crate::parallel::par_map(opts.jobs, windows.clone(), |window| {
         let mut workload =
             tracegc_workloads::generate::generate_heap(&spec, LayoutKind::Bidirectional);
         let mut mem = MemKind::ddr3_default().fresh();
@@ -339,14 +362,14 @@ pub fn run_ooo(opts: &Options) -> ExperimentOutput {
             ..tracegc_cpu::CpuConfig::default()
         };
         let mut cpu = tracegc_cpu::Cpu::new(cfg, &mut workload.heap);
-        let mark = cpu.run_mark(&mut workload.heap, &mut mem);
-        if window == 1 {
-            base = mark.cycles;
-        }
+        cpu.run_mark(&mut workload.heap, &mut mem).cycles
+    });
+    let base = cycles[0];
+    for (window, mark_cycles) in windows.into_iter().zip(cycles) {
         table.row(vec![
             format!("{window}"),
-            ms(mark.cycles),
-            ratio(base as f64 / mark.cycles.max(1) as f64),
+            ms(mark_cycles),
+            ratio(base as f64 / mark_cycles.max(1) as f64),
         ]);
     }
     ExperimentOutput {

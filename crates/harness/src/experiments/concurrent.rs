@@ -15,13 +15,9 @@ use crate::table::{ms, Table};
 /// Compares stop-the-world marking against SATB concurrent marking at
 /// several mutator intensities.
 pub fn run(opts: &Options) -> ExperimentOutput {
-    let spec = by_name("lusearch").expect("lusearch exists").scaled(opts.scale);
-
-    // Stop-the-world baseline.
-    let mut workload = generate_heap(&spec, LayoutKind::Bidirectional);
-    let mut mem = MemKind::ddr3_default().fresh();
-    let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut workload.heap);
-    let stw = unit.run_mark(&mut workload.heap, &mut mem, 0);
+    let spec = by_name("lusearch")
+        .expect("lusearch exists")
+        .scaled(opts.scale);
 
     let mut table = Table::new(
         "conc: SATB concurrent marking vs stop-the-world (lusearch)",
@@ -34,41 +30,56 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             "barrier-kcycles",
         ],
     );
-    table.row(vec![
-        "stop-the-world".into(),
-        ms(stw.cycles()),
-        "0".into(),
-        "0".into(),
-        "0".into(),
-        "0".into(),
-    ]);
-    for (label, cycles_per_op, write_fraction) in [
-        ("concurrent/light", 200, 0.1),
-        ("concurrent/medium", 60, 0.2),
-        ("concurrent/heavy", 25, 0.4),
-    ] {
+    // Grid points: the stop-the-world baseline (None) and each mutator
+    // intensity (Some(..)); every one rebuilds the heap from the seed.
+    let modes: Vec<Option<(&str, u64, f64)>> = vec![
+        None,
+        Some(("concurrent/light", 200, 0.1)),
+        Some(("concurrent/medium", 60, 0.2)),
+        Some(("concurrent/heavy", 25, 0.4)),
+    ];
+    let rows = crate::parallel::par_map(opts.jobs, modes, |mode| {
         let mut workload = generate_heap(&spec, LayoutKind::Bidirectional);
         let mut mem = MemKind::ddr3_default().fresh();
         let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut workload.heap);
-        let report = run_concurrent_mark(
-            &mut unit,
-            &mut workload.heap,
-            &mut mem,
-            MutatorConfig {
-                cycles_per_op,
-                write_fraction,
-                ..MutatorConfig::default()
-            },
-            0,
-        );
-        table.row(vec![
-            label.into(),
-            ms(report.traversal.cycles()),
-            format!("{}", report.mutator_ops),
-            format!("{}", report.write_barriers),
-            format!("{}", report.allocated_during_gc),
-            format!("{}", report.mutator_barrier_cycles / 1000),
-        ]);
+        match mode {
+            // Stop-the-world baseline.
+            None => {
+                let stw = unit.run_mark(&mut workload.heap, &mut mem, 0);
+                vec![
+                    "stop-the-world".into(),
+                    ms(stw.cycles()),
+                    "0".into(),
+                    "0".into(),
+                    "0".into(),
+                    "0".into(),
+                ]
+            }
+            Some((label, cycles_per_op, write_fraction)) => {
+                let report = run_concurrent_mark(
+                    &mut unit,
+                    &mut workload.heap,
+                    &mut mem,
+                    MutatorConfig {
+                        cycles_per_op,
+                        write_fraction,
+                        ..MutatorConfig::default()
+                    },
+                    0,
+                );
+                vec![
+                    label.into(),
+                    ms(report.traversal.cycles()),
+                    format!("{}", report.mutator_ops),
+                    format!("{}", report.write_barriers),
+                    format!("{}", report.allocated_during_gc),
+                    format!("{}", report.mutator_barrier_cycles / 1000),
+                ]
+            }
+        }
+    });
+    for row in rows {
+        table.row(row);
     }
     ExperimentOutput {
         id: "conc",
@@ -103,28 +114,18 @@ pub fn run_multi(opts: &Options) -> ExperimentOutput {
 
     let mut table = Table::new(
         "multi: one unit collecting N processes (avrora-sized heaps)",
-        &[
-            "processes",
-            "wall-ms",
-            "vs-serial",
-            "mean-per-process-ms",
-        ],
+        &["processes", "wall-ms", "vs-serial", "mean-per-process-ms"],
     );
-    let mut solo_wall = 0u64;
-    for n in [1usize, 2, 4] {
+    let counts = vec![1usize, 2, 4];
+    let results = crate::parallel::par_map(opts.jobs, counts.clone(), |n| {
         let mut procs: Vec<ProcessContext> = (0..n as u64).map(make_context).collect();
         let mut mem = MemKind::ddr3_default().fresh();
         let report = run_multiprocess_mark(&mut procs, &mut mem, 0);
-        let wall = report.total_cycles(0);
-        if n == 1 {
-            solo_wall = wall;
-        }
-        let mean: u64 = report
-            .per_process
-            .iter()
-            .map(|r| r.cycles())
-            .sum::<u64>()
-            / n as u64;
+        let mean: u64 = report.per_process.iter().map(|r| r.cycles()).sum::<u64>() / n as u64;
+        (report.total_cycles(0), mean)
+    });
+    let solo_wall = results[0].0;
+    for (n, (wall, mean)) in counts.into_iter().zip(results) {
         table.row(vec![
             format!("{n}"),
             ms(wall),

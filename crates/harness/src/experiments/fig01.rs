@@ -11,6 +11,7 @@ use tracegc_workloads::queries::{QueryLatencySim, QueryLatencySpec};
 use tracegc_workloads::spec::{by_name, DACAPO};
 
 use super::{ExperimentOutput, Options};
+use crate::parallel::par_map;
 use crate::runner::{run_cpu_gc, MemKind};
 use crate::table::Table;
 
@@ -20,18 +21,21 @@ pub fn run_1a(opts: &Options) -> ExperimentOutput {
         "Fig 1a: CPU time spent in GC pauses",
         &["bench", "gc-ms/pause", "mutator-ms/pause", "gc-%"],
     );
-    for spec in DACAPO {
+    let rows = par_map(opts.jobs, DACAPO.to_vec(), |spec| {
         let spec = spec.scaled(opts.scale);
         let run = run_cpu_gc(&spec, LayoutKind::Bidirectional, MemKind::ddr3_default());
         let gc = (run.mark.cycles + run.sweep.cycles) as f64;
         let mutator = spec.mutator_cycles_per_pause as f64;
         let pct = 100.0 * gc / (gc + mutator);
-        table.row(vec![
+        vec![
             spec.name.into(),
             format!("{:.2}", gc / 1e6),
             format!("{:.2}", mutator / 1e6),
             format!("{pct:.1}%"),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     ExperimentOutput {
         id: "fig1a",
@@ -51,7 +55,9 @@ pub fn run_1a(opts: &Options) -> ExperimentOutput {
 /// Fig. 1b: lusearch query-latency CDF with and without GC.
 pub fn run_1b(opts: &Options) -> ExperimentOutput {
     // Measure real pause lengths for lusearch on the CPU collector.
-    let spec = by_name("lusearch").expect("lusearch exists").scaled(opts.scale);
+    let spec = by_name("lusearch")
+        .expect("lusearch exists")
+        .scaled(opts.scale);
     let run = run_cpu_gc(&spec, LayoutKind::Bidirectional, MemKind::ddr3_default());
     let pause_us = (run.mark.cycles + run.sweep.cycles) / 1000; // 1 GHz: cycles->ns->us
 

@@ -30,18 +30,21 @@ pub fn run(opts: &Options) -> ExperimentOutput {
     let mut mark_speedups = Vec::new();
     let mut sweep_speedups = Vec::new();
     let mut total_speedups = Vec::new();
-    for spec in DACAPO {
+    let results = crate::parallel::par_map(opts.jobs, DACAPO.to_vec(), |spec| {
         let spec = spec.scaled(opts.scale);
         let pauses = spec.pauses.min(opts.pauses);
         let mut run = DualRun::new(&spec, LayoutKind::Bidirectional, GcUnitConfig::default());
         let results = run.run_pauses(MemKind::ddr3_default(), pauses, 0.15);
         let avg = |f: &dyn Fn(&crate::runner::PauseResult) -> u64| {
-            results.iter().map(|r| f(r)).sum::<u64>() / results.len() as u64
+            results.iter().map(f).sum::<u64>() / results.len() as u64
         };
         let cpu_mark = avg(&|r| r.cpu_mark_cycles);
         let unit_mark = avg(&|r| r.unit_mark_cycles);
         let cpu_sweep = avg(&|r| r.cpu_sweep_cycles);
         let unit_sweep = avg(&|r| r.unit_sweep_cycles);
+        (spec.name, cpu_mark, unit_mark, cpu_sweep, unit_sweep)
+    });
+    for (name, cpu_mark, unit_mark, cpu_sweep, unit_sweep) in results {
         let mark_sp = cpu_mark as f64 / unit_mark.max(1) as f64;
         let sweep_sp = cpu_sweep as f64 / unit_sweep.max(1) as f64;
         let total_sp = (cpu_mark + cpu_sweep) as f64 / (unit_mark + unit_sweep).max(1) as f64;
@@ -49,7 +52,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         sweep_speedups.push(sweep_sp);
         total_speedups.push(total_sp);
         table.row(vec![
-            spec.name.into(),
+            name.into(),
             ms(cpu_mark),
             ms(unit_mark),
             ratio(mark_sp),
@@ -77,8 +80,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             "Paper: 4.2x mark, 1.9x sweep, 3.3x overall (2 sweepers, 1,024-entry \
              mark queue, 16 marker slots, 32-entry TLBs, 128-entry L2 TLB)."
                 .into(),
-            "Mark results are cross-checked: CPU and unit always mark identical sets."
-                .into(),
+            "Mark results are cross-checked: CPU and unit always mark identical sets.".into(),
         ],
     }
 }

@@ -12,6 +12,10 @@ use crate::runner::{DualRun, MemKind};
 use crate::table::Table;
 
 /// Captures the bandwidth time series of the last avrora pause.
+///
+/// This experiment has no independent grid points to hand to the worker
+/// pool: successive pauses share the churned heap, so they must run in
+/// order. `--jobs` still overlaps fig16 with other experiment ids.
 pub fn run(opts: &Options) -> ExperimentOutput {
     let spec = by_name("avrora").expect("avrora exists").scaled(opts.scale);
     let pauses = spec.pauses.min(opts.pauses);
@@ -23,12 +27,22 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         "Fig 16: bandwidth (GB/s) per 50us window, last avrora pause",
         &["window", "cpu-gbps", "unit-gbps"],
     );
-    let n = last.cpu_mem.series_gbps.len().max(last.unit_mem.series_gbps.len());
+    let n = last
+        .cpu_mem
+        .series_gbps
+        .len()
+        .max(last.unit_mem.series_gbps.len());
     for i in 0..n {
         series.row(vec![
             format!("{i}"),
-            format!("{:.3}", last.cpu_mem.series_gbps.get(i).copied().unwrap_or(0.0)),
-            format!("{:.3}", last.unit_mem.series_gbps.get(i).copied().unwrap_or(0.0)),
+            format!(
+                "{:.3}",
+                last.cpu_mem.series_gbps.get(i).copied().unwrap_or(0.0)
+            ),
+            format!(
+                "{:.3}",
+                last.unit_mem.series_gbps.get(i).copied().unwrap_or(0.0)
+            ),
         ]);
     }
 
@@ -37,7 +51,12 @@ pub fn run(opts: &Options) -> ExperimentOutput {
     let cpu_avg = last.cpu_mem.avg_gbps(cpu_cycles);
     let unit_avg = last.unit_mem.avg_gbps(unit_cycles);
     let cpu_peak = last.cpu_mem.series_gbps.iter().copied().fold(0.0, f64::max);
-    let unit_peak = last.unit_mem.series_gbps.iter().copied().fold(0.0, f64::max);
+    let unit_peak = last
+        .unit_mem
+        .series_gbps
+        .iter()
+        .copied()
+        .fold(0.0, f64::max);
 
     let mut summary = Table::new(
         "Fig 16 summary",

@@ -28,23 +28,30 @@ pub fn run(opts: &Options) -> ExperimentOutput {
     );
     let mut issue = Table::new(
         "Fig 17b: unit request issue interval & data bandwidth (mark phase)",
-        &["bench", "cycles-between-reqs", "port-busy-%", "unit-avg-gbps"],
+        &[
+            "bench",
+            "cycles-between-reqs",
+            "port-busy-%",
+            "unit-avg-gbps",
+        ],
     );
     let mut mark_speedups = Vec::new();
-    for spec in DACAPO {
+    let results = crate::parallel::par_map(opts.jobs, DACAPO.to_vec(), |spec| {
         let spec = spec.scaled(opts.scale);
         let mut run = DualRun::new(&spec, LayoutKind::Bidirectional, GcUnitConfig::default());
-        let p = run.run_pause(MemKind::pipe_8gbps());
+        (spec.name, run.run_pause(MemKind::pipe_8gbps()))
+    });
+    for (name, p) in results {
         mark_speedups.push(p.mark_speedup());
         table.row(vec![
-            spec.name.into(),
+            name.into(),
             ms(p.cpu_mark_cycles),
             ms(p.unit_mark_cycles),
             ratio(p.mark_speedup()),
             ratio(p.sweep_speedup()),
         ]);
         issue.row(vec![
-            spec.name.into(),
+            name.into(),
             format!("{:.2}", p.unit_mem.mean_issue_interval),
             format!(
                 "{:.0}%",

@@ -28,64 +28,92 @@ const FIG18_SOURCES: [Source; 4] = [
 pub fn run(opts: &Options) -> ExperimentOutput {
     let mut shared = Table::new(
         "Fig 18a: L1 (shared) cache requests by source (millions)",
-        &["bench", "mark-queue", "tracer", "ptw", "marker", "ptw-share"],
+        &[
+            "bench",
+            "mark-queue",
+            "tracer",
+            "ptw",
+            "marker",
+            "ptw-share",
+        ],
     );
     let mut partitioned = Table::new(
         "Fig 18b: memory requests by source, partitioned config (millions)",
-        &["bench", "mark-queue", "tracer", "ptw", "marker", "marker+tracer-share"],
+        &[
+            "bench",
+            "mark-queue",
+            "tracer",
+            "ptw",
+            "marker",
+            "marker+tracer-share",
+        ],
     );
     let m = |v: u64| format!("{:.3}", v as f64 / 1e6);
-    for spec in DACAPO {
+    // Every (benchmark, topology) pair is an independent grid point;
+    // flatten them so the pool can run all 12 simulations at once.
+    let grid: Vec<(tracegc_workloads::spec::BenchSpec, bool)> = DACAPO
+        .iter()
+        .flat_map(|&spec| [(spec, true), (spec, false)])
+        .collect();
+    let rows = crate::parallel::par_map(opts.jobs, grid, |(spec, shared_topology)| {
         // The TLB-pressure effect needs a heap well beyond the TLB
-        // reach, as in the paper's 200 MB configuration, so fig18 always runs at full workload scale.
+        // reach, as in the paper's 200 MB configuration, so fig18 always
+        // runs at full workload scale.
         let spec = spec.scaled(opts.scale.max(1.0));
-        // Shared topology: count accesses at the shared cache.
-        let run = run_unit_gc(
-            &spec,
-            LayoutKind::Bidirectional,
-            GcUnitConfig {
-                topology: CacheTopology::Shared,
-                ..GcUnitConfig::default()
-            },
-            MemKind::ddr3_default(),
-        );
-        let stats = run
-            .unit
-            .traversal()
-            .shared_cache_stats()
-            .expect("shared topology has a shared cache")
-            .clone();
-        let total: u64 = FIG18_SOURCES.iter().map(|&s| stats.accesses(s)).sum();
-        shared.row(vec![
-            spec.name.into(),
-            m(stats.accesses(Source::MarkQueue)),
-            m(stats.accesses(Source::Tracer)),
-            m(stats.accesses(Source::Ptw)),
-            m(stats.accesses(Source::Marker)),
-            format!(
-                "{:.0}%",
-                100.0 * stats.accesses(Source::Ptw) as f64 / total.max(1) as f64
-            ),
-        ]);
-
-        // Partitioned topology: count requests at the memory controller.
-        let run = run_unit_gc(
-            &spec,
-            LayoutKind::Bidirectional,
-            GcUnitConfig::default(),
-            MemKind::ddr3_default(),
-        );
-        let snap = &run.snapshot;
-        let total: u64 = FIG18_SOURCES.iter().map(|&s| snap.requests(s)).sum();
-        let work = snap.requests(Source::Marker) + snap.requests(Source::Tracer);
-        partitioned.row(vec![
-            spec.name.into(),
-            m(snap.requests(Source::MarkQueue)),
-            m(snap.requests(Source::Tracer)),
-            m(snap.requests(Source::Ptw)),
-            m(snap.requests(Source::Marker)),
-            format!("{:.0}%", 100.0 * work as f64 / total.max(1) as f64),
-        ]);
+        if shared_topology {
+            // Shared topology: count accesses at the shared cache.
+            let run = run_unit_gc(
+                &spec,
+                LayoutKind::Bidirectional,
+                GcUnitConfig {
+                    topology: CacheTopology::Shared,
+                    ..GcUnitConfig::default()
+                },
+                MemKind::ddr3_default(),
+            );
+            let stats = run
+                .unit
+                .traversal()
+                .shared_cache_stats()
+                .expect("shared topology has a shared cache")
+                .clone();
+            let total: u64 = FIG18_SOURCES.iter().map(|&s| stats.accesses(s)).sum();
+            vec![
+                spec.name.into(),
+                m(stats.accesses(Source::MarkQueue)),
+                m(stats.accesses(Source::Tracer)),
+                m(stats.accesses(Source::Ptw)),
+                m(stats.accesses(Source::Marker)),
+                format!(
+                    "{:.0}%",
+                    100.0 * stats.accesses(Source::Ptw) as f64 / total.max(1) as f64
+                ),
+            ]
+        } else {
+            // Partitioned topology: count requests at the memory
+            // controller.
+            let run = run_unit_gc(
+                &spec,
+                LayoutKind::Bidirectional,
+                GcUnitConfig::default(),
+                MemKind::ddr3_default(),
+            );
+            let snap = &run.snapshot;
+            let total: u64 = FIG18_SOURCES.iter().map(|&s| snap.requests(s)).sum();
+            let work = snap.requests(Source::Marker) + snap.requests(Source::Tracer);
+            vec![
+                spec.name.into(),
+                m(snap.requests(Source::MarkQueue)),
+                m(snap.requests(Source::Tracer)),
+                m(snap.requests(Source::Ptw)),
+                m(snap.requests(Source::Marker)),
+                format!("{:.0}%", 100.0 * work as f64 / total.max(1) as f64),
+            ]
+        }
+    });
+    for pair in rows.chunks(2) {
+        shared.row(pair[0].clone());
+        partitioned.row(pair[1].clone());
     }
     ExperimentOutput {
         id: "fig18",

@@ -58,33 +58,47 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             "mark-ms",
         ],
     );
-    for &kb in &SIZES_KB {
-        for v in VARIANTS {
-            let side = 32usize;
-            let entry = if v.compress { 4 } else { 8 };
-            let total_entries = (kb * 1024 / entry) as usize;
-            let main = total_entries.saturating_sub(2 * side).max(16);
-            let cfg = GcUnitConfig {
-                markq_entries: main,
-                markq_side: side,
-                tracer_queue: v.tracer_queue,
-                compress: v.compress,
-                ..GcUnitConfig::default()
-            };
-            let run = run_unit_gc(&spec, LayoutKind::Bidirectional, cfg, MemKind::ddr3_default());
-            let q = run.report.mark.markq;
-            let spill_reqs = q.spill_writes + q.spill_reads;
-            let total_reqs = run.snapshot.total_requests;
-            table.row(vec![
-                format!("{kb}"),
-                v.label.into(),
-                format!("{}", q.spill_writes),
-                format!("{}", q.spill_reads),
-                format!("{:.1}%", 100.0 * spill_reqs as f64 / total_reqs.max(1) as f64),
-                format!("{}", q.peak_spilled),
-                ms(run.report.mark.cycles()),
-            ]);
-        }
+    // The 4x3 size-by-variant grid is embarrassingly parallel.
+    let grid: Vec<(u64, Variant)> = SIZES_KB
+        .iter()
+        .flat_map(|&kb| VARIANTS.map(|v| (kb, v)))
+        .collect();
+    let rows = crate::parallel::par_map(opts.jobs, grid, |(kb, v)| {
+        let side = 32usize;
+        let entry = if v.compress { 4 } else { 8 };
+        let total_entries = (kb * 1024 / entry) as usize;
+        let main = total_entries.saturating_sub(2 * side).max(16);
+        let cfg = GcUnitConfig {
+            markq_entries: main,
+            markq_side: side,
+            tracer_queue: v.tracer_queue,
+            compress: v.compress,
+            ..GcUnitConfig::default()
+        };
+        let run = run_unit_gc(
+            &spec,
+            LayoutKind::Bidirectional,
+            cfg,
+            MemKind::ddr3_default(),
+        );
+        let q = run.report.mark.markq;
+        let spill_reqs = q.spill_writes + q.spill_reads;
+        let total_reqs = run.snapshot.total_requests;
+        vec![
+            format!("{kb}"),
+            v.label.into(),
+            format!("{}", q.spill_writes),
+            format!("{}", q.spill_reads),
+            format!(
+                "{:.1}%",
+                100.0 * spill_reqs as f64 / total_reqs.max(1) as f64
+            ),
+            format!("{}", q.peak_spilled),
+            ms(run.report.mark.cycles()),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     ExperimentOutput {
         id: "fig19",

@@ -25,28 +25,44 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         "Fig 20: sweep speedup vs software for N block sweepers",
         &["bench", "sw-ms", "1", "2", "3", "4", "5", "6", "7", "8"],
     );
-    for spec in DACAPO {
+    // Grid points: per benchmark, the software baseline (None) plus one
+    // hardware sweep per sweeper count (Some(n)) — 6 x 9 independent
+    // simulations, each building its own heap from the spec's seed.
+    let grid: Vec<(tracegc_workloads::spec::BenchSpec, Option<usize>)> = DACAPO
+        .iter()
+        .flat_map(|&spec| {
+            std::iter::once((spec, None)).chain(SWEEPERS.iter().map(move |&n| (spec, Some(n))))
+        })
+        .collect();
+    let cycles = crate::parallel::par_map(opts.jobs, grid, |(spec, sweepers)| {
         let spec = spec.scaled(opts.scale);
-
-        // Software baseline: the CPU collector sweeping a marked heap.
         let mut w = generate_heap(&spec, LayoutKind::Bidirectional);
         software_mark(&mut w.heap);
         let mut mem = MemKind::ddr3_default().fresh();
-        let mut cpu = Cpu::new(CpuConfig::default(), &mut w.heap);
-        let sw_cycles = cpu.run_sweep(&mut w.heap, &mut mem).cycles;
-
-        let mut row = vec![spec.name.to_string(), format!("{:.2}", sw_cycles as f64 / 1e6)];
-        for &n in &SWEEPERS {
-            let mut w = generate_heap(&spec, LayoutKind::Bidirectional);
-            software_mark(&mut w.heap);
-            let mut mem = MemKind::ddr3_default().fresh();
-            let cfg = GcUnitConfig {
-                sweepers: n,
-                ..GcUnitConfig::default()
-            };
-            let mut unit = ReclamationUnit::new(cfg, &w.heap);
-            let hw = unit.run_sweep(&mut w.heap, &mut mem, 0);
-            row.push(format!("{:.2}", sw_cycles as f64 / hw.cycles().max(1) as f64));
+        match sweepers {
+            // Software baseline: the CPU collector sweeping a marked heap.
+            None => {
+                let mut cpu = Cpu::new(CpuConfig::default(), &mut w.heap);
+                cpu.run_sweep(&mut w.heap, &mut mem).cycles
+            }
+            Some(n) => {
+                let cfg = GcUnitConfig {
+                    sweepers: n,
+                    ..GcUnitConfig::default()
+                };
+                let mut unit = ReclamationUnit::new(cfg, &w.heap);
+                unit.run_sweep(&mut w.heap, &mut mem, 0).cycles()
+            }
+        }
+    });
+    for (spec, per_bench) in DACAPO.iter().zip(cycles.chunks(1 + SWEEPERS.len())) {
+        let sw_cycles = per_bench[0];
+        let mut row = vec![
+            spec.name.to_string(),
+            format!("{:.2}", sw_cycles as f64 / 1e6),
+        ];
+        for &hw_cycles in &per_bench[1..] {
+            row.push(format!("{:.2}", sw_cycles as f64 / hw_cycles.max(1) as f64));
         }
         table.row(row);
     }

@@ -17,7 +17,9 @@ const CACHE_SIZES: [usize; 5] = [0, 64, 105, 128, 256];
 
 /// Access-frequency histogram and cache-size sweep on luindex.
 pub fn run(opts: &Options) -> ExperimentOutput {
-    let spec = by_name("luindex").expect("luindex exists").scaled(opts.scale);
+    let spec = by_name("luindex")
+        .expect("luindex exists")
+        .scaled(opts.scale);
 
     // Fig. 21a: object-access-frequency distribution from one mark pass.
     let run = run_unit_gc(
@@ -55,21 +57,32 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             "mark-ms",
         ],
     );
-    for &size in &CACHE_SIZES {
+    let rows = crate::parallel::par_map(opts.jobs, CACHE_SIZES.to_vec(), |size| {
         let cfg = GcUnitConfig {
             markbit_cache: size,
             ..GcUnitConfig::default()
         };
-        let run = run_unit_gc(&spec, LayoutKind::Bidirectional, cfg, MemKind::ddr3_default());
+        let run = run_unit_gc(
+            &spec,
+            LayoutKind::Bidirectional,
+            cfg,
+            MemKind::ddr3_default(),
+        );
         let mark = &run.report.mark;
         let attempts = mark.objects_marked + mark.already_marked + mark.filtered;
         let reqs = mark.objects_marked + mark.already_marked; // AMOs that reached memory
-        sweep.row(vec![
+        vec![
             format!("{size}"),
-            format!("{:.1}%", 100.0 * mark.filtered as f64 / attempts.max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * mark.filtered as f64 / attempts.max(1) as f64
+            ),
             format!("{:.3}", reqs as f64 / attempts.max(1) as f64),
             crate::table::ms(mark.cycles()),
-        ]);
+        ]
+    });
+    for row in rows {
+        sweep.row(row);
     }
 
     ExperimentOutput {

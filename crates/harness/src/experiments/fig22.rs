@@ -19,7 +19,10 @@ pub fn run(_opts: &Options) -> ExperimentOutput {
     totals.row(vec!["l2-cache".into(), format!("{:.3}", l2_area())]);
     totals.row(vec!["gc-unit".into(), format!("{:.3}", unit.total())]);
 
-    let mut core_t = Table::new("Fig 22b: Rocket CPU breakdown (mm^2)", &["component", "mm2"]);
+    let mut core_t = Table::new(
+        "Fig 22b: Rocket CPU breakdown (mm^2)",
+        &["component", "mm2"],
+    );
     for (name, mm2) in &core.components {
         core_t.row(vec![name.clone(), format!("{mm2:.3}")]);
     }

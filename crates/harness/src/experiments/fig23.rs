@@ -22,14 +22,23 @@ pub fn run(opts: &Options) -> ExperimentOutput {
     );
     let mut energy = Table::new(
         "Fig 23 (bottom): GC energy per pause (mJ)",
-        &["bench", "cpu-mj", "unit-mj", "unit-dram-mw", "cpu-dram-mw", "savings"],
+        &[
+            "bench",
+            "cpu-mj",
+            "unit-mj",
+            "unit-dram-mw",
+            "cpu-dram-mw",
+            "savings",
+        ],
     );
     let mut savings = Vec::new();
     let mut xalan_power: Option<(f64, f64, f64, f64)> = None;
-    for spec in DACAPO {
+    let pauses = crate::parallel::par_map(opts.jobs, DACAPO.to_vec(), |spec| {
         let spec = spec.scaled(opts.scale);
         let mut run = DualRun::new(&spec, LayoutKind::Bidirectional, GcUnitConfig::default());
-        let p = run.run_pause(MemKind::ddr3_default());
+        (spec.name, run.run_pause(MemKind::ddr3_default()))
+    });
+    for (name, p) in pauses {
         let cpu_cycles = p.cpu_mark_cycles + p.cpu_sweep_cycles;
         let unit_cycles = p.unit_mark_cycles + p.unit_sweep_cycles;
         let cpu_e = model.pause_energy(
@@ -48,7 +57,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         );
         let saving = 100.0 * (1.0 - unit_e.total_mj() / cpu_e.total_mj().max(1e-12));
         savings.push(saving);
-        if spec.name == "xalan" {
+        if name == "xalan" {
             xalan_power = Some((
                 cpu_e.dram_power_mw,
                 cpu_e.total_power_mw(),
@@ -57,7 +66,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             ));
         }
         energy.row(vec![
-            spec.name.into(),
+            name.into(),
             format!("{:.3}", cpu_e.total_mj()),
             format!("{:.3}", unit_e.total_mj()),
             format!("{:.0}", unit_e.dram_power_mw),
@@ -65,8 +74,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             format!("{saving:.1}%"),
         ]);
     }
-    let (cpu_dram, cpu_total, unit_dram, unit_total) =
-        xalan_power.expect("xalan is in the suite");
+    let (cpu_dram, cpu_total, unit_dram, unit_total) = xalan_power.expect("xalan is in the suite");
     power.row(vec![
         "rocket-cpu".into(),
         format!("{:.0}", EnergyModel::default().core_active_mw),

@@ -28,6 +28,10 @@ pub struct Options {
     pub scale: f64,
     /// Maximum GC pauses measured per benchmark.
     pub pauses: usize,
+    /// Worker threads used to run experiments — and grid points inside
+    /// sweep-style experiments — concurrently. Results are
+    /// byte-identical for any value (see `crate::parallel`).
+    pub jobs: usize,
 }
 
 impl Default for Options {
@@ -35,6 +39,7 @@ impl Default for Options {
         Self {
             scale: 0.25,
             pauses: 3,
+            jobs: 1,
         }
     }
 }
@@ -86,6 +91,37 @@ pub fn run(id: &str, opts: &Options) -> Option<ExperimentOutput> {
         "multi" => concurrent::run_multi(opts),
         _ => return None,
     })
+}
+
+/// One finished experiment plus how long it took on the wall clock.
+#[derive(Debug, Clone)]
+pub struct CompletedExperiment {
+    /// The experiment's tables and notes.
+    pub output: ExperimentOutput,
+    /// Wall-clock time this experiment took (inside the pool, so
+    /// concurrent experiments overlap).
+    pub wall: std::time::Duration,
+}
+
+/// Runs a batch of experiments on `opts.jobs` workers, returning the
+/// outputs in the order the ids were given.
+///
+/// This is the library entry point behind the CLI's `--jobs` flag; the
+/// determinism tests call it directly to assert that `jobs = 1` and
+/// `jobs = 8` produce identical tables. Unknown ids are rejected up
+/// front (before anything runs) with an error naming the offender.
+pub fn run_ids(ids: &[&str], opts: &Options) -> Result<Vec<CompletedExperiment>, String> {
+    if let Some(bad) = ids.iter().find(|id| !ALL.contains(id)) {
+        return Err(format!("unknown experiment '{bad}'"));
+    }
+    Ok(crate::parallel::par_map(opts.jobs, ids.to_vec(), |id| {
+        let started = std::time::Instant::now();
+        let output = run(id, opts).expect("ids were validated against ALL");
+        CompletedExperiment {
+            output,
+            wall: started.elapsed(),
+        }
+    }))
 }
 
 #[cfg(test)]

@@ -17,7 +17,11 @@ pub fn run(_opts: &Options) -> ExperimentOutput {
     );
     proc.row(vec![
         "ITLB/DTLB reach".into(),
-        format!("{} KiB ({} entries each)", cpu.tlb.l1_entries * 4, cpu.tlb.l1_entries),
+        format!(
+            "{} KiB ({} entries each)",
+            cpu.tlb.l1_entries * 4,
+            cpu.tlb.l1_entries
+        ),
     ]);
     proc.row(vec![
         "L1 caches".into(),
@@ -30,7 +34,11 @@ pub fn run(_opts: &Options) -> ExperimentOutput {
     ]);
     proc.row(vec![
         "L2 cache".into(),
-        format!("{} KiB ({}-way set-associative)", cpu.l2.size_bytes / 1024, cpu.l2.ways),
+        format!(
+            "{} KiB ({}-way set-associative)",
+            cpu.l2.size_bytes / 1024,
+            cpu.l2.ways
+        ),
     ]);
 
     let mut mem = Table::new("Memory Model (DDR3-2000)", &["parameter", "value"]);

@@ -34,6 +34,7 @@
 //! `cargo run -p tracegc --release --bin experiments -- all`.
 
 pub mod experiments;
+pub mod parallel;
 pub mod runner;
 pub mod table;
 

@@ -1,0 +1,127 @@
+//! A minimal worker pool for running independent experiment work items
+//! concurrently, built on [`std::thread::scope`] — no external crates.
+//!
+//! Determinism contract: [`par_map`] returns outputs in the order of its
+//! inputs regardless of how the OS schedules workers, and every work
+//! item builds its own simulator state from seeds, so results are
+//! byte-identical for any `jobs` value. `tests/determinism.rs` asserts
+//! this for the whole experiment registry.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on up to `jobs` worker threads, returning
+/// the results in input order.
+///
+/// `jobs` is clamped to `1..=items.len()`; with `jobs == 1` no threads
+/// are spawned and the items run inline in order. Work is distributed
+/// dynamically (an atomic cursor), so long items do not leave workers
+/// idle behind a static partition. A panic in `f` propagates to the
+/// caller once all workers have stopped.
+///
+/// # Examples
+///
+/// ```
+/// let squares = tracegc::parallel::par_map(4, (0u64..8).collect(), |x| x * x);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn par_map<T, U, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Each input sits in its own slot so a worker can take ownership of
+    // item `i` without holding any shared lock while running `f`; each
+    // output lands in the slot of the same index, which preserves input
+    // order no matter which worker finishes first.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("a work slot is locked at most once")
+                    .take()
+                    .expect("the cursor hands out each index once");
+                let result = f(item);
+                *out[i].lock().expect("a result slot is locked at most once") = Some(result);
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("workers have joined")
+                .expect("every index was processed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        // Stagger the work so later items finish first under real
+        // concurrency; the output order must not change.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(8, items.clone(), |x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_one_runs_inline() {
+        let out = par_map(1, vec![1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = par_map(4, Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_larger_than_items_is_clamped() {
+        let out = par_map(64, vec![10, 20], |x| x / 10);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn owned_non_copy_items_move_through() {
+        let items = vec![String::from("a"), String::from("bb")];
+        let out = par_map(2, items, |s| s.len());
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn same_result_for_any_job_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = par_map(1, items.clone(), |x| x.wrapping_mul(0x9E37_79B9));
+        for jobs in [2, 3, 8, 16] {
+            let par = par_map(jobs, items.clone(), |x| x.wrapping_mul(0x9E37_79B9));
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+}

@@ -38,7 +38,9 @@ impl Default for HeapConfig {
             spaces: SpaceMap::default(),
             superpages: false,
             block_bytes: 64 * 1024,
-            size_classes: vec![16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 1024, 2048, 8192],
+            size_classes: vec![
+                16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 1024, 2048, 8192,
+            ],
         }
     }
 }
@@ -141,10 +143,15 @@ impl Heap {
             "size classes must be ascending"
         );
         assert!(
-            cfg.size_classes.iter().all(|&c| c % WORD == 0 && c >= 2 * WORD),
+            cfg.size_classes
+                .iter()
+                .all(|&c| c % WORD == 0 && c >= 2 * WORD),
             "size classes must be word multiples >= 16"
         );
-        assert!(cfg.block_bytes % PAGE_SIZE == 0, "block size must be page-aligned");
+        assert!(
+            cfg.block_bytes.is_multiple_of(PAGE_SIZE),
+            "block size must be page-aligned"
+        );
         let mut phys = PhysMem::new(cfg.phys_bytes);
         let mut falloc = FrameAlloc::new(0, cfg.phys_bytes);
         let aspace = AddressSpace::new(&mut phys, &mut falloc);
@@ -305,7 +312,12 @@ impl Heap {
     /// # Errors
     ///
     /// Returns [`AllocError::OutOfMemory`] when the target space is full.
-    pub fn alloc(&mut self, nrefs: u32, scalars: u32, is_array: bool) -> Result<ObjRef, AllocError> {
+    pub fn alloc(
+        &mut self,
+        nrefs: u32,
+        scalars: u32,
+        is_array: bool,
+    ) -> Result<ObjRef, AllocError> {
         let needed = self.cell_bytes_needed(nrefs, scalars);
         self.stats.objects_allocated += 1;
         self.stats.bytes_allocated += needed;
@@ -540,7 +552,10 @@ impl Heap {
     pub fn set_roots(&mut self, roots: &[ObjRef]) {
         let spaces = self.cfg.spaces;
         let bytes = (1 + roots.len() as u64) * WORD;
-        assert!(bytes <= spaces.hwgc_size, "too many roots for the hwgc space");
+        assert!(
+            bytes <= spaces.hwgc_size,
+            "too many roots for the hwgc space"
+        );
         self.ensure_mapped(spaces.hwgc_base, bytes);
         self.write_va(spaces.hwgc_base, roots.len() as u64);
         for (i, r) in roots.iter().enumerate() {
@@ -872,7 +887,9 @@ mod superpage_tests {
     #[test]
     fn superpage_heap_allocates_and_collects() {
         let mut h = super_heap();
-        let objs: Vec<ObjRef> = (0..2000).map(|i| h.alloc(2, (i % 5) as u32, false).unwrap()).collect();
+        let objs: Vec<ObjRef> = (0..2000)
+            .map(|i| h.alloc(2, (i % 5) as u32, false).unwrap())
+            .collect();
         for i in 0..1000usize {
             h.set_ref(objs[i], 0, Some(objs[(i + 1) % 1000]));
         }

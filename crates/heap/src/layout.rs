@@ -44,7 +44,10 @@ impl ObjRef {
     /// Panics if the address is not word-aligned or is null.
     pub fn new(addr: u64) -> Self {
         assert!(addr != 0, "null object reference");
-        assert!(addr % WORD == 0, "unaligned object reference {addr:#x}");
+        assert!(
+            addr.is_multiple_of(WORD),
+            "unaligned object reference {addr:#x}"
+        );
         Self(addr)
     }
 
@@ -177,7 +180,10 @@ pub fn encode_live_cell_start(nrefs: u32, is_array: bool) -> u64 {
 /// Panics if `next` is not 8-byte aligned (its low bits distinguish free
 /// from live cells).
 pub fn encode_free_cell_start(next: u64) -> u64 {
-    assert!(next % WORD == 0, "free-list pointer must be aligned");
+    assert!(
+        next.is_multiple_of(WORD),
+        "free-list pointer must be aligned"
+    );
     next
 }
 
@@ -185,7 +191,7 @@ pub fn encode_free_cell_start(next: u64) -> u64 {
 pub fn decode_cell_start(raw: u64) -> CellStart {
     if raw & 1 == 1 {
         CellStart::Live {
-            nrefs: ((raw >> CELL_NREFS_SHIFT) & NREFS_MASK as u64) as u32,
+            nrefs: ((raw >> CELL_NREFS_SHIFT) & NREFS_MASK) as u32,
             is_array: raw & CELL_ARRAY_BIT != 0,
         }
     } else {
@@ -333,7 +339,10 @@ mod tests {
     #[test]
     fn cell_start_free_roundtrip() {
         let raw = encode_free_cell_start(0x4000_1000);
-        assert_eq!(decode_cell_start(raw), CellStart::Free { next: 0x4000_1000 });
+        assert_eq!(
+            decode_cell_start(raw),
+            CellStart::Free { next: 0x4000_1000 }
+        );
         assert_eq!(decode_cell_start(0), CellStart::Free { next: 0 });
     }
 

@@ -170,7 +170,11 @@ pub fn load(text: &str) -> Result<Heap, SnapshotError> {
                 });
             }
             ["ref", obj, slot, target] => {
-                edges.push((parse(obj)? as usize, parse(slot)? as u32, parse(target)? as usize));
+                edges.push((
+                    parse(obj)? as usize,
+                    parse(slot)? as u32,
+                    parse(target)? as usize,
+                ));
             }
             ["root", id] => roots.push(parse(id)? as usize),
             _ => return Err(err(lno, format!("unrecognized line {line:?}"))),
@@ -194,8 +198,12 @@ pub fn load(text: &str) -> Result<Heap, SnapshotError> {
         })
         .collect::<Result<_, _>>()?;
     for (obj, slot, target) in edges {
-        let from = *objects.get(obj).ok_or_else(|| err(0, "dangling ref source"))?;
-        let to = *objects.get(target).ok_or_else(|| err(0, "dangling ref target"))?;
+        let from = *objects
+            .get(obj)
+            .ok_or_else(|| err(0, "dangling ref source"))?;
+        let to = *objects
+            .get(target)
+            .ok_or_else(|| err(0, "dangling ref target"))?;
         if slot >= heap.nrefs(from) {
             return Err(err(0, format!("slot {slot} out of range for object {obj}")));
         }
@@ -208,7 +216,12 @@ pub fn load(text: &str) -> Result<Heap, SnapshotError> {
     }
     let root_refs: Vec<ObjRef> = roots
         .iter()
-        .map(|&i| objects.get(i).copied().ok_or_else(|| err(0, "dangling root")))
+        .map(|&i| {
+            objects
+                .get(i)
+                .copied()
+                .ok_or_else(|| err(0, "dangling root"))
+        })
         .collect::<Result<_, _>>()?;
     heap.set_roots(&root_refs);
     Ok(heap)
@@ -224,7 +237,9 @@ mod tests {
             phys_bytes: 64 << 20,
             ..HeapConfig::default()
         });
-        let objs: Vec<ObjRef> = (0..100).map(|i| h.alloc(2, (i % 3) as u32, i % 7 == 0).unwrap()).collect();
+        let objs: Vec<ObjRef> = (0..100)
+            .map(|i| h.alloc(2, (i % 3) as u32, i % 7 == 0).unwrap())
+            .collect();
         for i in 0..60usize {
             h.set_ref(objs[i], 0, Some(objs[(i + 1) % 60]));
             h.set_ref(objs[i], 1, Some(objs[(i * 13 + 3) % 60]));

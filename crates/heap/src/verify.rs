@@ -114,7 +114,9 @@ pub fn check_free_lists(heap: &Heap) -> Result<(), String> {
                 ));
             }
             if !visited.insert(cursor) {
-                return Err(format!("block {bidx}: free list has a cycle at {cursor:#x}"));
+                return Err(format!(
+                    "block {bidx}: free list has a cycle at {cursor:#x}"
+                ));
             }
             match decode_cell_start(heap.read_va(cursor)) {
                 CellStart::Free { next } => cursor = next,

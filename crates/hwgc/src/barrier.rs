@@ -102,8 +102,7 @@ impl ForwardingState {
         }
         // New relocation invalidates previously acquired delta lines for
         // this page.
-        self.acquired_lines
-            .retain(|&line| line / PAGE_SIZE != page);
+        self.acquired_lines.retain(|&line| line / PAGE_SIZE != page);
     }
 
     /// Finishes relocating a page (all references fixed up).
@@ -221,7 +220,10 @@ mod tests {
         let mut fwd = ForwardingState::new();
         let a = obj(0x4000_0010);
         let b_ = obj(0x4000_0018); // same 64-byte line
-        fwd.relocate_page(0x4000_0000, &[(a, obj(0x5000_0010)), (b_, obj(0x5000_0018))]);
+        fwd.relocate_page(
+            0x4000_0000,
+            &[(a, obj(0x5000_0010)), (b_, obj(0x5000_0018))],
+        );
         let mut b = BarrierModel::new(BarrierCosts::default());
         b.read_barrier(&mut fwd, a);
         b.read_barrier(&mut fwd, b_);

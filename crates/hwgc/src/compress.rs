@@ -44,9 +44,12 @@ impl RefCodec {
             RefCodec::Compressed { base } => {
                 assert!(va >= base, "address {va:#x} below compression base");
                 let off = va - base;
-                assert!(off % 8 == 0, "unaligned reference {va:#x}");
+                assert!(off.is_multiple_of(8), "unaligned reference {va:#x}");
                 let word = off / 8;
-                assert!(word <= u32::MAX as u64, "address {va:#x} out of compressed range");
+                assert!(
+                    word <= u32::MAX as u64,
+                    "address {va:#x} out of compressed range"
+                );
                 word
             }
         }
@@ -76,7 +79,12 @@ mod tests {
     #[test]
     fn compressed_roundtrip() {
         let c = RefCodec::Compressed { base: 0x4000_0000 };
-        for va in [0x4000_0000u64, 0x4000_0008, 0x4fff_fff8, 0x4000_0000 + 8 * (u32::MAX as u64)] {
+        for va in [
+            0x4000_0000u64,
+            0x4000_0008,
+            0x4fff_fff8,
+            0x4000_0000 + 8 * (u32::MAX as u64),
+        ] {
             assert_eq!(c.decode(c.encode(va)), va);
         }
         assert_eq!(c.entry_bytes(), 4);

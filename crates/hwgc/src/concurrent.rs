@@ -15,12 +15,10 @@
 //! cycle-stepped [`TraversalUnit`] interleaved with a modelled mutator,
 //! and verifies the SATB safety invariant in its tests.
 
-use rand::rngs::StdRng;
-use rand::{RngExt as _, SeedableRng};
-
 use tracegc_heap::layout::HEADER_MARK_BIT;
 use tracegc_heap::{Heap, ObjRef};
 use tracegc_mem::MemSystem;
+use tracegc_sim::rng::{Rng, StdRng};
 use tracegc_sim::Cycle;
 
 use crate::barrier::{BarrierCosts, BarrierModel};
@@ -174,7 +172,9 @@ mod tests {
             phys_bytes: 128 << 20,
             ..HeapConfig::default()
         });
-        let objs: Vec<ObjRef> = (0..n).map(|i| h.alloc(3, (i % 4) as u32, false).unwrap()).collect();
+        let objs: Vec<ObjRef> = (0..n)
+            .map(|i| h.alloc(3, (i % 4) as u32, false).unwrap())
+            .collect();
         let live = n * 2 / 3;
         for i in 0..live {
             if 2 * i + 1 < live {
@@ -195,13 +195,8 @@ mod tests {
         let live_at_start = heap.reachable_from_roots();
         let mut mem = MemSystem::ddr3(Default::default());
         let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut heap);
-        let report = run_concurrent_mark(
-            &mut unit,
-            &mut heap,
-            &mut mem,
-            MutatorConfig::default(),
-            0,
-        );
+        let report =
+            run_concurrent_mark(&mut unit, &mut heap, &mut mem, MutatorConfig::default(), 0);
         assert!(report.mutator_ops > 0, "mutator should have run");
         // The SATB guarantee: nothing live at the snapshot is lost,
         // even though the mutator overwrote references mid-trace.
@@ -272,13 +267,8 @@ mod tests {
             let mut heap = build_heap(1500);
             let mut mem = MemSystem::ddr3(Default::default());
             let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut heap);
-            let r = run_concurrent_mark(
-                &mut unit,
-                &mut heap,
-                &mut mem,
-                MutatorConfig::default(),
-                0,
-            );
+            let r =
+                run_concurrent_mark(&mut unit, &mut heap, &mut mem, MutatorConfig::default(), 0);
             (r.traversal.end, r.mutator_ops, r.write_barriers)
         };
         assert_eq!(run(), run());

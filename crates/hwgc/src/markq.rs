@@ -111,7 +111,10 @@ impl MarkQueue {
     /// Panics if the spill base is not 64-byte aligned, the spill region
     /// holds no chunk, or the side queues are smaller than one chunk.
     pub fn new(cfg: MarkQueueConfig) -> Self {
-        assert!(cfg.spill_base % 64 == 0, "spill base must be 64B aligned");
+        assert!(
+            cfg.spill_base.is_multiple_of(64),
+            "spill base must be 64B aligned"
+        );
         assert!(cfg.spill_bytes >= 64, "spill region too small");
         let chunk = Self::entries_per_chunk_for(cfg.codec);
         assert!(
@@ -267,7 +270,7 @@ impl MarkQueue {
             if !*port_free {
                 return false;
             }
-            if self.issue_fill(now, mem, phys, shared_cache.as_deref_mut()) {
+            if self.issue_fill(now, mem, phys, shared_cache) {
                 *port_free = false;
                 return true;
             }

@@ -127,13 +127,19 @@ mod tests {
             phys_bytes: 64 << 20,
             ..HeapConfig::default()
         });
-        let objs: Vec<ObjRef> = (0..n).map(|i| h.alloc(2, (i % 3) as u32, false).unwrap()).collect();
+        let objs: Vec<ObjRef> = (0..n)
+            .map(|i| h.alloc(2, (i % 3) as u32, false).unwrap())
+            .collect();
         let live = n / 2;
         for i in 0..live {
             if 2 * i + 1 < live {
                 h.set_ref(objs[i], 0, Some(objs[2 * i + 1]));
             }
-            h.set_ref(objs[i], 1, Some(objs[((i as u64 * 17 + seed) % live as u64) as usize]));
+            h.set_ref(
+                objs[i],
+                1,
+                Some(objs[((i as u64 * 17 + seed) % live as u64) as usize]),
+            );
         }
         h.set_roots(&[objs[0]]);
         h

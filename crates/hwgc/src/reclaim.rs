@@ -13,7 +13,9 @@
 //! Fig. 20 scales the sweeper count 1–8: linear to 2, diminishing
 //! beyond, with memory contention outweighing parallelism at 8.
 
-use tracegc_heap::layout::{bidi, conv, decode_cell_start, encode_free_cell_start, CellStart, Header, LayoutKind};
+use tracegc_heap::layout::{
+    bidi, conv, decode_cell_start, encode_free_cell_start, CellStart, Header, LayoutKind,
+};
 use tracegc_heap::Heap;
 use tracegc_mem::{MemReq, MemSystem, Source};
 use tracegc_sim::Cycle;
@@ -99,7 +101,12 @@ impl ReclamationUnit {
     /// Runs a full sweep starting at `start`, rebuilding every block's
     /// free list and clearing surviving mark bits. Functionally identical
     /// to [`tracegc_heap::verify::software_sweep`].
-    pub fn run_sweep(&mut self, heap: &mut Heap, mem: &mut MemSystem, start: Cycle) -> ReclaimResult {
+    pub fn run_sweep(
+        &mut self,
+        heap: &mut Heap,
+        mem: &mut MemSystem,
+        start: Cycle,
+    ) -> ReclaimResult {
         let mut result = ReclaimResult {
             start,
             end: start,
@@ -116,16 +123,13 @@ impl ReclamationUnit {
             })
             .collect();
 
-        loop {
-            // Find the sweeper whose local clock is earliest; advance it
-            // by one cell. This interleaves the parallel sweepers'
-            // requests through the shared memory system in time order.
-            let Some(idx) = (0..sweepers.len())
-                .filter(|&i| sweepers[i].block.is_some() || next_block < nblocks)
-                .min_by_key(|&i| sweepers[i].now)
-            else {
-                break;
-            };
+        // Find the sweeper whose local clock is earliest; advance it
+        // by one cell. This interleaves the parallel sweepers'
+        // requests through the shared memory system in time order.
+        while let Some(idx) = (0..sweepers.len())
+            .filter(|&i| sweepers[i].block.is_some() || next_block < nblocks)
+            .min_by_key(|&i| sweepers[i].now)
+        {
             let sweeper = &mut sweepers[idx];
             if sweeper.block.is_none() {
                 // Fetch the next block from the global block list.
@@ -192,7 +196,14 @@ impl ReclamationUnit {
             return buf.ready;
         }
         let (pa, ready) = translator
-            .translate_with_cache(Requester::Sweeper, line_va, sweeper.now, mem, &heap.phys, ptw_cache)
+            .translate_with_cache(
+                Requester::Sweeper,
+                line_va,
+                sweeper.now,
+                mem,
+                &heap.phys,
+                ptw_cache,
+            )
             .unwrap_or_else(|e| panic!("sweeper fault: {e}"));
         let done = mem.schedule(&MemReq::read(pa, 64, Source::Sweeper), ready);
         if std::env::var_os("TRACEGC_DEBUG_SWEEP").is_some() {
@@ -256,7 +267,9 @@ impl ReclamationUnit {
         let t = {
             let job_now = sweeper.now;
             let _ = job_now;
-            Self::line_read(sweeper, heap, mem, line_bufs, translator, ptw_cache, result, cell_copy)
+            Self::line_read(
+                sweeper, heap, mem, line_bufs, translator, ptw_cache, result, cell_copy,
+            )
         };
         sweeper.now = sweeper.now.max(t);
         let start_word = heap.read_va(cell);
@@ -296,7 +309,13 @@ impl ReclamationUnit {
 
     /// Links `cell` onto the block's new free list (address order is
     /// preserved because cells are visited in address order).
-    fn append_free(heap: &mut Heap, mem: &mut MemSystem, now: Cycle, job: &mut BlockJob, cell: u64) {
+    fn append_free(
+        heap: &mut Heap,
+        mem: &mut MemSystem,
+        now: Cycle,
+        job: &mut BlockJob,
+        cell: u64,
+    ) {
         heap.write_va(cell, encode_free_cell_start(0));
         let pa = heap.va_to_pa(cell);
         mem.schedule(&MemReq::write(pa, 8, Source::Sweeper), now);
@@ -343,7 +362,7 @@ mod tests {
                 h.set_ref(objs[i], 0, Some(objs[i + 1]));
             }
         }
-        h.set_roots(&objs[..live].to_vec());
+        h.set_roots(&objs[..live]);
         software_mark(&mut h);
         h
     }
@@ -387,9 +406,15 @@ mod tests {
         let two = time_with(2);
         let four = time_with(4);
         assert!(two < one, "2 sweepers ({two}) should beat 1 ({one})");
-        assert!(four <= two, "4 sweepers ({four}) should not lose to 2 ({two})");
+        assert!(
+            four <= two,
+            "4 sweepers ({four}) should not lose to 2 ({two})"
+        );
         // Scaling must be sublinear by 4 (contention).
-        assert!(four * 4 > one, "scaling should be sublinear: {one} vs {four}");
+        assert!(
+            four * 4 > one,
+            "scaling should be sublinear: {one} vs {four}"
+        );
     }
 
     #[test]

@@ -67,9 +67,16 @@ impl TraversalResult {
 enum MarkerSlot {
     Free,
     /// AMO in flight; response arrives at `done`.
-    Busy { done: Cycle, va: u64, old: u64 },
+    Busy {
+        done: Cycle,
+        va: u64,
+        old: u64,
+    },
     /// Response arrived but the tracer queue was full.
-    Deliver { va: u64, old: u64 },
+    Deliver {
+        va: u64,
+        old: u64,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -297,6 +304,7 @@ impl TraversalUnit {
 
     /// Issues a data request through the configured topology; returns the
     /// response-ready cycle.
+    #[allow(clippy::too_many_arguments)]
     fn data_access(
         &mut self,
         pa: u64,
@@ -329,14 +337,19 @@ impl TraversalUnit {
     ///
     /// On return, exactly the objects reachable from the heap's roots
     /// carry mark bits (verified against the oracle in tests).
-    pub fn run_mark(&mut self, heap: &mut Heap, mem: &mut MemSystem, start: Cycle) -> TraversalResult {
+    pub fn run_mark(
+        &mut self,
+        heap: &mut Heap,
+        mem: &mut MemSystem,
+        start: Cycle,
+    ) -> TraversalResult {
         self.begin(heap, start);
         let mut now = start;
         let mut iterations: u64 = 0;
         loop {
             let progress = self.step(now, heap, mem);
             iterations += 1;
-            if iterations % 5_000_000 == 0
+            if iterations.is_multiple_of(5_000_000)
                 && std::env::var_os("TRACEGC_DEBUG_TRAVERSAL").is_some()
             {
                 eprintln!(
@@ -397,10 +410,7 @@ impl TraversalUnit {
         if self.bg_period > 0 {
             while self.bg_next <= now {
                 let addr = 0x100_0000 + (self.bg_next % 8192) * 64;
-                let done = mem.schedule(
-                    &MemReq::read(addr & !63, 64, Source::Cpu),
-                    self.bg_next,
-                );
+                let done = mem.schedule(&MemReq::read(addr & !63, 64, Source::Cpu), self.bg_next);
                 self.bg_latencies.push(done - self.bg_next);
                 self.bg_next += self.bg_period;
             }
@@ -704,8 +714,7 @@ impl TraversalUnit {
                 let size = align.min(fit).min(to_page_end).max(WORD);
                 let walks_before = self.translator.stats().walks;
                 let (pa, ready) = self.translate(Requester::Tracer, cursor, now, mem, heap);
-                if self.cfg.tlb.blocking_requesters
-                    && self.translator.stats().walks > walks_before
+                if self.cfg.tlb.blocking_requesters && self.translator.stats().walks > walks_before
                 {
                     self.tracer_blocked_until = ready;
                 }
@@ -730,8 +739,7 @@ impl TraversalUnit {
                 let tib_va = conv::tib_slot(objref);
                 let walks_before = self.translator.stats().walks;
                 let (pa, ready) = self.translate(Requester::Tracer, tib_va, now, mem, heap);
-                if self.cfg.tlb.blocking_requesters
-                    && self.translator.stats().walks > walks_before
+                if self.cfg.tlb.blocking_requesters && self.translator.stats().walks > walks_before
                 {
                     self.tracer_blocked_until = ready;
                 }
@@ -760,8 +768,7 @@ impl TraversalUnit {
                 let field_va = conv::field_slot(objref, offset);
                 let walks_before = self.translator.stats().walks;
                 let (pa, ready) = self.translate(Requester::Tracer, field_va, now, mem, heap);
-                if self.cfg.tlb.blocking_requesters
-                    && self.translator.stats().walks > walks_before
+                if self.cfg.tlb.blocking_requesters && self.translator.stats().walks > walks_before
                 {
                     self.tracer_blocked_until = ready;
                 }
@@ -913,8 +920,7 @@ mod tests {
         check_marks_match_reachability(&heap).unwrap();
         assert!(result.markq.spill_writes > 0, "expected spilling");
         assert_eq!(
-            result.markq.enqueued,
-            result.markq.dequeued,
+            result.markq.enqueued, result.markq.dequeued,
             "every enqueued ref must be consumed"
         );
     }
@@ -1018,13 +1024,13 @@ mod tests {
         // Large enough that the live set far exceeds the TLB reach
         // (32 + 128 entries x 4 KiB), with randomized edges to kill page
         // locality, as in the paper's 200 MB heaps.
-        use rand::{RngExt as _, SeedableRng};
+        use tracegc_sim::rng::{Rng, StdRng};
         let n = 40_000;
         let mut h = Heap::new(HeapConfig {
             phys_bytes: 256 << 20,
             ..HeapConfig::default()
         });
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = StdRng::seed_from_u64(42);
         let objs: Vec<ObjRef> = (0..n)
             .map(|i| h.alloc(3, (i % 6) as u32, false).unwrap())
             .collect();
@@ -1086,7 +1092,12 @@ mod tests {
             let mut mem = MemSystem::ddr3(Default::default());
             let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut heap);
             let r = unit.run_mark(&mut heap, &mut mem, 0);
-            (r.end, r.objects_marked, r.refs_enqueued, r.markq.spill_writes)
+            (
+                r.end,
+                r.objects_marked,
+                r.refs_enqueued,
+                r.markq.spill_writes,
+            )
         };
         assert_eq!(run(), run());
     }

@@ -98,7 +98,9 @@ mod tests {
             phys_bytes: 128 << 20,
             ..HeapConfig::default()
         });
-        let objs: Vec<ObjRef> = (0..1000).map(|i| h.alloc(2, (i % 4) as u32, false).unwrap()).collect();
+        let objs: Vec<ObjRef> = (0..1000)
+            .map(|i| h.alloc(2, (i % 4) as u32, false).unwrap())
+            .collect();
         for i in 0..600usize {
             h.set_ref(objs[i], 0, Some(objs[(i + 1) % 600]));
             h.set_ref(objs[i], 1, Some(objs[(i * 7) % 600]));
@@ -126,7 +128,10 @@ mod tests {
         let mut mem = MemSystem::ddr3(Default::default());
         let mut unit = GcUnit::new(GcUnitConfig::default(), &mut heap);
         assert_eq!(unit.regs().read(Reg::Status), MmioRegs::STATUS_IDLE);
-        assert_eq!(unit.regs().read(Reg::PageTableRoot), heap.address_space().root());
+        assert_eq!(
+            unit.regs().read(Reg::PageTableRoot),
+            heap.address_space().root()
+        );
         unit.run_gc(&mut heap, &mut mem);
         assert_eq!(unit.regs().read(Reg::Status), MmioRegs::STATUS_DONE);
         assert_eq!(unit.regs().read(Reg::MarkedCount), 600);

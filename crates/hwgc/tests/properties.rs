@@ -1,32 +1,37 @@
 //! Property-based tests for the accelerator: the mark queue's spill
 //! machinery never loses or duplicates entries, compression round-trips,
 //! and the traversal unit matches the reachability oracle on arbitrary
-//! graphs under arbitrary (legal) configurations.
-
-use proptest::prelude::*;
+//! graphs under arbitrary (legal) configurations. Randomized cases come
+//! from fixed seeds.
 
 use tracegc_heap::verify::check_marks_match_reachability;
 use tracegc_heap::{Heap, HeapConfig, ObjRef};
 use tracegc_hwgc::{GcUnitConfig, MarkQueue, MarkQueueConfig, RefCodec, TraversalUnit};
 use tracegc_mem::{MemSystem, PhysMem};
+use tracegc_sim::rng::{Rng, StdRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn case_rng(property: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(0x496C_0000 + property * 10_007 + case)
+}
 
-    #[test]
-    fn compression_roundtrips(word_off in 0u64..=u32::MAX as u64) {
+#[test]
+fn compression_roundtrips() {
+    for case in 0..100 {
+        let mut rng = case_rng(1, case);
+        let word_off = rng.random_range(0u64..(u32::MAX as u64) + 1);
         let base = 0x2000_0000u64;
         let codec = RefCodec::Compressed { base };
         let va = base + word_off * 8;
-        prop_assert_eq!(codec.decode(codec.encode(va)), va);
+        assert_eq!(codec.decode(codec.encode(va)), va, "case {case}");
     }
+}
 
-    #[test]
-    fn markq_preserves_the_multiset_under_arbitrary_interleavings(
-        main in 1usize..32,
-        ops in proptest::collection::vec((any::<bool>(), 1u64..1 << 20), 1..300),
-        compress: bool,
-    ) {
+#[test]
+fn markq_preserves_the_multiset_under_arbitrary_interleavings() {
+    for case in 0..100 {
+        let mut rng = case_rng(2, case);
+        let main = rng.random_range(1usize..32);
+        let compress = rng.random::<bool>();
         let codec = if compress {
             RefCodec::Compressed { base: 0x4000_0000 }
         } else {
@@ -45,10 +50,12 @@ proptest! {
         let mut pushed: Vec<u64> = Vec::new();
         let mut popped: Vec<u64> = Vec::new();
         let mut now = 0u64;
-        for (is_push, off) in &ops {
+        for _ in 0..rng.random_range(1usize..300) {
+            let is_push = rng.random::<bool>();
+            let off = rng.random_range(1u64..1 << 20);
             let mut port = true;
             q.tick(now, &mut mem, &mut phys, None, &mut port);
-            if *is_push {
+            if is_push {
                 let va = 0x4000_0000 + off * 8;
                 if q.enqueue(va) {
                     pushed.push(va);
@@ -69,20 +76,16 @@ proptest! {
             }
             now += 50;
             idle += 1;
-            prop_assert!(idle < 50_000, "queue failed to drain");
+            assert!(idle < 50_000, "case {case}: queue failed to drain");
         }
         pushed.sort_unstable();
         popped.sort_unstable();
-        prop_assert_eq!(pushed, popped);
+        assert_eq!(pushed, popped, "case {case}");
     }
 }
 
 /// Builds a heap from a random edge list.
-fn build_random_heap(
-    n: usize,
-    edges: &[(usize, usize)],
-    roots: &[usize],
-) -> Heap {
+fn build_random_heap(n: usize, edges: &[(usize, usize)], roots: &[usize]) -> Heap {
     let mut heap = Heap::new(HeapConfig {
         phys_bytes: 32 << 20,
         ..HeapConfig::default()
@@ -102,24 +105,23 @@ fn build_random_heap(
     heap
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn unit_matches_oracle_on_random_graphs(
-        n in 4usize..80,
-        seed_edges in proptest::collection::vec((0usize..80, 0usize..80), 0..200),
-        root in 0usize..80,
-        markq_entries in 16usize..256,
-        marker_slots in 1usize..24,
-        markbit in prop_oneof![Just(0usize), Just(16), Just(64)],
-        compress: bool,
-    ) {
-        let edges: Vec<(usize, usize)> = seed_edges
-            .into_iter()
-            .map(|(a, b)| (a % n, b % n))
+#[test]
+fn unit_matches_oracle_on_random_graphs() {
+    // Each case drives the full cycle-level unit, so fewer cases than
+    // the structural properties.
+    for case in 0..40 {
+        let mut rng = case_rng(3, case);
+        let n = rng.random_range(4usize..80);
+        let edges: Vec<(usize, usize)> = (0..rng.random_range(0usize..200))
+            .map(|_| (rng.random_range(0usize..n), rng.random_range(0usize..n)))
             .collect();
-        let mut heap = build_random_heap(n, &edges, &[root % n]);
+        let root = rng.random_range(0usize..n);
+        let markq_entries = rng.random_range(16usize..256);
+        let marker_slots = rng.random_range(1usize..24);
+        let markbit = [0usize, 16, 64][rng.random_range(0usize..3)];
+        let compress = rng.random::<bool>();
+
+        let mut heap = build_random_heap(n, &edges, &[root]);
         let cfg = GcUnitConfig {
             markq_entries,
             markq_side: 16,
@@ -131,10 +133,11 @@ proptest! {
         let mut mem = MemSystem::ddr3(Default::default());
         let mut unit = TraversalUnit::new(cfg, &mut heap);
         let result = unit.run_mark(&mut heap, &mut mem, 0);
-        prop_assert!(check_marks_match_reachability(&heap).is_ok());
-        prop_assert_eq!(
+        assert!(check_marks_match_reachability(&heap).is_ok(), "case {case}");
+        assert_eq!(
             result.objects_marked as usize,
-            heap.reachable_from_roots().len()
+            heap.reachable_from_roots().len(),
+            "case {case}"
         );
     }
 }

@@ -144,8 +144,10 @@ impl Backing for MemBacking<'_> {
     }
 
     fn writeback(&mut self, line_addr: u64, at: Cycle) {
-        self.mem
-            .schedule(&MemReq::write(line_addr, LINE_BYTES as u32, self.source), at);
+        self.mem.schedule(
+            &MemReq::write(line_addr, LINE_BYTES as u32, self.source),
+            at,
+        );
     }
 }
 
@@ -201,11 +203,14 @@ impl Cache {
         assert!(cfg.mshrs > 0, "cache must have at least one MSHR");
         let line_capacity = cfg.size_bytes / LINE_BYTES;
         assert!(
-            line_capacity % cfg.ways as u64 == 0,
+            line_capacity.is_multiple_of(cfg.ways as u64),
             "capacity must divide evenly into ways"
         );
         let num_sets = line_capacity / cfg.ways as u64;
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Self {
             sets: vec![vec![Line::default(); cfg.ways]; num_sets as usize],
             num_sets,
@@ -296,16 +301,13 @@ impl Cache {
 
         // Victim selection: invalid way first, else LRU.
         let set = &mut self.sets[set_idx];
-        let way = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_use)
-                    .map(|(i, _)| i)
-                    .expect("non-empty set")
-            });
+        let way = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("non-empty set")
+        });
         if set[way].valid && set[way].dirty {
             let victim = set[way].tag;
             self.stats.writebacks += 1;
@@ -357,7 +359,8 @@ impl Backing for L2Backing<'_> {
             mem: self.mem,
             source: self.source,
         };
-        self.l2.access(line_addr, false, at, self.source, &mut backing)
+        self.l2
+            .access(line_addr, false, at, self.source, &mut backing)
     }
 
     fn writeback(&mut self, line_addr: u64, at: Cycle) {
@@ -366,7 +369,8 @@ impl Backing for L2Backing<'_> {
             source: self.source,
         };
         // Write-back allocates in L2 (write-allocate policy).
-        self.l2.access(line_addr, true, at, self.source, &mut backing);
+        self.l2
+            .access(line_addr, true, at, self.source, &mut backing);
     }
 }
 
@@ -528,7 +532,11 @@ mod tests {
             };
             l1.access(0x2000, false, 1000, Source::Cpu, &mut b);
         }
-        assert_eq!(mem.stats().total_requests, before, "L2 should absorb the fill");
+        assert_eq!(
+            mem.stats().total_requests,
+            before,
+            "L2 should absorb the fill"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl PhysMem {
     ///
     /// Panics if `bytes` is not a multiple of 8.
     pub fn new(bytes: u64) -> Self {
-        assert!(bytes % 8 == 0, "physical memory size must be word-aligned");
+        assert!(
+            bytes.is_multiple_of(8),
+            "physical memory size must be word-aligned"
+        );
         Self {
             words: vec![0; (bytes / 8) as usize],
         }
@@ -47,7 +50,10 @@ impl PhysMem {
 
     #[inline]
     fn index(&self, paddr: u64) -> usize {
-        debug_assert!(paddr % 8 == 0, "unaligned word access at {paddr:#x}");
+        debug_assert!(
+            paddr.is_multiple_of(8),
+            "unaligned word access at {paddr:#x}"
+        );
         let idx = (paddr / 8) as usize;
         assert!(
             idx < self.words.len(),
@@ -94,7 +100,10 @@ impl PhysMem {
     ///
     /// Panics if the range is unaligned or out of bounds.
     pub fn zero_range(&mut self, paddr: u64, len: u64) {
-        assert!(len % 8 == 0, "zero_range length must be word-aligned");
+        assert!(
+            len.is_multiple_of(8),
+            "zero_range length must be word-aligned"
+        );
         for off in (0..len).step_by(8) {
             self.write_u64(paddr + off, 0);
         }

@@ -139,7 +139,7 @@ impl MemReq {
     pub fn is_aligned(&self) -> bool {
         self.bytes.is_power_of_two()
             && (8..=64).contains(&self.bytes)
-            && self.addr % self.bytes as u64 == 0
+            && self.addr.is_multiple_of(self.bytes as u64)
     }
 }
 
@@ -164,15 +164,25 @@ impl MemReq {
 ///
 /// Panics if `start` or `len` is not 8-byte aligned.
 pub fn decompose_aligned(start: u64, len: u64) -> Vec<(u64, u32)> {
-    assert!(start % 8 == 0, "transfer start must be 8-byte aligned");
-    assert!(len % 8 == 0, "transfer length must be a multiple of 8");
+    assert!(
+        start.is_multiple_of(8),
+        "transfer start must be 8-byte aligned"
+    );
+    assert!(
+        len.is_multiple_of(8),
+        "transfer length must be a multiple of 8"
+    );
     let mut out = Vec::new();
     let mut addr = start;
     let mut remaining = len;
     while remaining > 0 {
         // Largest power-of-two size (<= 64) that the current alignment
         // permits and that fits in the remainder.
-        let align = if addr == 0 { 64 } else { 1u64 << addr.trailing_zeros().min(6) };
+        let align = if addr == 0 {
+            64
+        } else {
+            1u64 << addr.trailing_zeros().min(6)
+        };
         let fit = if remaining >= 64 {
             64
         } else {

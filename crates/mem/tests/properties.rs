@@ -1,132 +1,172 @@
 //! Property-based tests for the memory system: TileLink decomposition,
 //! DDR3 timing sanity and cache coherence of the timestamp model.
-
-use proptest::prelude::*;
+//! Each property runs ~100 randomized cases from fixed seeds.
 
 use tracegc_mem::cache::{Backing, MemBacking};
 use tracegc_mem::ddr3::{Ddr3Config, Ddr3Model};
 use tracegc_mem::pipe::{PipeConfig, PipeModel};
 use tracegc_mem::req::decompose_aligned;
 use tracegc_mem::{Cache, CacheConfig, MemReq, MemSystem, Source};
+use tracegc_sim::rng::{Rng, StdRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 100;
 
-    #[test]
-    fn decomposition_covers_exactly_and_legally(
-        start in (0u64..1 << 30).prop_map(|v| v & !7),
-        words in 1u64..64,
-    ) {
+fn case_rng(property: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(0x3E30_0000 + property * 10_007 + case)
+}
+
+#[test]
+fn decomposition_covers_exactly_and_legally() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let start = rng.random_range(0u64..1 << 30) & !7;
+        let words = rng.random_range(1u64..64);
         let len = words * 8;
         let chunks = decompose_aligned(start, len);
         // Contiguous, covering, non-overlapping.
         let mut cursor = start;
         for (addr, bytes) in &chunks {
-            prop_assert_eq!(*addr, cursor);
+            assert_eq!(*addr, cursor, "case {case}");
             cursor += *bytes as u64;
             // TileLink legality.
             let req = MemReq::read(*addr, *bytes, Source::Tracer);
-            prop_assert!(req.is_aligned(), "illegal chunk {:#x}+{}", addr, bytes);
+            assert!(
+                req.is_aligned(),
+                "case {case}: illegal chunk {addr:#x}+{bytes}"
+            );
         }
-        prop_assert_eq!(cursor, start + len);
+        assert_eq!(cursor, start + len, "case {case}");
     }
+}
 
-    #[test]
-    fn ddr3_completion_always_after_presentation(
-        addrs in proptest::collection::vec((0u64..1 << 26).prop_map(|v| v & !63), 1..64),
-        gaps in proptest::collection::vec(0u64..50, 1..64),
-    ) {
+#[test]
+fn ddr3_completion_always_after_presentation() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
         let mut model = Ddr3Model::new(Ddr3Config::default());
         let mut now = 0;
-        for (addr, gap) in addrs.iter().zip(&gaps) {
-            now += gap;
-            let done = model.schedule(&MemReq::read(*addr, 64, Source::Cpu), now);
-            prop_assert!(done > now, "completion {done} <= presentation {now}");
+        for _ in 0..rng.random_range(1usize..64) {
+            let addr = rng.random_range(0u64..1 << 26) & !63;
+            now += rng.random_range(0u64..50);
+            let done = model.schedule(&MemReq::read(addr, 64, Source::Cpu), now);
+            assert!(
+                done > now,
+                "case {case}: completion {done} <= presentation {now}"
+            );
         }
     }
+}
 
-    #[test]
-    fn ddr3_single_stream_completions_are_monotone(
-        addrs in proptest::collection::vec((0u64..1 << 26).prop_map(|v| v & !63), 2..64),
-    ) {
+#[test]
+fn ddr3_single_stream_completions_are_monotone() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
         // One agent issuing strictly after each completion must observe
         // monotone completions.
         let mut model = Ddr3Model::new(Ddr3Config::default());
         let mut now = 0;
         let mut last_done = 0;
-        for addr in &addrs {
-            let done = model.schedule(&MemReq::read(*addr, 64, Source::Cpu), now);
-            prop_assert!(done >= last_done);
+        for _ in 0..rng.random_range(2usize..64) {
+            let addr = rng.random_range(0u64..1 << 26) & !63;
+            let done = model.schedule(&MemReq::read(addr, 64, Source::Cpu), now);
+            assert!(done >= last_done, "case {case}");
             last_done = done;
             now = done;
         }
     }
+}
 
-    #[test]
-    fn ddr3_bandwidth_never_exceeds_the_bus(
-        addrs in proptest::collection::vec((0u64..1 << 26).prop_map(|v| v & !63), 16..128),
-    ) {
+#[test]
+fn ddr3_bandwidth_never_exceeds_the_bus() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let n = rng.random_range(16usize..128);
         let mut model = Ddr3Model::new(Ddr3Config::default());
         let mut last = 0u64;
-        for addr in &addrs {
-            last = last.max(model.schedule(&MemReq::read(*addr, 64, Source::Cpu), 0));
+        for _ in 0..n {
+            let addr = rng.random_range(0u64..1 << 26) & !63;
+            last = last.max(model.schedule(&MemReq::read(addr, 64, Source::Cpu), 0));
         }
         // 16 bytes per cycle is the physical DDR3-2000 limit.
-        let bytes = addrs.len() as u64 * 64;
-        prop_assert!(bytes <= last * 16, "{bytes} bytes in {last} cycles");
+        let bytes = n as u64 * 64;
+        assert!(
+            bytes <= last * 16,
+            "case {case}: {bytes} bytes in {last} cycles"
+        );
     }
+}
 
-    #[test]
-    fn pipe_respects_configured_bandwidth(
-        sizes in proptest::collection::vec(prop_oneof![Just(8u32), Just(16), Just(32), Just(64)], 8..64),
-    ) {
+#[test]
+fn pipe_respects_configured_bandwidth() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let sizes: Vec<u32> = (0..rng.random_range(8usize..64))
+            .map(|_| [8u32, 16, 32, 64][rng.random_range(0usize..4)])
+            .collect();
         let mut pipe = PipeModel::new(PipeConfig::default());
         let mut last = 0;
         for (i, &s) in sizes.iter().enumerate() {
             last = pipe.schedule(&MemReq::read(i as u64 * 64, s, Source::Tracer), 0);
         }
         let bytes: u64 = sizes.iter().map(|&s| s as u64).sum();
-        prop_assert!(bytes <= last * 8, "{bytes} bytes by cycle {last} exceeds 8 B/cyc");
+        assert!(
+            bytes <= last * 8,
+            "case {case}: {bytes} bytes by cycle {last} exceeds 8 B/cyc"
+        );
     }
+}
 
-    #[test]
-    fn cache_hits_after_fill_and_never_loses_data(
-        addrs in proptest::collection::vec((0u64..1 << 16).prop_map(|v| v & !7), 1..64),
-    ) {
+#[test]
+fn cache_hits_after_fill_and_never_loses_data() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
         let mut cache = Cache::new(CacheConfig::rocket_l1d());
         let mut mem = MemSystem::pipe(PipeConfig::default());
         let mut now = 0;
-        for addr in &addrs {
-            let mut backing = MemBacking { mem: &mut mem, source: Source::Cpu };
-            now = cache.access(*addr, false, now, Source::Cpu, &mut backing);
+        for _ in 0..rng.random_range(1usize..64) {
+            let addr = rng.random_range(0u64..1 << 16) & !7;
+            let mut backing = MemBacking {
+                mem: &mut mem,
+                source: Source::Cpu,
+            };
+            now = cache.access(addr, false, now, Source::Cpu, &mut backing);
             // Immediate re-access is a hit costing exactly hit latency.
-            let mut backing = MemBacking { mem: &mut mem, source: Source::Cpu };
-            let again = cache.access(*addr, false, now, Source::Cpu, &mut backing);
-            prop_assert_eq!(again, now + cache.config().hit_latency);
+            let mut backing = MemBacking {
+                mem: &mut mem,
+                source: Source::Cpu,
+            };
+            let again = cache.access(addr, false, now, Source::Cpu, &mut backing);
+            assert_eq!(again, now + cache.config().hit_latency, "case {case}");
             now = again;
         }
     }
+}
 
-    #[test]
-    fn cache_timing_is_monotone_for_one_agent(
-        addrs in proptest::collection::vec((0u64..1 << 20).prop_map(|v| v & !7), 2..96),
-        writes in proptest::collection::vec(any::<bool>(), 2..96),
-    ) {
+#[test]
+fn cache_timing_is_monotone_for_one_agent() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
         let mut cache = Cache::new(CacheConfig::rocket_l1d());
         let mut mem = MemSystem::ddr3(Ddr3Config::default());
         let mut now = 0;
-        for (addr, write) in addrs.iter().zip(&writes) {
-            let mut backing = MemBacking { mem: &mut mem, source: Source::Cpu };
-            let done = cache.access(*addr, *write, now, Source::Cpu, &mut backing);
-            prop_assert!(done >= now);
+        for _ in 0..rng.random_range(2usize..96) {
+            let addr = rng.random_range(0u64..1 << 20) & !7;
+            let write = rng.random::<bool>();
+            let mut backing = MemBacking {
+                mem: &mut mem,
+                source: Source::Cpu,
+            };
+            let done = cache.access(addr, write, now, Source::Cpu, &mut backing);
+            assert!(done >= now, "case {case}");
             now = done;
         }
     }
+}
 
-    #[test]
-    fn writeback_preserves_stats_consistency(
-        addrs in proptest::collection::vec((0u64..1 << 14).prop_map(|v| v & !7), 8..128),
-    ) {
+#[test]
+fn writeback_preserves_stats_consistency() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
         // Tiny cache to force evictions.
         let mut cache = Cache::new(CacheConfig {
             size_bytes: 4 * 64,
@@ -136,13 +176,18 @@ proptest! {
         });
         let mut mem = MemSystem::pipe(PipeConfig::default());
         let mut now = 0;
-        for addr in &addrs {
-            let mut backing = MemBacking { mem: &mut mem, source: Source::Cpu };
-            now = cache.access(*addr, true, now, Source::Cpu, &mut backing);
+        let n = rng.random_range(8usize..128);
+        for _ in 0..n {
+            let addr = rng.random_range(0u64..1 << 14) & !7;
+            let mut backing = MemBacking {
+                mem: &mut mem,
+                source: Source::Cpu,
+            };
+            now = cache.access(addr, true, now, Source::Cpu, &mut backing);
         }
         let s = cache.stats();
-        prop_assert_eq!(s.hits() + s.misses(), addrs.len() as u64);
-        prop_assert!(s.writebacks <= s.misses());
+        assert_eq!(s.hits() + s.misses(), n as u64, "case {case}");
+        assert!(s.writebacks <= s.misses(), "case {case}");
     }
 }
 
@@ -160,13 +205,10 @@ impl Backing for CountingBacking {
     fn writeback(&mut self, _line: u64, _at: u64) {}
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn at_most_one_fill_per_distinct_line(
-        lines in proptest::collection::vec(0u64..32, 1..64),
-    ) {
+#[test]
+fn at_most_one_fill_per_distinct_line() {
+    for case in 0..CASES {
+        let mut rng = case_rng(9, case);
         // A cache big enough to never evict: each distinct line fills
         // exactly once no matter the access pattern.
         let mut cache = Cache::new(CacheConfig {
@@ -178,10 +220,11 @@ proptest! {
         let mut backing = CountingBacking::default();
         let mut now = 0;
         let mut distinct = std::collections::BTreeSet::new();
-        for line in &lines {
-            distinct.insert(*line);
+        for _ in 0..rng.random_range(1usize..64) {
+            let line = rng.random_range(0u64..32);
+            distinct.insert(line);
             now = cache.access(line * 64, false, now, Source::Cpu, &mut backing);
         }
-        prop_assert_eq!(backing.fills, distinct.len() as u64);
+        assert_eq!(backing.fills, distinct.len() as u64, "case {case}");
     }
 }

@@ -101,9 +101,7 @@ pub fn gc_unit_area(cfg: &GcUnitConfig) -> AreaBreakdown {
     // PTW: shared L2 TLB (set-associative SRAM, not CAM) plus the
     // 8 KiB PTW cache.
     let l2_tlb = cfg.tlb.l2_entries as f64 * 16.0 / 1024.0 * SRAM_MM2_PER_KB * 2.0;
-    let ptw = l2_tlb
-        + sram_kb(cfg.tlb.ptw_cache.size_bytes as f64 / 1024.0) * 1.1
-        + 0.004;
+    let ptw = l2_tlb + sram_kb(cfg.tlb.ptw_cache.size_bytes as f64 / 1024.0) * 1.1 + 0.004;
     // Block sweepers are tiny state machines; "a large part of the
     // design is the cross-bar that connects them" (§IV-B).
     let sweeper = 0.004 * cfg.sweepers as f64 + 0.002 * (cfg.sweepers * cfg.sweepers) as f64 / 4.0;
@@ -118,7 +116,10 @@ pub fn gc_unit_area(cfg: &GcUnitConfig) -> AreaBreakdown {
         ("other".into(), other),
     ];
     if cfg.markbit_cache > 0 {
-        components.push(("markbit-cache".into(), cam_bytes(cfg.markbit_cache as f64 * 9.0)));
+        components.push((
+            "markbit-cache".into(),
+            cam_bytes(cfg.markbit_cache as f64 * 9.0),
+        ));
     }
     AreaBreakdown { components }
 }

@@ -109,7 +109,11 @@ impl EnergyModel {
             + activates as f64 * self.activate_nj * 1e-6
             + bytes_transferred as f64 * self.transfer_nj_per_byte * 1e-6;
         let duration_ms = seconds * 1e3;
-        let dram_power_mw = if seconds > 0.0 { dram_mj / seconds } else { 0.0 };
+        let dram_power_mw = if seconds > 0.0 {
+            dram_mj / seconds
+        } else {
+            0.0
+        };
         EnergyEstimate {
             compute_mj,
             dram_mj,

@@ -4,22 +4,22 @@
 //! log-normal object sizes (heaps are dominated by small objects with a long
 //! tail), and Zipf-distributed reference popularity (the paper observes that
 //! ~56 hot objects receive ~10% of all mark operations, Fig. 21a). These are
-//! implemented here directly against [`rand::Rng`] so the project needs no
-//! additional distribution crates.
+//! implemented directly against the in-tree [`crate::rng::Rng`] trait so the
+//! project needs no external crates at all.
 
-use rand::{Rng, RngExt as _};
+use crate::rng::Rng;
 
 /// Samples a standard normal via the Box–Muller transform.
 ///
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// use tracegc_sim::rng::StdRng;
+/// let mut rng = StdRng::seed_from_u64(1);
 /// let x = tracegc_sim::dist::standard_normal(&mut rng);
 /// assert!(x.is_finite());
 /// ```
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
     // Avoid ln(0) by sampling u1 from (0, 1].
     let u1: f64 = 1.0 - rng.random::<f64>();
     let u2: f64 = rng.random::<f64>();
@@ -28,7 +28,7 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 
 /// Samples a log-normal value with the given parameters of the underlying
 /// normal (`mu`, `sigma`).
-pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+pub fn log_normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
     (mu + sigma * standard_normal(rng)).exp()
 }
 
@@ -41,11 +41,11 @@ pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
 /// use tracegc_sim::dist::Zipf;
+/// use tracegc_sim::rng::StdRng;
 ///
 /// let zipf = Zipf::new(100, 1.0);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = StdRng::seed_from_u64(7);
 /// let rank = zipf.sample(&mut rng);
 /// assert!(rank < 100);
 /// ```
@@ -87,12 +87,10 @@ impl Zipf {
     }
 
     /// Draws a rank in `0..n`, rank 0 most likely.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random();
         // partition_point returns the first index whose cdf >= u.
-        self.cdf
-            .partition_point(|&c| c < u)
-            .min(self.cdf.len() - 1)
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 
     /// Probability mass of the given rank.
@@ -111,7 +109,7 @@ impl Zipf {
 /// Draws a value from `lo..hi` (exclusive upper bound).
 ///
 /// Thin wrapper kept for call-site readability in the workload generators.
-pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+pub fn uniform<R: Rng>(rng: &mut R, lo: u64, hi: u64) -> u64 {
     assert!(lo < hi, "empty uniform range");
     rng.random_range(lo..hi)
 }
@@ -119,8 +117,7 @@ pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn normal_has_roughly_zero_mean() {

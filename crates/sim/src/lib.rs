@@ -10,6 +10,9 @@
 //!   analogue of a Chisel `Queue`.
 //! * [`stats`] — counters, histograms, latency percentiles and windowed
 //!   bandwidth time series used to regenerate the paper's figures.
+//! * [`rng`] — the in-tree deterministic PRNG (SplitMix64-seeded
+//!   xoshiro256++); the project has no external dependencies, so all
+//!   randomness flows through this module.
 //! * [`dist`] — seeded random distributions (uniform, log-normal, Zipf) used
 //!   by the synthetic DaCapo workload generators.
 //!
@@ -30,9 +33,11 @@
 
 pub mod dist;
 pub mod queue;
+pub mod rng;
 pub mod stats;
 
 pub use queue::BoundedQueue;
+pub use rng::{Rng, SplitMix64, StdRng};
 pub use stats::{BandwidthMeter, Counter, Histogram, LatencyRecorder};
 
 /// A point in simulated time, measured in core clock cycles.

@@ -1,0 +1,338 @@
+//! In-tree deterministic pseudo-random number generation.
+//!
+//! The whole project must build and test with zero external crates (the
+//! evaluation environment has no access to a registry), so the seeded
+//! randomness behind the synthetic workloads lives here instead of in
+//! `rand`:
+//!
+//! * [`SplitMix64`] — the standard 64-bit seed expander; turns one `u64`
+//!   seed into a well-mixed stream, used to initialize the main
+//!   generator (and fine as a tiny standalone RNG).
+//! * [`Xoshiro256PlusPlus`] — Blackman & Vigna's xoshiro256++ 1.0, the
+//!   project's general-purpose generator (aliased as [`StdRng`]).
+//! * [`Rng`] — the trait the distribution samplers in [`crate::dist`]
+//!   and the workload generators are written against, with typed
+//!   [`Rng::random`] and [`Rng::random_range`] helpers.
+//!
+//! Everything is deterministic: the same seed always yields the same
+//! sequence, on every platform, forever — checked against the reference
+//! xoshiro256++ test vectors below. That determinism is what makes every
+//! figure in EXPERIMENTS.md and the golden CSVs under `tests/golden/`
+//! byte-reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use tracegc_sim::rng::{Rng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x: f64 = rng.random();
+//! assert!((0.0..1.0).contains(&x));
+//! let v = rng.random_range(10u64..20);
+//! assert!((10..20).contains(&v));
+//! ```
+
+use std::ops::Range;
+
+/// A deterministic source of uniformly distributed `u64`s.
+///
+/// The provided methods give typed uniform values ([`Rng::random`]) and
+/// unbiased integer ranges ([`Rng::random_range`]); implementors only
+/// supply [`Rng::next_u64`].
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniformly distributed value of type `T` (`f64` in
+    /// `[0, 1)`, full-range integers, fair `bool`).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Returns a uniformly distributed integer in `range` (half-open,
+    /// unbiased via Lemire rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+/// Types that can be sampled uniformly from an [`Rng`]'s raw bits.
+pub trait Standard {
+    /// Draws one uniformly distributed value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with the full 53-bit mantissa resolution.
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable with [`Rng::random_range`].
+pub trait UniformInt: Copy {
+    /// Draws a uniformly distributed value in `range`.
+    fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Unbiased `[0, span)` via Lemire's widening-multiply rejection method.
+fn uniform_below<R: Rng>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut m = rng.next_u64() as u128 * span as u128;
+    if (m as u64) < span {
+        // Reject the sliver that would bias low residues.
+        let threshold = span.wrapping_neg() % span;
+        while (m as u64) < threshold {
+            m = rng.next_u64() as u128 * span as u128;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range<R: Rng>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in random_range");
+                let span = (range.end - range.start) as u64;
+                range.start + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u32, u64, usize);
+
+/// Sebastiano Vigna's SplitMix64: the canonical one-`u64`-seed expander.
+///
+/// Every output of the underlying mix function is distinct over the full
+/// 2^64 period, which makes it the recommended initializer for the
+/// xoshiro family (it cannot hand out the forbidden all-zero state
+/// unless fed 4 consecutive zero outputs, which the mix prevents from
+/// clustering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, 2019): 256 bits of state, period
+/// 2^256 − 1, excellent statistical quality, a handful of shifts and
+/// rotates per output.
+///
+/// This is the project's standard generator, seeded through
+/// [`SplitMix64`] as its authors recommend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+/// The project-wide default generator (the name call sites use).
+pub type StdRng = Xoshiro256PlusPlus;
+
+impl Xoshiro256PlusPlus {
+    /// Seeds the full 256-bit state from one `u64` via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        let s = [
+            mix.next_u64(),
+            mix.next_u64(),
+            mix.next_u64(),
+            mix.next_u64(),
+        ];
+        Self::from_state(s)
+    }
+
+    /// Builds the generator from an explicit state (test vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the all-zero state, which is the one fixed point of the
+    /// transition function.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256++ state must be non-zero"
+        );
+        Self { s }
+    }
+}
+
+impl Rng for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vectors() {
+        // Reference sequence for seed 1234567 from Vigna's splitmix64.c.
+        let mut rng = SplitMix64::new(1234567);
+        let got: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            [
+                6457827717110365317,
+                3203168211198807973,
+                9817491932198370423
+            ]
+        );
+    }
+
+    #[test]
+    fn xoshiro_reference_vectors() {
+        // First outputs for state {1, 2, 3, 4}, from the reference C
+        // implementation of xoshiro256++ 1.0.
+        let mut rng = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+        let got: Vec<u64> = (0..6).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            [
+                41943041,
+                58720359,
+                3588806011781223,
+                3591011842654386,
+                9228616714210784205,
+                9973669472204895162,
+            ]
+        );
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let seq = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..16).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(42), seq(42));
+        assert_ne!(seq(42), seq(43));
+        assert_ne!(seq(0), seq(1)); // sparse seeds still diverge
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_with_sane_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn random_range_is_in_bounds_and_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..10);
+            assert!((3..10).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+    }
+
+    #[test]
+    fn random_range_supports_the_projects_integer_types() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a: u32 = rng.random_range(8u32..96);
+        let b: u64 = rng.random_range(5u64..9);
+        let c: usize = rng.random_range(0usize..3);
+        assert!((8..96).contains(&a));
+        assert!((5..9).contains(&b));
+        assert!(c < 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.random_range(5u64..5);
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let trues = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4500..5500).contains(&trues), "trues {trues}");
+    }
+
+    #[test]
+    fn rng_works_through_mut_references() {
+        fn draw<R: Rng>(mut rng: R) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let direct = draw(&mut rng);
+        let mut again = StdRng::seed_from_u64(3);
+        assert_eq!(direct, again.next_u64());
+    }
+}

@@ -1,57 +1,69 @@
-//! Property-based tests for the simulation primitives.
-
-use proptest::prelude::*;
+//! Property-based tests for the simulation primitives, driven by the
+//! in-tree deterministic PRNG: each property runs ~100 randomized cases
+//! from fixed seeds, so failures reproduce exactly.
 
 use tracegc_sim::dist::Zipf;
+use tracegc_sim::rng::{Rng, StdRng};
 use tracegc_sim::{BandwidthMeter, BoundedQueue, Histogram, LatencyRecorder};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 100;
 
-    #[test]
-    fn bounded_queue_is_fifo_and_lossless(
-        capacity in 1usize..64,
-        ops in proptest::collection::vec(any::<Option<u32>>(), 1..300),
-    ) {
+/// One independent RNG per (property, case) pair.
+fn case_rng(property: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(0x51D0_0000 + property * 10_007 + case)
+}
+
+#[test]
+fn bounded_queue_is_fifo_and_lossless() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let capacity = rng.random_range(1usize..64);
+        let n_ops = rng.random_range(1usize..300);
         let mut q = BoundedQueue::new(capacity);
         let mut model = std::collections::VecDeque::new();
-        for op in &ops {
-            match op {
-                Some(v) => {
-                    let accepted = q.try_push(*v).is_ok();
-                    prop_assert_eq!(accepted, model.len() < capacity);
-                    if accepted {
-                        model.push_back(*v);
-                    }
+        for _ in 0..n_ops {
+            if rng.random::<bool>() {
+                let v = rng.random::<u32>();
+                let accepted = q.try_push(v).is_ok();
+                assert_eq!(accepted, model.len() < capacity, "case {case}");
+                if accepted {
+                    model.push_back(v);
                 }
-                None => {
-                    prop_assert_eq!(q.pop(), model.pop_front());
-                }
+            } else {
+                assert_eq!(q.pop(), model.pop_front(), "case {case}");
             }
-            prop_assert_eq!(q.len(), model.len());
-            prop_assert_eq!(q.is_full(), model.len() == capacity);
+            assert_eq!(q.len(), model.len(), "case {case}");
+            assert_eq!(q.is_full(), model.len() == capacity, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn histogram_counts_every_sample(
-        samples in proptest::collection::vec(0u64..1000, 1..200),
-        bin_width in 1u64..50,
-    ) {
+#[test]
+fn histogram_counts_every_sample() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let bin_width = rng.random_range(1u64..50);
+        let samples: Vec<u64> = (0..rng.random_range(1usize..200))
+            .map(|_| rng.random_range(0u64..1000))
+            .collect();
         let mut h = Histogram::new(bin_width, 16);
         for &s in &samples {
             h.record(s);
         }
-        prop_assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.count(), samples.len() as u64, "case {case}");
         let binned: u64 = (0..16).map(|i| h.bin(i)).sum::<u64>() + h.overflow();
-        prop_assert_eq!(binned, samples.len() as u64);
-        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        assert_eq!(binned, samples.len() as u64, "case {case}");
+        assert_eq!(h.max(), *samples.iter().max().unwrap(), "case {case}");
     }
+}
 
-    #[test]
-    fn percentiles_are_monotone(
-        samples in proptest::collection::vec(0u64..100_000, 2..300),
-    ) {
+#[test]
+fn percentiles_are_monotone() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let samples: Vec<u64> = (0..rng.random_range(2usize..300))
+            .map(|_| rng.random_range(0u64..100_000))
+            .collect();
         let mut r = LatencyRecorder::new();
         for &s in &samples {
             r.record(s);
@@ -59,51 +71,67 @@ proptest! {
         let mut last = 0;
         for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
             let v = r.percentile(p).unwrap();
-            prop_assert!(v >= last, "p{p} = {v} < previous {last}");
+            assert!(v >= last, "case {case}: p{p} = {v} < previous {last}");
             last = v;
         }
-        prop_assert_eq!(r.percentile(100.0), Some(*samples.iter().max().unwrap()));
+        assert_eq!(r.percentile(100.0), Some(*samples.iter().max().unwrap()));
     }
+}
 
-    #[test]
-    fn cdf_is_a_distribution(
-        samples in proptest::collection::vec(0u64..1000, 1..200),
-    ) {
+#[test]
+fn cdf_is_a_distribution() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let samples: Vec<u64> = (0..rng.random_range(1usize..200))
+            .map(|_| rng.random_range(0u64..1000))
+            .collect();
         let mut r = LatencyRecorder::new();
         for &s in &samples {
             r.record(s);
         }
         let cdf = r.cdf();
-        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12, "case {case}");
         for w in cdf.windows(2) {
-            prop_assert!(w[0].0 < w[1].0 && w[0].1 <= w[1].1);
+            assert!(w[0].0 < w[1].0 && w[0].1 <= w[1].1, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn bandwidth_meter_conserves_bytes(
-        events in proptest::collection::vec((0u64..1 << 20, 1u64..128), 1..200),
-        window in 1u64..100_000,
-    ) {
+#[test]
+fn bandwidth_meter_conserves_bytes() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let window = rng.random_range(1u64..100_000);
+        let events: Vec<(u64, u64)> = (0..rng.random_range(1usize..200))
+            .map(|_| (rng.random_range(0u64..1 << 20), rng.random_range(1u64..128)))
+            .collect();
         let mut m = BandwidthMeter::new(window);
         let mut total = 0;
-        for (cycle, bytes) in &events {
-            m.record(*cycle, *bytes);
+        for &(cycle, bytes) in &events {
+            m.record(cycle, bytes);
             total += bytes;
         }
-        prop_assert_eq!(m.total_bytes(), total);
+        assert_eq!(m.total_bytes(), total, "case {case}");
         let series_total: f64 = m.series_gbps().iter().sum::<f64>() * window as f64;
-        prop_assert!((series_total - total as f64).abs() < 1e-6);
+        assert!((series_total - total as f64).abs() < 1e-6, "case {case}");
     }
+}
 
-    #[test]
-    fn zipf_is_a_valid_distribution(n in 1usize..500, s in 0.0f64..3.0) {
+#[test]
+fn zipf_is_a_valid_distribution() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let n = rng.random_range(1usize..500);
+        let s = rng.random::<f64>() * 3.0;
         let z = Zipf::new(n, s);
         let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-6);
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "case {case}: pmf sums to {total}"
+        );
         // Monotone non-increasing popularity.
         for r in 1..n {
-            prop_assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12);
+            assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12, "case {case}: rank {r}");
         }
     }
 }

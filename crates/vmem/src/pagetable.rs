@@ -58,7 +58,7 @@ impl FrameAlloc {
     ///
     /// Panics if the bounds are not page-aligned or empty.
     pub fn new(start: u64, limit: u64) -> Self {
-        assert!(start % PAGE_SIZE == 0 && limit % PAGE_SIZE == 0);
+        assert!(start.is_multiple_of(PAGE_SIZE) && limit.is_multiple_of(PAGE_SIZE));
         assert!(start < limit, "empty frame region");
         Self { next: start, limit }
     }
@@ -180,14 +180,8 @@ impl AddressSpace {
 
     /// Maps `len` bytes starting at `va` to consecutive frames from
     /// `falloc`, returning the physical address of the first frame.
-    pub fn map_range(
-        &self,
-        mem: &mut PhysMem,
-        falloc: &mut FrameAlloc,
-        va: u64,
-        len: u64,
-    ) -> u64 {
-        assert!(va % PAGE_SIZE == 0, "range must be page-aligned");
+    pub fn map_range(&self, mem: &mut PhysMem, falloc: &mut FrameAlloc, va: u64, len: u64) -> u64 {
+        assert!(va.is_multiple_of(PAGE_SIZE), "range must be page-aligned");
         let pages = len.div_ceil(PAGE_SIZE);
         let mut first = None;
         for i in 0..pages {
@@ -206,15 +200,24 @@ impl AddressSpace {
     /// Panics if `va` or `pa` is not megapage-aligned, or the slot is
     /// already occupied.
     pub fn map_superpage(&self, mem: &mut PhysMem, falloc: &mut FrameAlloc, va: u64, pa: u64) {
-        assert!(va % MEGAPAGE_SIZE == 0, "superpage VA must be 2 MiB aligned");
-        assert!(pa % MEGAPAGE_SIZE == 0, "superpage PA must be 2 MiB aligned");
+        assert!(
+            va.is_multiple_of(MEGAPAGE_SIZE),
+            "superpage VA must be 2 MiB aligned"
+        );
+        assert!(
+            pa.is_multiple_of(MEGAPAGE_SIZE),
+            "superpage PA must be 2 MiB aligned"
+        );
         // Walk/create the root level only.
         let root_pte_pa = self.root_pa + Self::vpn(va, 0) * 8;
         let root_pte = mem.read_u64(root_pte_pa);
         let mid = if root_pte & PTE_VALID == 0 {
             let child = falloc.alloc();
             mem.zero_range(child, PAGE_SIZE);
-            mem.write_u64(root_pte_pa, ((child / PAGE_SIZE) << PTE_PPN_SHIFT) | PTE_VALID);
+            mem.write_u64(
+                root_pte_pa,
+                ((child / PAGE_SIZE) << PTE_PPN_SHIFT) | PTE_VALID,
+            );
             child
         } else {
             assert!(root_pte & PTE_LEAF == 0, "gigapage in the way");
@@ -249,7 +252,7 @@ impl AddressSpace {
             if pte & PTE_LEAF != 0 {
                 let page_bytes = PAGE_SIZE << (VPN_BITS * (LEVELS - 1 - level));
                 let ppn = pte >> PTE_PPN_SHIFT;
-                return Some((ppn * PAGE_SIZE + (va % page_bytes), page_bytes as u64));
+                return Some((ppn * PAGE_SIZE + (va % page_bytes), page_bytes));
             }
             node = (pte >> PTE_PPN_SHIFT) * PAGE_SIZE;
         }
@@ -305,11 +308,7 @@ mod tests {
         let (mut mem, mut falloc, aspace) = setup();
         aspace.map_range(&mut mem, &mut falloc, 0x4000_0000, 8 * PAGE_SIZE);
         let mut frames: Vec<u64> = (0..8)
-            .map(|i| {
-                aspace
-                    .translate(&mem, 0x4000_0000 + i * PAGE_SIZE)
-                    .unwrap()
-            })
+            .map(|i| aspace.translate(&mem, 0x4000_0000 + i * PAGE_SIZE).unwrap())
             .collect();
         frames.sort_unstable();
         frames.dedup();
@@ -331,7 +330,7 @@ mod tests {
     #[test]
     fn walk_path_stops_early_when_unmapped() {
         let (mem, _, aspace) = setup();
-        let path = aspace.walk_path(&mem, 0xdead_beef_000);
+        let path = aspace.walk_path(&mem, 0xdead_beef << 12);
         assert_eq!(path.len(), 1); // invalid at the root
     }
 

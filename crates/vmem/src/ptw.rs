@@ -127,7 +127,9 @@ impl Translator {
     pub fn new(aspace: AddressSpace, cfg: TlbConfig) -> Self {
         Self {
             aspace,
-            l1: (0..Requester::COUNT).map(|_| Tlb::new(cfg.l1_entries)).collect(),
+            l1: (0..Requester::COUNT)
+                .map(|_| Tlb::new(cfg.l1_entries))
+                .collect(),
             l2: Tlb::new(cfg.l2_entries),
             ptw_cache: Some(Cache::new(cfg.ptw_cache)),
             walks_inflight: Vec::new(),
@@ -272,7 +274,9 @@ mod tests {
         let mut tr = Translator::new(aspace, TlbConfig::default());
         for i in 0..16 {
             let va = base + i * PAGE_SIZE + 0x18;
-            let (pa, _) = tr.translate(Requester::Marker, va, 0, &mut mem, &phys).unwrap();
+            let (pa, _) = tr
+                .translate(Requester::Marker, va, 0, &mut mem, &phys)
+                .unwrap();
             assert_eq!(Some(pa), aspace.translate(&phys, va));
         }
     }
@@ -281,7 +285,9 @@ mod tests {
     fn l1_hit_is_free_after_first_walk() {
         let (phys, aspace, mut mem, base) = setup(1);
         let mut tr = Translator::new(aspace, TlbConfig::default());
-        let (_, t1) = tr.translate(Requester::Marker, base, 0, &mut mem, &phys).unwrap();
+        let (_, t1) = tr
+            .translate(Requester::Marker, base, 0, &mut mem, &phys)
+            .unwrap();
         assert!(t1 > 0, "first access walks");
         let (_, t2) = tr
             .translate(Requester::Marker, base + 8, t1, &mut mem, &phys)
@@ -295,7 +301,8 @@ mod tests {
     fn l2_serves_cross_requester_sharing() {
         let (phys, aspace, mut mem, base) = setup(1);
         let mut tr = Translator::new(aspace, TlbConfig::default());
-        tr.translate(Requester::Marker, base, 0, &mut mem, &phys).unwrap();
+        tr.translate(Requester::Marker, base, 0, &mut mem, &phys)
+            .unwrap();
         let (_, t) = tr
             .translate(Requester::Tracer, base, 1000, &mut mem, &phys)
             .unwrap();
@@ -310,7 +317,9 @@ mod tests {
         let blocking = TlbConfig::default();
         let mut tr = Translator::new(aspace, blocking);
         // Two misses presented at the same cycle: second waits.
-        let (_, t0) = tr.translate(Requester::Marker, base, 0, &mut mem, &phys).unwrap();
+        let (_, t0) = tr
+            .translate(Requester::Marker, base, 0, &mut mem, &phys)
+            .unwrap();
         let (_, t1) = tr
             .translate(Requester::Tracer, base + PAGE_SIZE, 0, &mut mem, &phys)
             .unwrap();
@@ -326,7 +335,9 @@ mod tests {
             ..TlbConfig::default()
         };
         let mut tr = Translator::new(aspace, cfg);
-        let (_, t0) = tr.translate(Requester::Marker, base, 0, &mut mem, &phys).unwrap();
+        let (_, t0) = tr
+            .translate(Requester::Marker, base, 0, &mut mem, &phys)
+            .unwrap();
         let (_, t1) = tr
             .translate(Requester::Tracer, base + PAGE_SIZE, 0, &mut mem, &phys)
             .unwrap();
@@ -350,9 +361,11 @@ mod tests {
     fn flush_forces_rewalk() {
         let (phys, aspace, mut mem, base) = setup(1);
         let mut tr = Translator::new(aspace, TlbConfig::default());
-        tr.translate(Requester::Marker, base, 0, &mut mem, &phys).unwrap();
+        tr.translate(Requester::Marker, base, 0, &mut mem, &phys)
+            .unwrap();
         tr.flush();
-        tr.translate(Requester::Marker, base, 100, &mut mem, &phys).unwrap();
+        tr.translate(Requester::Marker, base, 100, &mut mem, &phys)
+            .unwrap();
         assert_eq!(tr.stats().walks, 2);
     }
 

@@ -84,7 +84,10 @@ impl Tlb {
     ///
     /// Panics if `page_bytes` is not a power of two.
     pub fn insert_sized(&mut self, va: u64, pa: u64, page_bytes: u64) {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         self.clock += 1;
         let base_va = va & !(page_bytes - 1);
         let base_pa = pa & !(page_bytes - 1);
@@ -164,13 +167,13 @@ mod tests {
     #[test]
     fn lru_eviction_keeps_recently_used() {
         let mut tlb = Tlb::new(2);
-        tlb.insert(0 * PAGE_SIZE, 0);
-        tlb.insert(1 * PAGE_SIZE, PAGE_SIZE);
+        tlb.insert(0, 0);
+        tlb.insert(PAGE_SIZE, PAGE_SIZE);
         // Touch page 0 so page 1 becomes LRU.
         tlb.lookup(0);
         tlb.insert(2 * PAGE_SIZE, 2 * PAGE_SIZE);
         assert!(tlb.lookup(0).is_some());
-        assert!(tlb.lookup(1 * PAGE_SIZE).is_none());
+        assert!(tlb.lookup(PAGE_SIZE).is_none());
         assert!(tlb.lookup(2 * PAGE_SIZE).is_some());
     }
 

@@ -1,23 +1,26 @@
 //! Property-based tests for virtual memory: the timed translator always
 //! agrees with the page-table oracle, for arbitrary mappings and access
-//! orders.
-
-use proptest::prelude::*;
+//! orders. Randomized cases come from fixed seeds.
 
 use tracegc_mem::{Cache, CacheConfig, MemSystem, PhysMem};
+use tracegc_sim::rng::{Rng, StdRng};
 use tracegc_vmem::{AddressSpace, FrameAlloc, Requester, Tlb, TlbConfig, Translator, PAGE_SIZE};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn case_rng(property: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(0x7AB0_0000 + property * 10_007 + case)
+}
 
-    #[test]
-    fn translator_matches_oracle_for_random_access_orders(
-        pages in 1u64..64,
-        accesses in proptest::collection::vec((0u64..64, 0u64..4096), 1..200),
-        l1 in 1usize..64,
-        l2 in 1usize..256,
-        walks in 1usize..4,
-    ) {
+#[test]
+fn translator_matches_oracle_for_random_access_orders() {
+    // Page-table walks through the full memory model are the costly
+    // part, so this property uses fewer, larger cases.
+    for case in 0..48 {
+        let mut rng = case_rng(1, case);
+        let pages = rng.random_range(1u64..64);
+        let l1 = rng.random_range(1usize..64);
+        let l2 = rng.random_range(1usize..256);
+        let walks = rng.random_range(1usize..4);
+
         let mut phys = PhysMem::new(32 << 20);
         let mut falloc = FrameAlloc::new(0, 32 << 20);
         let aspace = AddressSpace::new(&mut phys, &mut falloc);
@@ -33,63 +36,76 @@ proptest! {
         let mut tr = Translator::new(aspace, cfg);
         let mut mem = MemSystem::pipe(Default::default());
         let mut now = 0;
-        for (page, offset) in &accesses {
+        for _ in 0..rng.random_range(1usize..200) {
+            let page = rng.random_range(0u64..64);
+            let offset = rng.random_range(0u64..4096);
             let va = base + (page % pages) * PAGE_SIZE + (offset & !7);
             let (pa, t) = tr
                 .translate(Requester::Marker, va, now, &mut mem, &phys)
                 .expect("mapped");
-            prop_assert_eq!(Some(pa), aspace.translate(&phys, va));
-            prop_assert!(t >= now);
+            assert_eq!(Some(pa), aspace.translate(&phys, va), "case {case}");
+            assert!(t >= now, "case {case}");
             now = t;
         }
     }
+}
 
-    #[test]
-    fn tlb_never_returns_a_wrong_translation(
-        inserts in proptest::collection::vec((0u64..128, 0u64..128), 1..200),
-        lookups in proptest::collection::vec(0u64..128, 1..200),
-        capacity in 1usize..32,
-    ) {
+#[test]
+fn tlb_never_returns_a_wrong_translation() {
+    for case in 0..100 {
+        let mut rng = case_rng(2, case);
+        let capacity = rng.random_range(1usize..32);
         let mut tlb = Tlb::new(capacity);
         let mut truth = std::collections::HashMap::new();
-        for (vpn, ppn) in &inserts {
+        for _ in 0..rng.random_range(1usize..200) {
+            let vpn = rng.random_range(0u64..128);
+            let ppn = rng.random_range(0u64..128);
             tlb.insert(vpn * PAGE_SIZE, ppn * PAGE_SIZE);
-            truth.insert(*vpn, *ppn);
+            truth.insert(vpn, ppn);
         }
-        for vpn in &lookups {
+        for _ in 0..rng.random_range(1usize..200) {
+            let vpn = rng.random_range(0u64..128);
             if let Some(pa) = tlb.lookup(vpn * PAGE_SIZE + 8) {
                 // A hit must agree with the last inserted mapping.
-                prop_assert_eq!(pa, truth[vpn] * PAGE_SIZE + 8);
+                assert_eq!(pa, truth[&vpn] * PAGE_SIZE + 8, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn tlb_capacity_is_never_exceeded(
-        inserts in proptest::collection::vec(0u64..256, 1..300),
-        capacity in 1usize..16,
-    ) {
+#[test]
+fn tlb_capacity_is_never_exceeded() {
+    for case in 0..100 {
+        let mut rng = case_rng(3, case);
+        let capacity = rng.random_range(1usize..16);
         let mut tlb = Tlb::new(capacity);
-        for vpn in &inserts {
+        for _ in 0..rng.random_range(1usize..300) {
+            let vpn = rng.random_range(0u64..256);
             tlb.insert(vpn * PAGE_SIZE, vpn * PAGE_SIZE);
-            prop_assert!(tlb.len() <= capacity);
+            assert!(tlb.len() <= capacity, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn walk_path_lengths_are_bounded(
-        pages in 1u64..32,
-        probe in 0u64..64,
-    ) {
+#[test]
+fn walk_path_lengths_are_bounded() {
+    for case in 0..100 {
+        let mut rng = case_rng(4, case);
+        let pages = rng.random_range(1u64..32);
+        let probe = rng.random_range(0u64..64);
         let mut phys = PhysMem::new(16 << 20);
         let mut falloc = FrameAlloc::new(0, 16 << 20);
         let aspace = AddressSpace::new(&mut phys, &mut falloc);
         let base = 0x4000_0000u64;
         aspace.map_range(&mut phys, &mut falloc, base, pages * PAGE_SIZE);
         let path = aspace.walk_path(&phys, base + probe * PAGE_SIZE);
-        prop_assert!((1..=3).contains(&path.len()));
+        assert!((1..=3).contains(&path.len()), "case {case}");
         if probe < pages {
-            prop_assert_eq!(path.len(), 3, "mapped page must walk to the leaf");
+            assert_eq!(
+                path.len(),
+                3,
+                "case {case}: mapped page must walk to the leaf"
+            );
         }
     }
 }

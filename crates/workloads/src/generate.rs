@@ -1,10 +1,8 @@
 //! Heap-snapshot generation and mutator churn.
 
-use rand::rngs::StdRng;
-use rand::{RngExt as _, SeedableRng};
-
 use tracegc_heap::{Heap, HeapConfig, LayoutKind, ObjRef};
 use tracegc_sim::dist::{log_normal, Zipf};
+use tracegc_sim::rng::{Rng, StdRng};
 
 use crate::spec::BenchSpec;
 
@@ -72,7 +70,11 @@ pub fn generate_heap_opts(spec: &BenchSpec, layout: LayoutKind, superpages: bool
     let shapes: Vec<(u32, u32, bool)> = (0..spec.objects)
         .map(|_| {
             let is_array = rng.random::<f64>() < spec.array_fraction;
-            (draw_refs(&mut rng, spec), draw_scalars(&mut rng, spec), is_array)
+            (
+                draw_refs(&mut rng, spec),
+                draw_scalars(&mut rng, spec),
+                is_array,
+            )
         })
         .collect();
     let objects: Vec<ObjRef> = shapes
@@ -218,10 +220,7 @@ mod tests {
         let b = generate_heap(&small("avrora"), LayoutKind::Bidirectional);
         assert_eq!(a.live_objects, b.live_objects);
         assert_eq!(a.objects.len(), b.objects.len());
-        assert_eq!(
-            a.heap.reachable_from_roots(),
-            b.heap.reachable_from_roots()
-        );
+        assert_eq!(a.heap.reachable_from_roots(), b.heap.reachable_from_roots());
     }
 
     #[test]

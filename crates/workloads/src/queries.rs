@@ -14,10 +14,8 @@
 //! block the server. Latency is measured from the *intended* issue time
 //! — the coordinated-omission correction.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use tracegc_sim::dist::log_normal;
+use tracegc_sim::rng::StdRng;
 use tracegc_sim::LatencyRecorder;
 
 /// Parameters of the query experiment.

@@ -18,7 +18,9 @@ fn main() {
         phys_bytes: 64 << 20,
         ..HeapConfig::default()
     });
-    let objs: Vec<ObjRef> = (0..2000).map(|i| heap.alloc(1, (i % 4) as u32, false).expect("fits")).collect();
+    let objs: Vec<ObjRef> = (0..2000)
+        .map(|i| heap.alloc(1, (i % 4) as u32, false).expect("fits"))
+        .collect();
     for w in objs.windows(2) {
         heap.set_ref(w[0], 0, Some(w[1]));
     }
@@ -67,7 +69,10 @@ fn main() {
     }
 
     let s = barriers.stats();
-    println!("\nmutator executed {} read barriers:", s.read_fast + s.read_slow_acquire + s.read_slow_hit);
+    println!(
+        "\nmutator executed {} read barriers:",
+        s.read_fast + s.read_slow_acquire + s.read_slow_hit
+    );
     println!("  fast path (zero page)      : {}", s.read_fast);
     println!("  slow path (line acquire)   : {}", s.read_slow_acquire);
     println!("  slow path (acquired line)  : {}", s.read_slow_hit);

@@ -15,7 +15,12 @@ use tracegc::workloads::spec::by_name;
 
 fn measure(label: &str, cfg: GcUnitConfig) {
     let spec = by_name("avrora").expect("avrora exists").scaled(0.15);
-    let run = run_unit_gc(&spec, LayoutKind::Bidirectional, cfg, MemKind::ddr3_default());
+    let run = run_unit_gc(
+        &spec,
+        LayoutKind::Bidirectional,
+        cfg,
+        MemKind::ddr3_default(),
+    );
     let area = gc_unit_area(&cfg);
     println!(
         "{label:<26} mark {:>6.3} ms  sweep {:>6.3} ms  spills {:>5}  area {:>5.3} mm^2",

@@ -17,7 +17,9 @@ fn main() {
 
     // Measure real pause lengths for lusearch on both collectors.
     let sim_scale = 0.25;
-    let spec = by_name("lusearch").expect("lusearch exists").scaled(sim_scale);
+    let spec = by_name("lusearch")
+        .expect("lusearch exists")
+        .scaled(sim_scale);
     let mut run = DualRun::new(&spec, LayoutKind::Bidirectional, GcUnitConfig::default());
     let pause = run.run_pause(MemKind::ddr3_default());
     // Project the measured pause back to the paper's heap size: our

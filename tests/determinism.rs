@@ -62,11 +62,52 @@ fn different_seeds_differ() {
 }
 
 #[test]
+fn results_are_independent_of_jobs() {
+    // The whole registry (minus fig18/ablE, which force large scales)
+    // through the library API behind `--jobs`: a serial run and an
+    // 8-worker run must produce identical tables in identical order.
+    use tracegc::experiments::{run_ids, Options, ALL};
+
+    let ids: Vec<&str> = ALL
+        .iter()
+        .copied()
+        .filter(|&id| id != "fig18" && id != "ablE")
+        .collect();
+    let opts = |jobs| Options {
+        scale: 0.015,
+        pauses: 1,
+        jobs,
+    };
+    let serial = run_ids(&ids, &opts(1)).expect("valid ids");
+    let parallel = run_ids(&ids, &opts(8)).expect("valid ids");
+
+    assert_eq!(serial.len(), parallel.len());
+    for ((id, s), p) in ids.iter().zip(&serial).zip(&parallel) {
+        assert_eq!(s.output.id, *id, "outputs must come back in request order");
+        assert_eq!(s.output.id, p.output.id);
+        assert_eq!(s.output.notes, p.output.notes, "{id} notes differ");
+        assert_eq!(
+            s.output.tables.len(),
+            p.output.tables.len(),
+            "{id} table count differs"
+        );
+        for (st, pt) in s.output.tables.iter().zip(&p.output.tables) {
+            assert_eq!(st.to_csv(), pt.to_csv(), "{id} tables differ across --jobs");
+        }
+    }
+}
+
+#[test]
+fn unknown_ids_are_rejected_before_anything_runs() {
+    use tracegc::experiments::{run_ids, Options};
+    let err = run_ids(&["fig15", "fig99"], &Options::default()).unwrap_err();
+    assert!(err.contains("fig99"), "error should name the bad id: {err}");
+}
+
+#[test]
 fn scale_changes_the_workload_but_not_the_shape() {
-    let small = tracegc::workloads::generate::generate_heap(
-        &spec().scaled(0.5),
-        LayoutKind::Bidirectional,
-    );
+    let small =
+        tracegc::workloads::generate::generate_heap(&spec().scaled(0.5), LayoutKind::Bidirectional);
     let large = tracegc::workloads::generate::generate_heap(&spec(), LayoutKind::Bidirectional);
     let small_ratio = small.live_objects as f64 / small.objects.len() as f64;
     let large_ratio = large.live_objects as f64 / large.objects.len() as f64;

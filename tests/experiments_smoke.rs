@@ -7,6 +7,7 @@ fn smoke_opts() -> Options {
     Options {
         scale: 0.015,
         pauses: 1,
+        ..Options::default()
     }
 }
 

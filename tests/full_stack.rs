@@ -23,7 +23,11 @@ fn unit_beats_cpu_on_both_phases_for_every_memory_system() {
         );
         let p = run.run_pause(mem_kind);
         assert!(p.mark_speedup() > 1.5, "mark speedup {}", p.mark_speedup());
-        assert!(p.sweep_speedup() > 1.0, "sweep speedup {}", p.sweep_speedup());
+        assert!(
+            p.sweep_speedup() > 1.0,
+            "sweep speedup {}",
+            p.sweep_speedup()
+        );
     }
 }
 

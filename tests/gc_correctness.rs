@@ -19,9 +19,12 @@ fn unit_marks_equal_oracle_on_every_benchmark() {
         let mut mem = MemSystem::ddr3(Default::default());
         let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut w.heap);
         let result = unit.run_mark(&mut w.heap, &mut mem, 0);
-        check_marks_match_reachability(&w.heap)
-            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-        assert_eq!(result.objects_marked as usize, w.live_objects, "{}", spec.name);
+        check_marks_match_reachability(&w.heap).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(
+            result.objects_marked as usize, w.live_objects,
+            "{}",
+            spec.name
+        );
     }
 }
 
@@ -33,8 +36,7 @@ fn unit_marks_equal_oracle_conventional_layout() {
         let mut mem = MemSystem::ddr3(Default::default());
         let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut w.heap);
         unit.run_mark(&mut w.heap, &mut mem, 0);
-        check_marks_match_reachability(&w.heap)
-            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        check_marks_match_reachability(&w.heap).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
     }
 }
 
@@ -55,8 +57,16 @@ fn cpu_and_unit_produce_identical_sweeps() {
         let mut unit = GcUnit::new(GcUnitConfig::default(), &mut b.heap);
         let report = unit.run_gc(&mut b.heap, &mut mem_b);
 
-        assert_eq!(mark_a.work_items, report.mark.objects_marked, "{}", spec.name);
-        assert_eq!(sweep_a.work_items, report.sweep.cells_freed, "{}", spec.name);
+        assert_eq!(
+            mark_a.work_items, report.mark.objects_marked,
+            "{}",
+            spec.name
+        );
+        assert_eq!(
+            sweep_a.work_items, report.sweep.cells_freed,
+            "{}",
+            spec.name
+        );
         check_free_lists(&a.heap).unwrap();
         check_free_lists(&b.heap).unwrap();
         // Block-level metadata must agree exactly.

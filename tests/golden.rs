@@ -1,0 +1,65 @@
+//! Golden-fingerprint regression wall: the CSV output of key
+//! experiments at smoke scale must match the checked-in files under
+//! `tests/golden/` byte for byte.
+//!
+//! Any intentional change to a simulator model shows up here as a
+//! readable CSV diff. Regenerate the goldens with
+//!
+//! ```text
+//! cargo run -p tracegc --release --bin experiments -- \
+//!     --scale 0.015 --pauses 1 --out tests/golden table1 fig15 fig20
+//! ```
+//!
+//! and commit the result alongside the model change.
+
+use tracegc::experiments::{run, Options};
+
+fn golden_opts() -> Options {
+    Options {
+        scale: 0.015,
+        pauses: 1,
+        ..Options::default()
+    }
+}
+
+fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Compares each of `id`'s tables against its golden CSV byte-for-byte.
+fn assert_matches_golden(id: &str) {
+    let out = run(id, &golden_opts()).expect("known id");
+    assert!(!out.tables.is_empty());
+    for (i, table) in out.tables.iter().enumerate() {
+        // The same naming scheme the CLI uses for `--out`.
+        let name = if out.tables.len() == 1 {
+            format!("{id}.csv")
+        } else {
+            format!("{id}_{i}.csv")
+        };
+        let path = golden_dir().join(&name);
+        let expected = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+        let actual = table.to_csv();
+        assert_eq!(
+            actual, expected,
+            "{name} drifted from its golden copy; if the model change is \
+             intentional, regenerate tests/golden (see this file's header)"
+        );
+    }
+}
+
+#[test]
+fn table1_matches_golden() {
+    assert_matches_golden("table1");
+}
+
+#[test]
+fn fig15_matches_golden() {
+    assert_matches_golden("fig15");
+}
+
+#[test]
+fn fig20_matches_golden() {
+    assert_matches_golden("fig20");
+}
