@@ -20,4 +20,15 @@ cargo build --release --offline
 echo "==> cargo test"
 cargo test -q --offline
 
+echo "==> metrics sidecar smoke (fig15, --jobs 1 vs --jobs 8)"
+SIDECAR_DIR=$(mktemp -d)
+trap 'rm -rf "$SIDECAR_DIR"' EXIT
+./target/release/experiments --quick --jobs 1 --out "$SIDECAR_DIR/j1" fig15 >/dev/null
+./target/release/experiments --quick --jobs 8 --out "$SIDECAR_DIR/j8" fig15 >/dev/null
+test -s "$SIDECAR_DIR/j1/fig15.metrics.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+    "$SIDECAR_DIR/j1/fig15.metrics.json" 2>/dev/null \
+    || grep -q '"schema": "tracegc-metrics-v1"' "$SIDECAR_DIR/j1/fig15.metrics.json"
+cmp "$SIDECAR_DIR/j1/fig15.metrics.json" "$SIDECAR_DIR/j8/fig15.metrics.json"
+
 echo "ci.sh: all green"

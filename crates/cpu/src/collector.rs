@@ -7,7 +7,7 @@ use tracegc_heap::layout::{
 use tracegc_heap::{Heap, ObjRef};
 use tracegc_mem::cache::L2Backing;
 use tracegc_mem::{Cache, CacheConfig, MemSystem, Source};
-use tracegc_sim::Cycle;
+use tracegc_sim::{Cycle, StallAccounting, StallReason};
 use tracegc_vmem::{Requester, TlbConfig, Translator};
 
 /// Virtual base of the software collector's mark stack (scratch space the
@@ -63,6 +63,8 @@ pub struct PhaseResult {
     pub work_items: u64,
     /// References examined (mark only).
     pub refs_traced: u64,
+    /// Cycle attribution for the phase: `stalls.total() == cycles`.
+    pub stalls: StallAccounting,
 }
 
 /// The Rocket-like in-order core running the software collector.
@@ -92,6 +94,12 @@ pub struct Cpu {
     l2: Cache,
     translator: Translator,
     now: Cycle,
+    /// Per-phase cycle ledger (reset at each phase start).
+    stalls: StallAccounting,
+    /// Whether the most recent [`Cpu::access`] triggered a page-table
+    /// walk — load-use waits on it are then TLB misses, not plain memory
+    /// latency.
+    last_access_walked: bool,
 }
 
 impl Cpu {
@@ -104,6 +112,8 @@ impl Cpu {
             l2: Cache::new(cfg.l2),
             translator: Translator::new(heap.address_space(), cfg.tlb),
             now: 0,
+            stalls: StallAccounting::default(),
+            last_access_walked: false,
         }
     }
 
@@ -126,10 +136,12 @@ impl Cpu {
     /// A timed data access: translate, then L1 → L2 → DRAM. Returns the
     /// cycle the data is available.
     fn access(&mut self, heap: &Heap, mem: &mut MemSystem, va: u64, write: bool) -> Cycle {
+        let walks_before = self.translator.stats().walks;
         let (pa, t) = self
             .translator
             .translate(Requester::Cpu, va, self.now, mem, &heap.phys)
             .unwrap_or_else(|e| panic!("CPU access fault: {e}"));
+        self.last_access_walked = self.translator.stats().walks > walks_before;
         let mut backing = L2Backing {
             l2: &mut self.l2,
             mem,
@@ -142,6 +154,27 @@ impl Cpu {
     #[inline]
     fn instr(&mut self, n: u64) {
         self.now += n;
+        self.stalls.busy(n);
+    }
+
+    /// Stalls the core until `t` (a load-use dependency), attributing the
+    /// wait to a TLB miss when `walked`, memory latency otherwise.
+    fn wait_tagged(&mut self, t: Cycle, walked: bool) {
+        let span = t.saturating_sub(self.now);
+        if span > 0 {
+            let reason = if walked {
+                StallReason::TlbMiss
+            } else {
+                StallReason::MemLatency
+            };
+            self.stalls.stall(reason, span);
+            self.now = t;
+        }
+    }
+
+    /// [`Cpu::wait_tagged`] using the most recent access's walk flag.
+    fn wait(&mut self, t: Cycle) {
+        self.wait_tagged(t, self.last_access_walked);
     }
 
     /// Runs the mark phase: a breadth-limited DFS with a software mark
@@ -149,6 +182,7 @@ impl Cpu {
     /// timed through the cache hierarchy.
     pub fn run_mark(&mut self, heap: &mut Heap, mem: &mut MemSystem) -> PhaseResult {
         let start = self.now;
+        self.stalls = StallAccounting::default();
         let layout = heap.layout();
         let mut result = PhaseResult::default();
 
@@ -156,7 +190,7 @@ impl Cpu {
         // collector reads them from there.
         let hwgc_base = heap.spaces().hwgc_base;
         let t = self.access(heap, mem, hwgc_base, false);
-        self.now = self.now.max(t);
+        self.wait(t);
         let nroots = heap.read_va(hwgc_base);
 
         // Software mark stack: functional copy + timed pushes/pops.
@@ -165,7 +199,7 @@ impl Cpu {
         for i in 0..nroots {
             let slot = hwgc_base + (1 + i) * WORD;
             let t = self.access(heap, mem, slot, false);
-            self.now = self.now.max(t);
+            self.wait(t);
             let raw = heap.read_va(slot);
             if raw != 0 {
                 self.push(heap, mem, &mut stack, &mut sp, ObjRef::new(raw));
@@ -178,7 +212,7 @@ impl Cpu {
             // Load the header; the mark-test branch *depends* on it, so
             // the in-order core stalls until the data arrives.
             let t = self.access(heap, mem, obj.addr(), false);
-            self.now = self.now.max(t);
+            self.wait(t);
             let pa = heap.va_to_pa(obj.addr());
             let old = Header::from_raw(heap.phys.read_u64(pa));
             if old.is_marked() {
@@ -198,25 +232,25 @@ impl Cpu {
                     // load-use pair; an out-of-order core overlaps up to
                     // `ooo_window` outstanding ref loads.
                     let window = self.cfg.ooo_window.max(1);
-                    let mut pending: std::collections::VecDeque<(tracegc_sim::Cycle, u64)> =
+                    let mut pending: std::collections::VecDeque<(tracegc_sim::Cycle, u64, bool)> =
                         std::collections::VecDeque::with_capacity(window);
                     for i in 0..nrefs {
                         self.instr(self.cfg.instr_per_ref);
                         let slot = bidi::ref_slot(obj, i);
                         let t = self.access(heap, mem, slot, false);
                         let raw = heap.read_va(slot);
-                        pending.push_back((t, raw));
+                        pending.push_back((t, raw, self.last_access_walked));
                         result.refs_traced += 1;
                         if pending.len() >= window {
-                            let (t, raw) = pending.pop_front().expect("non-empty");
-                            self.now = self.now.max(t);
+                            let (t, raw, walked) = pending.pop_front().expect("non-empty");
+                            self.wait_tagged(t, walked);
                             if raw != 0 {
                                 self.push(heap, mem, &mut stack, &mut sp, ObjRef::new(raw));
                             }
                         }
                     }
-                    while let Some((t, raw)) = pending.pop_front() {
-                        self.now = self.now.max(t);
+                    while let Some((t, raw, walked)) = pending.pop_front() {
+                        self.wait_tagged(t, walked);
                         if raw != 0 {
                             self.push(heap, mem, &mut stack, &mut sp, ObjRef::new(raw));
                         }
@@ -227,17 +261,17 @@ impl Cpu {
                     // field loads — the two extra accesses of §IV-A.
                     let tib_slot = conv::tib_slot(obj);
                     let t = self.access(heap, mem, tib_slot, false);
-                    self.now = self.now.max(t);
+                    self.wait(t);
                     let tib = heap.read_va(tib_slot);
                     for i in 0..nrefs {
                         self.instr(self.cfg.instr_per_ref);
                         let off_va = tib + (1 + i as u64) * WORD;
                         let t = self.access(heap, mem, off_va, false);
-                        self.now = self.now.max(t);
+                        self.wait(t);
                         let offset = heap.read_va(off_va) as u32;
                         let slot = conv::field_slot(obj, offset);
                         let t = self.access(heap, mem, slot, false);
-                        self.now = self.now.max(t);
+                        self.wait(t);
                         let raw = heap.read_va(slot);
                         result.refs_traced += 1;
                         if raw != 0 {
@@ -249,6 +283,7 @@ impl Cpu {
         }
 
         result.cycles = self.now - start;
+        result.stalls = self.stalls;
         result
     }
 
@@ -284,7 +319,7 @@ impl Cpu {
         *sp -= 1;
         let va = MARK_STACK_BASE + *sp * WORD;
         let t = self.access(heap, mem, va, false);
-        self.now = self.now.max(t);
+        self.wait(t);
         debug_assert_eq!(heap.read_va(va), obj.addr());
         Some(obj)
     }
@@ -294,6 +329,7 @@ impl Cpu {
     /// equivalent of the reclamation unit (§V-D).
     pub fn run_sweep(&mut self, heap: &mut Heap, mem: &mut MemSystem) -> PhaseResult {
         let start = self.now;
+        self.stalls = StallAccounting::default();
         let layout = heap.layout();
         let mut result = PhaseResult::default();
 
@@ -307,7 +343,7 @@ impl Cpu {
                 // Load the cell-start word; the classification branch
                 // depends on it.
                 let t = self.access(heap, mem, cell, false);
-                self.now = self.now.max(t);
+                self.wait(t);
                 match decode_cell_start(heap.read_va(cell)) {
                     CellStart::Free { .. } => {
                         heap.write_va(cell, encode_free_cell_start(free_head));
@@ -322,7 +358,7 @@ impl Cpu {
                             LayoutKind::Conventional => conv::header_of_cell(cell),
                         };
                         let t = self.access(heap, mem, header_va, false);
-                        self.now = self.now.max(t);
+                        self.wait(t);
                         let header = Header::from_raw(heap.read_va(header_va));
                         if header.is_marked() {
                             heap.write_va(header_va, header.without_mark().raw());
@@ -349,6 +385,7 @@ impl Cpu {
         }
         heap.finish_sweep();
         result.cycles = self.now - start;
+        result.stalls = self.stalls;
         result
     }
 
@@ -487,6 +524,28 @@ mod tests {
         let obj = heap.roots()[0];
         assert!(!cpu.timed_mark_one(&mut heap, &mut mem, obj));
         assert!(cpu.timed_mark_one(&mut heap, &mut mem, obj));
+    }
+
+    #[test]
+    fn stall_accounting_sums_to_phase_cycles() {
+        for layout in [LayoutKind::Bidirectional, LayoutKind::Conventional] {
+            let mut heap = build_graph(layout);
+            let mut mem = MemSystem::ddr3(Default::default());
+            let mut cpu = Cpu::new(CpuConfig::default(), &mut heap);
+            let (mark, sweep) = cpu.run_gc(&mut heap, &mut mem);
+            assert_eq!(
+                mark.stalls.total(),
+                mark.cycles,
+                "mark attribution must cover every cycle ({layout:?})"
+            );
+            assert_eq!(
+                sweep.stalls.total(),
+                sweep.cycles,
+                "sweep attribution must cover every cycle ({layout:?})"
+            );
+            assert!(mark.stalls.busy_cycles() > 0);
+            assert!(mark.stalls.total_stalled() > 0, "cold caches must stall");
+        }
     }
 
     #[test]

@@ -8,19 +8,24 @@
 //! cargo run -p tracegc --release --bin experiments -- --quick --jobs 8 all
 //! ```
 //!
-//! Each experiment prints its tables and writes CSVs under `results/`.
-//! With `--jobs N` the experiments (and the grid points inside sweep
-//! experiments) run on N worker threads; output order and CSV contents
-//! are byte-identical to a serial run.
+//! Each experiment prints its tables and writes CSVs under `results/`,
+//! plus a `<id>.metrics.json` sidecar with cycle-attributed stall
+//! breakdowns per phase. With `--jobs N` the experiments (and the grid
+//! points inside sweep experiments) run on N worker threads; output
+//! order, CSV contents, and sidecar bytes are identical to a serial
+//! run. `--trace FILE` (single experiment only) additionally dumps a
+//! Chrome trace-event JSON viewable in `about:tracing`/Perfetto.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tracegc::experiments::{self, Options};
+use tracegc::metrics;
 
 fn usage() -> String {
     format!(
-        "usage: experiments [--quick] [--scale F] [--pauses N] [--jobs N] [--out DIR] <id>...\n\
+        "usage: experiments [--quick] [--scale F] [--pauses N] [--jobs N] [--out DIR] \
+         [--trace FILE] <id>...\n\
          ids: all {}",
         experiments::ALL.join(" ")
     )
@@ -38,6 +43,7 @@ fn main() -> ExitCode {
         ..Options::default()
     };
     let mut out_dir = PathBuf::from("results");
+    let mut trace_path: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -74,6 +80,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match args.next() {
+                Some(v) => {
+                    trace_path = Some(PathBuf::from(v));
+                    opts.trace = true;
+                }
+                None => {
+                    eprintln!("--trace needs a file\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "-h" | "--help" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -87,6 +103,14 @@ fn main() -> ExitCode {
     }
     if ids.iter().any(|i| i == "all") {
         ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+    if trace_path.is_some() && ids.len() != 1 {
+        eprintln!(
+            "--trace requires exactly one experiment id (got {})\n{}",
+            ids.len(),
+            usage()
+        );
+        return ExitCode::FAILURE;
     }
 
     let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
@@ -118,6 +142,35 @@ fn main() -> ExitCode {
         }
         for note in &output.notes {
             println!("note: {note}");
+        }
+        match metrics::write_sidecar(&out_dir, &output.metrics) {
+            Ok(path) => println!("metrics: {}", path.display()),
+            Err(e) => eprintln!("warning: could not write metrics sidecar for {id}: {e}"),
+        }
+        let stall_summary: Vec<String> = ["cpu_mark", "cpu_sweep", "unit_mark", "unit_sweep"]
+            .iter()
+            .filter_map(|suffix| {
+                output
+                    .metrics
+                    .stall_fraction(suffix)
+                    .map(|f| format!("{suffix} {:.1}% stalled", 100.0 * f))
+            })
+            .collect();
+        if !stall_summary.is_empty() {
+            println!("stalls: {}", stall_summary.join(", "));
+        }
+        if let Some(path) = &trace_path {
+            if output.trace.is_empty() {
+                eprintln!(
+                    "warning: {id} recorded no trace events (experiment may not \
+                     support tracing)"
+                );
+            }
+            let json = metrics::chrome_trace_json(&output.trace);
+            match std::fs::write(path, &json) {
+                Ok(()) => println!("trace: {} ({} events)", path.display(), output.trace.len()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
         }
         println!(
             "[{id} done in {:.1}s, scale={}, pauses={}]",

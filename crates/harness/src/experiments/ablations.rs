@@ -18,6 +18,7 @@ use tracegc_vmem::TlbConfig;
 use tracegc_workloads::spec::by_name;
 
 use super::{ExperimentOutput, Options};
+use crate::metrics::MetricsDoc;
 use crate::runner::{run_cpu_gc, run_unit_gc, MemKind};
 use crate::table::{ms, ratio, Table};
 
@@ -55,19 +56,29 @@ pub fn run_memsched(opts: &Options) -> ExperimentOutput {
             MemKind::Ddr3(cfg),
         );
         let cpu = run_cpu_gc(&spec, LayoutKind::Bidirectional, MemKind::Ddr3(cfg));
-        vec![
+        let row = vec![
             name.into(),
             ms(unit.report.mark.cycles()),
             ms(cpu.mark.cycles),
-        ]
+        ];
+        (
+            row,
+            (name, unit.report.mark.cycles(), unit.report.mark.stalls),
+            (name, cpu.mark.cycles, cpu.mark.stalls),
+        )
     });
-    for row in rows {
+    let mut metrics = MetricsDoc::new("ablA");
+    for (row, (name, ucycles, ustalls), (_, ccycles, cstalls)) in rows {
         table.row(row);
+        metrics.phase(&format!("{name}.unit_mark"), ucycles, 1, ustalls);
+        metrics.phase(&format!("{name}.cpu_mark"), ccycles, 1, cstalls);
     }
     ExperimentOutput {
         id: "ablA",
         title: "Ablation A: memory access scheduler",
         tables: vec![table],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             "Paper: the unit improved significantly moving FIFO->FR-FCFS and 8->16 \
              outstanding reads, while Rocket was insensitive."
@@ -101,10 +112,15 @@ pub fn run_layout(opts: &Options) -> ExperimentOutput {
             unit.report.mark.cycles(),
             unit.snapshot.total_requests,
             cpu.mark.cycles,
+            unit.report.mark.stalls,
+            cpu.mark.stalls,
         )
     });
-    for (name, unit_mark, unit_reqs, cpu_mark) in results {
+    let mut metrics = MetricsDoc::new("ablB");
+    for (name, unit_mark, unit_reqs, cpu_mark, unit_stalls, cpu_stalls) in results {
         unit_times.push(unit_mark);
+        metrics.phase(&format!("{name}.unit_mark"), unit_mark, 1, unit_stalls);
+        metrics.phase(&format!("{name}.cpu_mark"), cpu_mark, 1, cpu_stalls);
         table.row(vec![
             name.into(),
             ms(unit_mark),
@@ -113,10 +129,13 @@ pub fn run_layout(opts: &Options) -> ExperimentOutput {
         ]);
     }
     let slowdown = unit_times[1] as f64 / unit_times[0] as f64;
+    metrics.gauge("conventional_slowdown", slowdown);
     ExperimentOutput {
         id: "ablB",
         title: "Ablation B: bidirectional object layout",
         tables: vec![table],
+        metrics,
+        trace: Vec::new(),
         notes: vec![format!(
             "Conventional TIB layout costs the cacheless unit {slowdown:.2}x on mark \
              (paper §IV-A: two extra memory accesses per object, scattered field \
@@ -153,10 +172,17 @@ pub fn run_tlb(opts: &Options) -> ExperimentOutput {
                 ..GcUnitConfig::default()
             };
             let unit = run_unit_gc(&spec, LayoutKind::Bidirectional, cfg, MemKind::pipe_8gbps());
-            (name, unit.report.mark.cycles(), unit.report.mark.translator)
+            (
+                name,
+                unit.report.mark.cycles(),
+                unit.report.mark.translator,
+                unit.report.mark.stalls,
+            )
         });
-    for (name, cycles, translator) in results {
+    let mut metrics = MetricsDoc::new("ablC");
+    for (name, cycles, translator, stalls) in results {
         times.push(cycles);
+        metrics.phase(&format!("{name}.unit_mark"), cycles, 1, stalls);
         table.row(vec![
             name.into(),
             ms(cycles),
@@ -168,6 +194,8 @@ pub fn run_tlb(opts: &Options) -> ExperimentOutput {
         id: "ablC",
         title: "Ablation C: non-blocking TLB/PTW (paper's future work)",
         tables: vec![table],
+        metrics,
+        trace: Vec::new(),
         notes: vec![format!(
             "The non-blocking walker recovers {} on the mark phase — paper SVI-A \
              identifies the blocking TLB/PTW as the main gap between the DDR3 \
@@ -221,10 +249,21 @@ pub fn run_barriers(opts: &Options) -> ExperimentOutput {
         format!("{}", trap / 1000),
         format!("{:.2}", trap as f64 / reads.max(1) as f64),
     ]);
+    let mut metrics = MetricsDoc::new("ablD");
+    metrics.counter("reference_reads", reads);
+    metrics.counter("coherence_cycles", stats.cycles);
+    metrics.counter("trap_cycles", trap);
+    metrics.gauge(
+        "coherence_per_read",
+        stats.cycles as f64 / reads.max(1) as f64,
+    );
+    metrics.gauge("trap_per_read", trap as f64 / reads.max(1) as f64);
     ExperimentOutput {
         id: "ablD",
         title: "Ablation D: concurrent-GC barrier cost",
         tables: vec![table],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             format!(
                 "{} fast-path reads, {} line acquires, {} acquired-line hits over \
@@ -260,10 +299,17 @@ pub fn run_superpages(opts: &Options) -> ExperimentOutput {
             MemKind::ddr3_default(),
             superpages,
         );
-        (name, run.report.mark.cycles(), run.report.mark.translator)
+        (
+            name,
+            run.report.mark.cycles(),
+            run.report.mark.translator,
+            run.report.mark.stalls,
+        )
     });
-    for (name, cycles, translator) in results {
+    let mut metrics = MetricsDoc::new("ablE");
+    for (name, cycles, translator, stalls) in results {
         times.push(cycles);
+        metrics.phase(&format!("xalan.{name}.unit_mark"), cycles, 1, stalls);
         table.row(vec![
             name.into(),
             ms(cycles),
@@ -275,6 +321,8 @@ pub fn run_superpages(opts: &Options) -> ExperimentOutput {
         id: "ablE",
         title: "Ablation E: superpages (paper SVII)",
         tables: vec![table],
+        metrics,
+        trace: Vec::new(),
         notes: vec![format!(
             "Superpages speed the mark phase by {} by collapsing TLB misses \
              (each 2 MiB entry covers 512 pages of reach).",
@@ -316,7 +364,7 @@ pub fn run_throttle(opts: &Options) -> ExperimentOutput {
             .get(sorted.len().saturating_sub(1).min(sorted.len() * 95 / 100))
             .copied()
             .unwrap_or(0);
-        vec![
+        let row = vec![
             if interval == 0 {
                 "unthrottled".into()
             } else {
@@ -325,15 +373,20 @@ pub fn run_throttle(opts: &Options) -> ExperimentOutput {
             ms(result.cycles()),
             format!("{mean:.1}"),
             format!("{p95}"),
-        ]
+        ];
+        (row, interval, result.cycles(), result.stalls)
     });
-    for row in rows {
+    let mut metrics = MetricsDoc::new("ablF");
+    for (row, interval, cycles, stalls) in rows {
         table.row(row);
+        metrics.phase(&format!("throttle{interval}.unit_mark"), cycles, 1, stalls);
     }
     ExperimentOutput {
         id: "ablF",
         title: "Ablation F: bandwidth throttling (paper SVII)",
         tables: vec![table],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             "Paper SVII: the unit maximizes bandwidth and may interfere with the \
              application; throttling to residual bandwidth trades GC time for \
@@ -362,10 +415,13 @@ pub fn run_ooo(opts: &Options) -> ExperimentOutput {
             ..tracegc_cpu::CpuConfig::default()
         };
         let mut cpu = tracegc_cpu::Cpu::new(cfg, &mut workload.heap);
-        cpu.run_mark(&mut workload.heap, &mut mem).cycles
+        let mark = cpu.run_mark(&mut workload.heap, &mut mem);
+        (mark.cycles, mark.stalls)
     });
-    let base = cycles[0];
-    for (window, mark_cycles) in windows.into_iter().zip(cycles) {
+    let base = cycles[0].0;
+    let mut metrics = MetricsDoc::new("ablG");
+    for (window, (mark_cycles, stalls)) in windows.into_iter().zip(cycles) {
+        metrics.phase(&format!("ooo{window}.cpu_mark"), mark_cycles, 1, stalls);
         table.row(vec![
             format!("{window}"),
             ms(mark_cycles),
@@ -376,6 +432,8 @@ pub fn run_ooo(opts: &Options) -> ExperimentOutput {
         id: "ablG",
         title: "Ablation G: out-of-order CPU baseline (paper SVI-A)",
         tables: vec![table],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             "Paper: BOOM outperformed Rocket by only ~12% on GC — confirmed by \
              limited benefits of OoO for graph traversal [3]; the window mostly \
@@ -399,8 +457,14 @@ pub fn run_refload(opts: &Options) -> ExperimentOutput {
         "ablH: read-barrier scheme overhead vs relocation churn",
         &["churn", "compiled-check", "vm-trap", "refload (SIV-E)"],
     );
+    let mut metrics = MetricsDoc::new("ablH");
     for churn in [0.0, 0.001, 0.01, 0.05, 0.2] {
         let o = barrier_overheads(&costs, ref_loads, churn, baseline);
+        if churn == 0.05 {
+            metrics.gauge("compiled_check_overhead_at_5pct", o[0].relative);
+            metrics.gauge("vm_trap_overhead_at_5pct", o[1].relative);
+            metrics.gauge("refload_overhead_at_5pct", o[2].relative);
+        }
         table.row(vec![
             format!("{:.1}%", churn * 100.0),
             format!("{:.1}%", o[0].relative * 100.0),
@@ -412,6 +476,8 @@ pub fn run_refload(opts: &Options) -> ExperimentOutput {
         id: "ablH",
         title: "Ablation H: REFLOAD barrier instruction (paper SIV-E)",
         tables: vec![table],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             "Paper SIV-E: VM-trap barriers are free until relocation churn creates \
              trap storms; the fused REFLOAD turns the slow path into a speculable \

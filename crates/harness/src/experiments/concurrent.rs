@@ -9,6 +9,7 @@ use tracegc_workloads::generate::generate_heap;
 use tracegc_workloads::spec::by_name;
 
 use super::{ExperimentOutput, Options};
+use crate::metrics::MetricsDoc;
 use crate::runner::MemKind;
 use crate::table::{ms, Table};
 
@@ -46,14 +47,15 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             // Stop-the-world baseline.
             None => {
                 let stw = unit.run_mark(&mut workload.heap, &mut mem, 0);
-                vec![
+                let row = vec![
                     "stop-the-world".into(),
                     ms(stw.cycles()),
                     "0".into(),
                     "0".into(),
                     "0".into(),
                     "0".into(),
-                ]
+                ];
+                (row, Some((stw.cycles(), stw.stalls)), 0, 0)
             }
             Some((label, cycles_per_op, write_fraction)) => {
                 let report = run_concurrent_mark(
@@ -67,24 +69,37 @@ pub fn run(opts: &Options) -> ExperimentOutput {
                     },
                     0,
                 );
-                vec![
+                let row = vec![
                     label.into(),
                     ms(report.traversal.cycles()),
                     format!("{}", report.mutator_ops),
                     format!("{}", report.write_barriers),
                     format!("{}", report.allocated_during_gc),
                     format!("{}", report.mutator_barrier_cycles / 1000),
-                ]
+                ];
+                (row, None, report.mutator_ops, report.write_barriers)
             }
         }
     });
-    for row in rows {
+    // Only the STW baseline runs through the ticked `run_mark` loop and
+    // therefore has a complete stall ledger; the concurrent rows step the
+    // unit externally (mutator interleaving) and are excluded from the
+    // per-phase invariant.
+    let mut metrics = MetricsDoc::new("conc");
+    for (row, stw, mutator_ops, write_barriers) in rows {
         table.row(row);
+        if let Some((cycles, stalls)) = stw {
+            metrics.phase("lusearch.stw.unit_mark", cycles, 1, stalls);
+        }
+        metrics.counter("mutator_ops", mutator_ops);
+        metrics.counter("write_barriers", write_barriers);
     }
     ExperimentOutput {
         id: "conc",
         title: "Concurrent collection (paper SIV-D)",
         tables: vec![table],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             "The mark phase lengthens with mutator intensity (barrier-injected \
              references add work), but the application never pauses; the SATB \
@@ -125,7 +140,12 @@ pub fn run_multi(opts: &Options) -> ExperimentOutput {
         (report.total_cycles(0), mean)
     });
     let solo_wall = results[0].0;
+    // The multiprocess driver steps every unit externally, so there is
+    // no per-phase stall ledger here — wall-clock gauges only.
+    let mut metrics = MetricsDoc::new("multi");
     for (n, (wall, mean)) in counts.into_iter().zip(results) {
+        metrics.gauge(&format!("wall_ms_{n}proc"), wall as f64 / 1e6);
+        metrics.gauge(&format!("mean_per_process_ms_{n}proc"), mean as f64 / 1e6);
         table.row(vec![
             format!("{n}"),
             ms(wall),
@@ -137,6 +157,8 @@ pub fn run_multi(opts: &Options) -> ExperimentOutput {
         id: "multi",
         title: "Multi-process collection (paper SVII)",
         tables: vec![table],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             "Tagged contexts share the unit's datapath and the memory system; \
              overlapping memory latencies make N concurrent collections cheaper \

@@ -11,6 +11,7 @@ use tracegc_workloads::queries::{QueryLatencySim, QueryLatencySpec};
 use tracegc_workloads::spec::{by_name, DACAPO};
 
 use super::{ExperimentOutput, Options};
+use crate::metrics::MetricsDoc;
 use crate::parallel::par_map;
 use crate::runner::{run_cpu_gc, MemKind};
 use crate::table::Table;
@@ -21,26 +22,36 @@ pub fn run_1a(opts: &Options) -> ExperimentOutput {
         "Fig 1a: CPU time spent in GC pauses",
         &["bench", "gc-ms/pause", "mutator-ms/pause", "gc-%"],
     );
-    let rows = par_map(opts.jobs, DACAPO.to_vec(), |spec| {
+    let results = par_map(opts.jobs, DACAPO.to_vec(), |spec| {
         let spec = spec.scaled(opts.scale);
         let run = run_cpu_gc(&spec, LayoutKind::Bidirectional, MemKind::ddr3_default());
-        let gc = (run.mark.cycles + run.sweep.cycles) as f64;
-        let mutator = spec.mutator_cycles_per_pause as f64;
+        (
+            spec.name,
+            run.mark,
+            run.sweep,
+            spec.mutator_cycles_per_pause,
+        )
+    });
+    let mut metrics = MetricsDoc::new("fig1a");
+    for (name, mark, sweep, mutator_cycles) in results {
+        let gc = (mark.cycles + sweep.cycles) as f64;
+        let mutator = mutator_cycles as f64;
         let pct = 100.0 * gc / (gc + mutator);
-        vec![
-            spec.name.into(),
+        metrics.phase(&format!("{name}.cpu_mark"), mark.cycles, 1, mark.stalls);
+        metrics.phase(&format!("{name}.cpu_sweep"), sweep.cycles, 1, sweep.stalls);
+        table.row(vec![
+            name.into(),
             format!("{:.2}", gc / 1e6),
             format!("{:.2}", mutator / 1e6),
             format!("{pct:.1}%"),
-        ]
-    });
-    for row in rows {
-        table.row(row);
+        ]);
     }
     ExperimentOutput {
         id: "fig1a",
         title: "Fig 1a: GC pause time fraction",
         tables: vec![table],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             "Paper: applications spend up to 35% of CPU time in GC pauses; lusearch \
              and xalan are the heaviest, avrora/luindex the lightest."
@@ -86,10 +97,18 @@ pub fn run_1b(opts: &Options) -> ExperimentOutput {
     }
 
     let affected = near.iter().filter(|&&b| b).count();
+    let mut metrics = MetricsDoc::new("fig1b");
+    metrics.phase("lusearch.cpu_mark", run.mark.cycles, 1, run.mark.stalls);
+    metrics.phase("lusearch.cpu_sweep", run.sweep.cycles, 1, run.sweep.stalls);
+    metrics.counter("queries_affected", affected as u64);
+    metrics.counter("queries_recorded", near.len() as u64);
+    metrics.gauge("pause_ms", pause_us as f64 / 1000.0);
     ExperimentOutput {
         id: "fig1b",
         title: "Fig 1b: query latency CDF under GC",
         tables: vec![table, cdf],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             format!(
                 "Measured lusearch pause: {:.2} ms; {} of {} recorded queries were \

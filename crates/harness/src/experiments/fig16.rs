@@ -8,6 +8,7 @@ use tracegc_hwgc::GcUnitConfig;
 use tracegc_workloads::spec::by_name;
 
 use super::{ExperimentOutput, Options};
+use crate::metrics::MetricsDoc;
 use crate::runner::{DualRun, MemKind};
 use crate::table::Table;
 
@@ -19,7 +20,11 @@ use crate::table::Table;
 pub fn run(opts: &Options) -> ExperimentOutput {
     let spec = by_name("avrora").expect("avrora exists").scaled(opts.scale);
     let pauses = spec.pauses.min(opts.pauses);
-    let mut run = DualRun::new(&spec, LayoutKind::Bidirectional, GcUnitConfig::default());
+    let cfg = GcUnitConfig {
+        trace: opts.trace,
+        ..GcUnitConfig::default()
+    };
+    let mut run = DualRun::new(&spec, LayoutKind::Bidirectional, cfg);
     let results = run.run_pauses(MemKind::ddr3_default(), pauses, 0.15);
     let last = results.last().expect("at least one pause");
 
@@ -75,10 +80,23 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         format!("{unit_peak:.3}"),
     ]);
 
+    let mut metrics = MetricsDoc::new("fig16");
+    for (i, p) in results.iter().enumerate() {
+        metrics.pause_phases(&format!("avrora.pause{i}"), p);
+    }
+    metrics.counter("cpu_bytes", last.cpu_mem.total_bytes);
+    metrics.counter("unit_bytes", last.unit_mem.total_bytes);
+    metrics.gauge("cpu_avg_gbps", cpu_avg);
+    metrics.gauge("unit_avg_gbps", unit_avg);
+    metrics.gauge("cpu_peak_gbps", cpu_peak);
+    metrics.gauge("unit_peak_gbps", unit_peak);
+
     ExperimentOutput {
         id: "fig16",
         title: "Fig 16: memory bandwidth over time",
         tables: vec![summary, series],
+        metrics,
+        trace: last.unit_trace.clone(),
         notes: vec![format!(
             "Unit sustains {:.1}x the CPU's average bandwidth over the pause \
              (paper shows the unit's mark phase saturating far more of the DDR3 \

@@ -11,6 +11,7 @@ use tracegc_hwgc::GcUnitConfig;
 use tracegc_workloads::spec::DACAPO;
 
 use super::{ExperimentOutput, Options};
+use crate::metrics::MetricsDoc;
 use crate::runner::{geomean, DualRun, MemKind};
 use crate::table::{ms, ratio, Table};
 
@@ -41,7 +42,9 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         let mut run = DualRun::new(&spec, LayoutKind::Bidirectional, GcUnitConfig::default());
         (spec.name, run.run_pause(MemKind::pipe_8gbps()))
     });
+    let mut metrics = MetricsDoc::new("fig17");
     for (name, p) in results {
+        metrics.pause_phases(name, &p);
         mark_speedups.push(p.mark_speedup());
         table.row(vec![
             name.into(),
@@ -71,10 +74,13 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         ratio(geomean(&mark_speedups)),
         "-".into(),
     ]);
+    metrics.gauge("mark_speedup_geomean", geomean(&mark_speedups));
     ExperimentOutput {
         id: "fig17",
         title: "Fig 17: potential performance (latency-bandwidth pipe)",
         tables: vec![table, issue],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             "Paper: 9.0x average mark speedup; a request every 8.66 cycles (88% port \
              busy); data consumption peaks at 3.3 GB/s of the 8 GB/s because requests \

@@ -13,7 +13,10 @@ use tracegc_hwgc::{CacheTopology, GcUnitConfig};
 use tracegc_mem::Source;
 use tracegc_workloads::spec::DACAPO;
 
+use tracegc_sim::StallAccounting;
+
 use super::{ExperimentOutput, Options};
+use crate::metrics::MetricsDoc;
 use crate::runner::{run_unit_gc, MemKind};
 use crate::table::Table;
 
@@ -60,6 +63,24 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         // reach, as in the paper's 200 MB configuration, so fig18 always
         // runs at full workload scale.
         let spec = spec.scaled(opts.scale.max(1.0));
+        let phase_of = |run: &crate::runner::UnitRun,
+                        topo: &str|
+         -> Vec<(String, u64, u64, StallAccounting)> {
+            vec![
+                (
+                    format!("{}.{topo}.unit_mark", spec.name),
+                    run.report.mark.cycles(),
+                    1,
+                    run.report.mark.stalls,
+                ),
+                (
+                    format!("{}.{topo}.unit_sweep", spec.name),
+                    run.report.sweep.cycles(),
+                    run.report.sweep.lanes,
+                    run.report.sweep.stalls,
+                ),
+            ]
+        };
         if shared_topology {
             // Shared topology: count accesses at the shared cache.
             let run = run_unit_gc(
@@ -78,7 +99,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
                 .expect("shared topology has a shared cache")
                 .clone();
             let total: u64 = FIG18_SOURCES.iter().map(|&s| stats.accesses(s)).sum();
-            vec![
+            let row = vec![
                 spec.name.into(),
                 m(stats.accesses(Source::MarkQueue)),
                 m(stats.accesses(Source::Tracer)),
@@ -88,7 +109,8 @@ pub fn run(opts: &Options) -> ExperimentOutput {
                     "{:.0}%",
                     100.0 * stats.accesses(Source::Ptw) as f64 / total.max(1) as f64
                 ),
-            ]
+            ];
+            (row, phase_of(&run, "shared"))
         } else {
             // Partitioned topology: count requests at the memory
             // controller.
@@ -101,24 +123,33 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             let snap = &run.snapshot;
             let total: u64 = FIG18_SOURCES.iter().map(|&s| snap.requests(s)).sum();
             let work = snap.requests(Source::Marker) + snap.requests(Source::Tracer);
-            vec![
+            let row = vec![
                 spec.name.into(),
                 m(snap.requests(Source::MarkQueue)),
                 m(snap.requests(Source::Tracer)),
                 m(snap.requests(Source::Ptw)),
                 m(snap.requests(Source::Marker)),
                 format!("{:.0}%", 100.0 * work as f64 / total.max(1) as f64),
-            ]
+            ];
+            (row, phase_of(&run, "part"))
         }
     });
+    let mut metrics = MetricsDoc::new("fig18");
     for pair in rows.chunks(2) {
-        shared.row(pair[0].clone());
-        partitioned.row(pair[1].clone());
+        shared.row(pair[0].0.clone());
+        partitioned.row(pair[1].0.clone());
+        for (_, phases) in pair {
+            for (name, cycles, lanes, stalls) in phases {
+                metrics.phase(name, *cycles, *lanes, *stalls);
+            }
+        }
     }
     ExperimentOutput {
         id: "fig18",
         title: "Fig 18: cache partitioning",
         tables: vec![shared, partitioned],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             "Paper 18a: ~2/3 of shared-cache requests come from the PTW (the mark \
              phase has little locality, so TLB misses abound)."

@@ -11,6 +11,7 @@ use tracegc_hwgc::GcUnitConfig;
 use tracegc_workloads::spec::by_name;
 
 use super::{ExperimentOutput, Options};
+use crate::metrics::MetricsDoc;
 use crate::runner::{run_unit_gc, MemKind};
 use crate::table::{ms, Table};
 
@@ -84,7 +85,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         let q = run.report.mark.markq;
         let spill_reqs = q.spill_writes + q.spill_reads;
         let total_reqs = run.snapshot.total_requests;
-        vec![
+        let row = vec![
             format!("{kb}"),
             v.label.into(),
             format!("{}", q.spill_writes),
@@ -95,15 +96,28 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             ),
             format!("{}", q.peak_spilled),
             ms(run.report.mark.cycles()),
-        ]
+        ];
+        let phase = (
+            format!("avrora.{kb}kb.{}.unit_mark", v.label),
+            run.report.mark.cycles(),
+            run.report.mark.stalls,
+        );
+        (row, phase, q.peak_occupancy)
     });
-    for row in rows {
+    let mut metrics = MetricsDoc::new("fig19");
+    let mut peak_occupancy = 0u64;
+    for (row, (name, cycles, stalls), peak) in rows {
         table.row(row);
+        metrics.phase(&name, cycles, 1, stalls);
+        peak_occupancy = peak_occupancy.max(peak);
     }
+    metrics.counter("peak_markq_occupancy", peak_occupancy);
     ExperimentOutput {
         id: "fig19",
         title: "Fig 19: mark-queue size trade-offs",
         tables: vec![table],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             "Paper: spilling shrinks with queue size but accounts for only ~2% of \
              memory requests; compression reduces spilling by 2x; overall mark time \

@@ -13,6 +13,7 @@ use tracegc_workloads::generate::generate_heap;
 use tracegc_workloads::spec::DACAPO;
 
 use super::{ExperimentOutput, Options};
+use crate::metrics::MetricsDoc;
 use crate::runner::MemKind;
 use crate::table::Table;
 
@@ -34,7 +35,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             std::iter::once((spec, None)).chain(SWEEPERS.iter().map(move |&n| (spec, Some(n))))
         })
         .collect();
-    let cycles = crate::parallel::par_map(opts.jobs, grid, |(spec, sweepers)| {
+    let results = crate::parallel::par_map(opts.jobs, grid, |(spec, sweepers)| {
         let spec = spec.scaled(opts.scale);
         let mut w = generate_heap(&spec, LayoutKind::Bidirectional);
         software_mark(&mut w.heap);
@@ -43,7 +44,8 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             // Software baseline: the CPU collector sweeping a marked heap.
             None => {
                 let mut cpu = Cpu::new(CpuConfig::default(), &mut w.heap);
-                cpu.run_sweep(&mut w.heap, &mut mem).cycles
+                let sweep = cpu.run_sweep(&mut w.heap, &mut mem);
+                (sweep.cycles, 1, sweep.stalls)
             }
             Some(n) => {
                 let cfg = GcUnitConfig {
@@ -51,17 +53,31 @@ pub fn run(opts: &Options) -> ExperimentOutput {
                     ..GcUnitConfig::default()
                 };
                 let mut unit = ReclamationUnit::new(cfg, &w.heap);
-                unit.run_sweep(&mut w.heap, &mut mem, 0).cycles()
+                let sweep = unit.run_sweep(&mut w.heap, &mut mem, 0);
+                (sweep.cycles(), sweep.lanes, sweep.stalls)
             }
         }
     });
-    for (spec, per_bench) in DACAPO.iter().zip(cycles.chunks(1 + SWEEPERS.len())) {
-        let sw_cycles = per_bench[0];
+    let mut metrics = MetricsDoc::new("fig20");
+    for (spec, per_bench) in DACAPO.iter().zip(results.chunks(1 + SWEEPERS.len())) {
+        let (sw_cycles, sw_lanes, sw_stalls) = per_bench[0];
+        metrics.phase(
+            &format!("{}.sw_sweep", spec.name),
+            sw_cycles,
+            sw_lanes,
+            sw_stalls,
+        );
         let mut row = vec![
             spec.name.to_string(),
             format!("{:.2}", sw_cycles as f64 / 1e6),
         ];
-        for &hw_cycles in &per_bench[1..] {
+        for (&n, &(hw_cycles, lanes, stalls)) in SWEEPERS.iter().zip(&per_bench[1..]) {
+            metrics.phase(
+                &format!("{}.hw{n}_sweep", spec.name),
+                hw_cycles,
+                lanes,
+                stalls,
+            );
             row.push(format!("{:.2}", sw_cycles as f64 / hw_cycles.max(1) as f64));
         }
         table.row(row);
@@ -70,6 +86,8 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         id: "fig20",
         title: "Fig 20: block-sweeper scaling",
         tables: vec![table],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             "Paper: near-linear to 2 sweepers, diminishing beyond, slower again at 8 \
              (memory contention); 4 sweepers beat the CPU 2-3x."

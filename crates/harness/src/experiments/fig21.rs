@@ -10,6 +10,7 @@ use tracegc_hwgc::GcUnitConfig;
 use tracegc_workloads::spec::by_name;
 
 use super::{ExperimentOutput, Options};
+use crate::metrics::MetricsDoc;
 use crate::runner::{run_unit_gc, MemKind};
 use crate::table::Table;
 
@@ -22,10 +23,13 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         .scaled(opts.scale);
 
     // Fig. 21a: object-access-frequency distribution from one mark pass.
-    let run = run_unit_gc(
+    let mut run = run_unit_gc(
         &spec,
         LayoutKind::Bidirectional,
-        GcUnitConfig::default(),
+        GcUnitConfig {
+            trace: opts.trace,
+            ..GcUnitConfig::default()
+        },
         MemKind::ddr3_default(),
     );
     let counts = run.unit.traversal().access_counts();
@@ -71,7 +75,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         let mark = &run.report.mark;
         let attempts = mark.objects_marked + mark.already_marked + mark.filtered;
         let reqs = mark.objects_marked + mark.already_marked; // AMOs that reached memory
-        vec![
+        let row = vec![
             format!("{size}"),
             format!(
                 "{:.1}%",
@@ -79,16 +83,28 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             ),
             format!("{:.3}", reqs as f64 / attempts.max(1) as f64),
             crate::table::ms(mark.cycles()),
-        ]
+        ];
+        (row, mark.cycles(), mark.stalls)
     });
-    for row in rows {
+    let mut metrics = MetricsDoc::new("fig21");
+    metrics.phase(
+        "luindex.hist_run.unit_mark",
+        run.report.mark.cycles(),
+        1,
+        run.report.mark.stalls,
+    );
+    metrics.counter("mark_accesses", total_accesses);
+    for (&size, (row, cycles, stalls)) in CACHE_SIZES.iter().zip(rows) {
         sweep.row(row);
+        metrics.phase(&format!("luindex.cache{size}.unit_mark"), cycles, 1, stalls);
     }
 
     ExperimentOutput {
         id: "fig21",
         title: "Fig 21: mark-bit cache",
         tables: vec![hist, sweep],
+        metrics,
+        trace: run.unit.take_trace(),
         notes: vec![
             format!(
                 "Top-56 objects receive {:.1}% of all {} mark accesses (paper: ~10%).",

@@ -7,6 +7,7 @@ use tracegc_hwgc::GcUnitConfig;
 use tracegc_model::area::{gc_unit_area, l2_area, rocket_core_area, SRAM_MM2_PER_KB};
 
 use super::{ExperimentOutput, Options};
+use crate::metrics::MetricsDoc;
 use crate::table::Table;
 
 /// Area breakdown tables for the core, the L2 and the unit.
@@ -34,10 +35,17 @@ pub fn run(_opts: &Options) -> ExperimentOutput {
 
     let ratio = unit.total() / core.total();
     let sram_equiv_kb = unit.total() / SRAM_MM2_PER_KB;
+    let mut metrics = MetricsDoc::new("fig22");
+    metrics.gauge("core_mm2", core.total());
+    metrics.gauge("unit_mm2", unit.total());
+    metrics.gauge("unit_core_ratio", ratio);
+    metrics.gauge("sram_equiv_kb", sram_equiv_kb);
     ExperimentOutput {
         id: "fig22",
         title: "Fig 22: area",
         tables: vec![totals, core_t, unit_t],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             format!(
                 "Unit / core = {:.1}% (paper: 18.5%); unit is equivalent to {:.0} KB \

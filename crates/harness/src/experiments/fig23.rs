@@ -10,6 +10,7 @@ use tracegc_model::{Agent, EnergyModel};
 use tracegc_workloads::spec::DACAPO;
 
 use super::{ExperimentOutput, Options};
+use crate::metrics::MetricsDoc;
 use crate::runner::{DualRun, MemKind};
 use crate::table::Table;
 
@@ -38,7 +39,9 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         let mut run = DualRun::new(&spec, LayoutKind::Bidirectional, GcUnitConfig::default());
         (spec.name, run.run_pause(MemKind::ddr3_default()))
     });
+    let mut metrics = MetricsDoc::new("fig23");
     for (name, p) in pauses {
+        metrics.pause_phases(name, &p);
         let cpu_cycles = p.cpu_mark_cycles + p.cpu_sweep_cycles;
         let unit_cycles = p.unit_mark_cycles + p.unit_sweep_cycles;
         let cpu_e = model.pause_energy(
@@ -88,10 +91,13 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         format!("{unit_total:.0}"),
     ]);
     let mean_saving = savings.iter().sum::<f64>() / savings.len() as f64;
+    metrics.gauge("mean_energy_saving_pct", mean_saving);
     ExperimentOutput {
         id: "fig23",
         title: "Fig 23: power and energy",
         tables: vec![power, energy],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             format!(
                 "Mean energy saving: {mean_saving:.1}% (paper: 14.5%). The unit's \

@@ -18,6 +18,9 @@ pub mod fig22;
 pub mod fig23;
 pub mod table1;
 
+use tracegc_sim::TraceEvent;
+
+use crate::metrics::MetricsDoc;
 use crate::table::Table;
 
 /// Options controlling experiment cost.
@@ -32,6 +35,10 @@ pub struct Options {
     /// sweep-style experiments — concurrently. Results are
     /// byte-identical for any value (see `crate::parallel`).
     pub jobs: usize,
+    /// Turns on event-ring tracing in the experiments that support it
+    /// (those that run a single instrumented unit); the drained events
+    /// land in [`ExperimentOutput::trace`].
+    pub trace: bool,
 }
 
 impl Default for Options {
@@ -40,6 +47,7 @@ impl Default for Options {
             scale: 0.25,
             pauses: 3,
             jobs: 1,
+            trace: false,
         }
     }
 }
@@ -55,6 +63,12 @@ pub struct ExperimentOutput {
     pub tables: Vec<Table>,
     /// Commentary (paper values, caveats).
     pub notes: Vec<String>,
+    /// Machine-readable metrics (phases, counters, gauges) written to
+    /// the `<id>.metrics.json` sidecar.
+    pub metrics: MetricsDoc,
+    /// Drained event-ring events (empty unless `Options::trace` and the
+    /// experiment supports tracing).
+    pub trace: Vec<TraceEvent>,
 }
 
 /// Every experiment id, in paper order.
@@ -65,7 +79,18 @@ pub const ALL: [&str; 22] = [
 ];
 
 /// Runs one experiment by id. Returns `None` for unknown ids.
+///
+/// Every returned output carries a metrics doc stamped with the common
+/// `scale` / `pauses` gauges on top of whatever the experiment recorded.
 pub fn run(id: &str, opts: &Options) -> Option<ExperimentOutput> {
+    let mut out = run_inner(id, opts)?;
+    out.metrics.gauge("scale", opts.scale);
+    out.metrics.gauge("pauses", opts.pauses as f64);
+    debug_assert_eq!(out.metrics.id, out.id, "metrics doc id must match");
+    Some(out)
+}
+
+fn run_inner(id: &str, opts: &Options) -> Option<ExperimentOutput> {
     Some(match id {
         "table1" => table1::run(opts),
         "fig1a" => fig01::run_1a(opts),

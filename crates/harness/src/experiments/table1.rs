@@ -4,6 +4,7 @@ use tracegc_cpu::CpuConfig;
 use tracegc_mem::ddr3::Ddr3Config;
 
 use super::{ExperimentOutput, Options};
+use crate::metrics::MetricsDoc;
 use crate::table::Table;
 
 /// Prints the modelled SoC configuration (paper Table I).
@@ -56,10 +57,17 @@ pub fn run(_opts: &Options) -> ExperimentOutput {
     ]);
     mem.row(vec!["Banks".into(), format!("{}", ddr.banks)]);
 
+    let mut metrics = MetricsDoc::new("table1");
+    metrics.gauge("l1d_kib", cpu.l1d.size_bytes as f64 / 1024.0);
+    metrics.gauge("l2_kib", cpu.l2.size_bytes as f64 / 1024.0);
+    metrics.counter("ddr_banks", ddr.banks as u64);
+
     ExperimentOutput {
         id: "table1",
         title: "Table I: RocketChip configuration",
         tables: vec![proc, mem],
+        metrics,
+        trace: Vec::new(),
         notes: vec![
             "Matches the paper's Table I: 16 KiB L1s, 256 KiB 8-way L2, FR-FCFS \
              MAS with 16/8 outstanding requests, open-page policy, 14-14-14-47."

@@ -34,10 +34,12 @@
 //! `cargo run -p tracegc --release --bin experiments -- all`.
 
 pub mod experiments;
+pub mod metrics;
 pub mod parallel;
 pub mod runner;
 pub mod table;
 
+pub use metrics::MetricsDoc;
 pub use runner::{DualRun, MemKind, MemSnapshot, PauseResult};
 pub use table::Table;
 

@@ -16,7 +16,7 @@ use tracegc_hwgc::{GcUnit, GcUnitConfig};
 use tracegc_mem::ddr3::Ddr3Config;
 use tracegc_mem::pipe::PipeConfig;
 use tracegc_mem::{MemSystem, Source};
-use tracegc_sim::Cycle;
+use tracegc_sim::{Cycle, StallAccounting, TraceEvent};
 use tracegc_workloads::generate::{churn, generate_heap, WorkloadHeap};
 use tracegc_workloads::spec::BenchSpec;
 
@@ -122,6 +122,20 @@ pub struct PauseResult {
     pub unit_port_busy: u64,
     /// Mark operations that found the object already marked.
     pub unit_already_marked: u64,
+    /// CPU mark-phase cycle attribution (`total() == cpu_mark_cycles`).
+    pub cpu_mark_stalls: StallAccounting,
+    /// CPU sweep-phase cycle attribution.
+    pub cpu_sweep_stalls: StallAccounting,
+    /// Unit mark-phase cycle attribution (`total() == unit_mark_cycles`).
+    pub unit_mark_stalls: StallAccounting,
+    /// Unit sweep-phase cycle attribution, summed over all sweeper lanes
+    /// (`total() == unit_sweep_cycles * unit_sweep_lanes`).
+    pub unit_sweep_stalls: StallAccounting,
+    /// Sweeper lanes the unit's sweep accounting covers.
+    pub unit_sweep_lanes: u64,
+    /// The unit's drained event ring (empty unless the unit config's
+    /// `trace` flag was set).
+    pub unit_trace: Vec<TraceEvent>,
 }
 
 impl PauseResult {
@@ -201,6 +215,7 @@ impl DualRun {
         let mut unit = GcUnit::new(self.unit_cfg, &mut self.unit_side.heap);
         let report = unit.run_gc(&mut self.unit_side.heap, &mut unit_mem);
         let unit_snapshot = MemSnapshot::capture(&unit_mem);
+        let unit_trace = unit.take_trace();
 
         assert_eq!(
             cpu_mark.work_items, report.mark.objects_marked,
@@ -224,6 +239,12 @@ impl DualRun {
             unit_filtered: report.mark.filtered,
             unit_port_busy: report.mark.port_busy_cycles,
             unit_already_marked: report.mark.already_marked,
+            cpu_mark_stalls: cpu_mark.stalls,
+            cpu_sweep_stalls: cpu_sweep.stalls,
+            unit_mark_stalls: report.mark.stalls,
+            unit_sweep_stalls: report.sweep.stalls,
+            unit_sweep_lanes: report.sweep.lanes,
+            unit_trace,
         }
     }
 

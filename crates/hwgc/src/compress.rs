@@ -56,10 +56,23 @@ impl RefCodec {
     }
 
     /// Decodes an entry back to a full virtual address.
+    ///
+    /// # Panics
+    ///
+    /// In compressed mode, panics if `stored` exceeds the 32-bit word
+    /// offsets [`encode`](Self::encode) can produce — anything larger is
+    /// queue or spill corruption, and silently widening it would
+    /// fabricate an address.
     pub fn decode(self, stored: u64) -> u64 {
         match self {
             RefCodec::Full => stored,
-            RefCodec::Compressed { base } => base + stored * 8,
+            RefCodec::Compressed { base } => {
+                assert!(
+                    stored <= u32::MAX as u64,
+                    "stored entry {stored:#x} out of compressed range"
+                );
+                base + stored * 8
+            }
         }
     }
 }
@@ -108,5 +121,18 @@ mod tests {
     #[should_panic(expected = "out of compressed range")]
     fn beyond_range_panics() {
         RefCodec::Compressed { base: 0 }.encode(8 * (u32::MAX as u64 + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of compressed range")]
+    fn decode_beyond_range_panics() {
+        // decode mirrors encode's contract: a stored entry wider than 32
+        // bits is corruption, not an address.
+        RefCodec::Compressed { base: 0x4000_0000 }.decode(u32::MAX as u64 + 1);
+    }
+
+    #[test]
+    fn full_decode_accepts_any_u64() {
+        assert_eq!(RefCodec::Full.decode(u64::MAX), u64::MAX);
     }
 }

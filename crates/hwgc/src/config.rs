@@ -57,6 +57,10 @@ pub struct GcUnitConfig {
     /// could be reduced by communicating with the memory controller to
     /// only use residual bandwidth".
     pub min_issue_interval: u64,
+    /// Record an event trace (bounded ring; see `sim::metrics`) during
+    /// collection. Off by default: stall *accounting* is always on, only
+    /// the per-event ring is gated.
+    pub trace: bool,
 }
 
 impl Default for GcUnitConfig {
@@ -76,6 +80,7 @@ impl Default for GcUnitConfig {
             topology: CacheTopology::Partitioned,
             spill_bytes: 4 << 20,
             min_issue_interval: 0,
+            trace: false,
         }
     }
 }

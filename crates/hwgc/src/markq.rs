@@ -75,6 +75,9 @@ pub struct MarkQueueStats {
     pub peak_spilled: u64,
     /// Bytes written to the spill region.
     pub spill_bytes_written: u64,
+    /// Peak entries resident anywhere (queues + spill + pending fill) —
+    /// the queue-occupancy summary of the metrics sidecars.
+    pub peak_occupancy: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -182,12 +185,9 @@ impl MarkQueue {
     /// even `outQ` is full.
     pub fn enqueue(&mut self, va: u64) -> bool {
         let encoded = self.cfg.codec.encode(va);
-        if self.main.try_push(encoded).is_ok() {
+        if self.main.try_push(encoded).is_ok() || self.outq.try_push(encoded).is_ok() {
             self.stats.enqueued += 1;
-            return true;
-        }
-        if self.outq.try_push(encoded).is_ok() {
-            self.stats.enqueued += 1;
+            self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.len());
             return true;
         }
         false

@@ -18,7 +18,8 @@ use tracegc_heap::layout::{
 };
 use tracegc_heap::Heap;
 use tracegc_mem::{MemReq, MemSystem, Source};
-use tracegc_sim::Cycle;
+use tracegc_sim::metrics::DEFAULT_TRACE_CAPACITY;
+use tracegc_sim::{Cycle, EventTrace, StallAccounting, StallReason};
 use tracegc_vmem::{Requester, Translator};
 
 use crate::config::GcUnitConfig;
@@ -38,6 +39,13 @@ pub struct ReclaimResult {
     pub live_objects: u64,
     /// Memory read requests issued by the sweepers.
     pub line_reads: u64,
+    /// Parallel sweeper lanes the pass ran with.
+    pub lanes: u64,
+    /// Cycle attribution summed across all lanes:
+    /// `stalls.total() == cycles() * lanes`. A sweeper that drains its
+    /// share of blocks before its siblings charges the remainder to
+    /// [`StallReason::Idle`].
+    pub stalls: StallAccounting,
 }
 
 impl ReclaimResult {
@@ -86,6 +94,8 @@ pub struct ReclamationUnit {
     cfg: GcUnitConfig,
     translator: Translator,
     ptw_cache: tracegc_mem::Cache,
+    /// Event ring, present when `cfg.trace` is set.
+    trace: Option<EventTrace>,
 }
 
 impl ReclamationUnit {
@@ -94,8 +104,15 @@ impl ReclamationUnit {
         Self {
             translator: Translator::new(heap.address_space(), cfg.tlb),
             ptw_cache: tracegc_mem::Cache::new(cfg.tlb.ptw_cache),
+            trace: cfg.trace.then(|| EventTrace::new(DEFAULT_TRACE_CAPACITY)),
             cfg,
         }
+    }
+
+    /// The event ring (if tracing is enabled), leaving tracing active.
+    pub fn take_trace(&mut self) -> Option<EventTrace> {
+        let capacity = self.trace.as_ref()?.capacity();
+        self.trace.replace(EventTrace::new(capacity))
     }
 
     /// Runs a full sweep starting at `start`, rebuilding every block's
@@ -110,6 +127,7 @@ impl ReclamationUnit {
         let mut result = ReclaimResult {
             start,
             end: start,
+            lanes: self.cfg.sweepers.max(1) as u64,
             ..ReclaimResult::default()
         };
         let nblocks = heap.blocks().len();
@@ -146,6 +164,7 @@ impl ReclamationUnit {
                 });
                 next_block += 1;
                 sweeper.now += self.cfg.sweeper_block_cycles;
+                result.stalls.busy(self.cfg.sweeper_block_cycles);
                 continue;
             }
             Self::step_cell(
@@ -155,6 +174,7 @@ impl ReclamationUnit {
                 &self.cfg,
                 &mut self.translator,
                 &mut self.ptw_cache,
+                &mut self.trace,
                 &mut result,
             );
         }
@@ -165,6 +185,11 @@ impl ReclamationUnit {
         }
         for s in &sweepers {
             result.end = result.end.max(s.now);
+        }
+        // A lane that finished early is idle until the slowest one ends,
+        // keeping busy + stalls == cycles × lanes exact.
+        for s in &sweepers {
+            result.stalls.stall(StallReason::Idle, result.end - s.now);
         }
         heap.finish_sweep();
         // LOS marks are cleared by the runtime (§V-A).
@@ -193,8 +218,14 @@ impl ReclamationUnit {
         let clock = sweeper.use_clock;
         if let Some(buf) = sweeper.bufs.iter_mut().find(|b| b.line_va == line_va) {
             buf.last_use = clock;
+            // An in-flight buffered line: the remaining wait is memory.
+            result.stalls.stall(
+                StallReason::MemLatency,
+                buf.ready.saturating_sub(sweeper.now),
+            );
             return buf.ready;
         }
+        let before = translator.stats();
         let (pa, ready) = translator
             .translate_with_cache(
                 Requester::Sweeper,
@@ -205,7 +236,26 @@ impl ReclamationUnit {
                 ptw_cache,
             )
             .unwrap_or_else(|e| panic!("sweeper fault: {e}"));
+        let after = translator.stats();
         let done = mem.schedule(&MemReq::read(pa, 64, Source::Sweeper), ready);
+        // Split the wait: the translation portion is a TLB-miss walk (or
+        // a wait behind the busy shared walker), the rest is the line
+        // fetch itself.
+        let total = done.saturating_sub(sweeper.now);
+        let xlat = if after.walks > before.walks {
+            ready.saturating_sub(sweeper.now).min(total)
+        } else {
+            0
+        };
+        if xlat > 0 {
+            let reason = if after.walker_wait_cycles > before.walker_wait_cycles {
+                StallReason::PtwBusy
+            } else {
+                StallReason::TlbMiss
+            };
+            result.stalls.stall(reason, xlat);
+        }
+        result.stalls.stall(StallReason::MemLatency, total - xlat);
         if std::env::var_os("TRACEGC_DEBUG_SWEEP").is_some() {
             eprintln!(
                 "read now={} ready={} done={} lat={} tlb_part={}",
@@ -238,6 +288,7 @@ impl ReclamationUnit {
     }
 
     /// Processes one cell of the sweeper's current block.
+    #[allow(clippy::too_many_arguments)]
     fn step_cell(
         sweeper: &mut Sweeper,
         heap: &mut Heap,
@@ -245,6 +296,7 @@ impl ReclamationUnit {
         cfg: &GcUnitConfig,
         translator: &mut Translator,
         ptw_cache: &mut tracegc_mem::Cache,
+        trace: &mut Option<EventTrace>,
         result: &mut ReclaimResult,
     ) {
         let line_bufs = cfg.sweeper_line_bufs;
@@ -253,14 +305,19 @@ impl ReclamationUnit {
             // Block finished: return it to the free/live block lists.
             let job = sweeper.block.take().expect("has a block");
             heap.set_block_free_list(job.bidx, job.free_head, job.free_cells);
+            if let Some(trace) = trace {
+                trace.record(sweeper.now, "sweeper", "block_done", job.bidx as u64);
+            }
             sweeper.bufs.clear();
             sweeper.now += cfg.sweeper_block_cycles;
+            result.stalls.busy(cfg.sweeper_block_cycles);
             return;
         }
         let cell = job.base_va + job.next_cell * job.cell_bytes;
         job.next_cell += 1;
         result.cells_scanned += 1;
         sweeper.now += cfg.sweeper_cell_cycles;
+        result.stalls.busy(cfg.sweeper_cell_cycles);
 
         // Read the cell-start word and classify.
         let (cell_copy, layout) = (cell, heap.layout());
@@ -467,6 +524,32 @@ mod tests {
         let result = unit.run_sweep(&mut heap, &mut mem, 0);
         assert_eq!(result.cells_scanned, 0);
         assert_eq!(result.cells_freed, 0);
+    }
+
+    #[test]
+    fn sweep_stalls_sum_to_lane_cycles() {
+        for sweepers in [1usize, 2, 4] {
+            let mut heap = marked_heap(3000);
+            let mut mem = MemSystem::ddr3(Default::default());
+            let cfg = GcUnitConfig {
+                sweepers,
+                ..GcUnitConfig::default()
+            };
+            let mut unit = ReclamationUnit::new(cfg, &heap);
+            let result = unit.run_sweep(&mut heap, &mut mem, 0);
+            assert_eq!(result.lanes, sweepers as u64);
+            assert_eq!(
+                result.stalls.total(),
+                result.cycles() * result.lanes,
+                "busy + stalls must cover all {sweepers} lanes exactly"
+            );
+            assert!(result.stalls.busy_cycles() > 0);
+            if sweepers > 1 {
+                // Sibling lanes never finish on exactly the same cycle at
+                // this scale, so some idle tail must be attributed.
+                assert!(result.stalls.stalled(StallReason::Idle) > 0);
+            }
+        }
     }
 
     #[test]

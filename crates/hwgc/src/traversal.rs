@@ -22,7 +22,8 @@ use tracegc_heap::Heap;
 use tracegc_mem::cache::MemBacking;
 use tracegc_mem::req::decompose_aligned;
 use tracegc_mem::{Cache, CacheConfig, MemReq, MemSystem, Source};
-use tracegc_sim::{BoundedQueue, Cycle};
+use tracegc_sim::metrics::DEFAULT_TRACE_CAPACITY;
+use tracegc_sim::{BoundedQueue, Cycle, EventTrace, StallAccounting, StallReason};
 use tracegc_vmem::{Requester, Translator, PAGE_SIZE};
 
 use crate::compress::RefCodec;
@@ -54,6 +55,10 @@ pub struct TraversalResult {
     pub markq: MarkQueueStats,
     /// Translation statistics.
     pub translator: tracegc_vmem::TranslatorStats,
+    /// Cycle attribution for the pass: `stalls.total() == cycles()` for
+    /// passes driven by [`TraversalUnit::run_mark`] (externally stepped
+    /// passes leave this empty).
+    pub stalls: StallAccounting,
 }
 
 impl TraversalResult {
@@ -189,6 +194,16 @@ pub struct TraversalUnit {
     already_marked: u64,
     filtered: u64,
     refs_enqueued: u64,
+    /// Cycle attribution for the current pass (reset by
+    /// [`TraversalUnit::begin`], charged by
+    /// [`TraversalUnit::run_mark`]'s clock-advance points).
+    stalls: StallAccounting,
+    /// Why the marker is frozen when `marker_blocked_until > now`.
+    marker_block_reason: StallReason,
+    /// Why the tracer is frozen when `tracer_blocked_until > now`.
+    tracer_block_reason: StallReason,
+    /// Event ring, present when `cfg.trace` is set.
+    trace: Option<EventTrace>,
 }
 
 impl TraversalUnit {
@@ -247,6 +262,10 @@ impl TraversalUnit {
             already_marked: 0,
             filtered: 0,
             refs_enqueued: 0,
+            stalls: StallAccounting::default(),
+            marker_block_reason: StallReason::TlbMiss,
+            tracer_block_reason: StallReason::TlbMiss,
+            trace: cfg.trace.then(|| EventTrace::new(DEFAULT_TRACE_CAPACITY)),
             cfg,
         }
     }
@@ -369,11 +388,27 @@ impl TraversalUnit {
                 break;
             }
             if progress {
+                self.stalls.busy(1);
                 now += 1;
             } else {
+                // Attribute the stalled span to its bottleneck before
+                // skipping ahead; the break above happens before any
+                // advance, so busy + stalls stays exactly equal to the
+                // pass's cycle count.
+                let reason = self.classify_stall(now);
                 match self.next_event() {
-                    Some(t) if t > now => now = t,
-                    Some(_) => now += 1,
+                    Some(t) if t > now => {
+                        let span = t - now;
+                        self.stalls.stall(reason, span);
+                        if let Some(trace) = &mut self.trace {
+                            trace.record(now, "traversal", reason.stall_kind(), span);
+                        }
+                        now = t;
+                    }
+                    Some(_) => {
+                        self.stalls.stall(reason, 1);
+                        now += 1;
+                    }
                     None => {
                         panic!(
                             "traversal unit deadlock at cycle {now}: markq={}, tracerq={}, \
@@ -400,6 +435,60 @@ impl TraversalUnit {
         self.last_issue_at = None;
         self.marker_blocked_until = 0;
         self.tracer_blocked_until = 0;
+        // Per-pass, like `cycles()`: the accounting invariant is against
+        // this pass's span, not the unit's lifetime.
+        self.stalls = StallAccounting::default();
+    }
+
+    /// Attributes a no-progress cycle at `now` to its bottleneck.
+    ///
+    /// Priority order: the throttle pacing gate (it masks everything
+    /// downstream), a blocking-TLB freeze (walk or walker-queue wait),
+    /// queue back-pressure, then outstanding memory responses; a unit
+    /// with none of these is idle (only possible mid-pass when a
+    /// concurrent driver has nothing injected yet).
+    fn classify_stall(&self, now: Cycle) -> StallReason {
+        let throttled = self.cfg.min_issue_interval > 0
+            && self
+                .last_issue_at
+                .is_some_and(|t| now < t + self.cfg.min_issue_interval);
+        if throttled {
+            return StallReason::Throttled;
+        }
+        if now < self.marker_blocked_until {
+            return self.marker_block_reason;
+        }
+        if now < self.tracer_blocked_until {
+            return self.tracer_block_reason;
+        }
+        let tracer_has_work = self.trace_state.is_some() || !self.tracerq.is_empty();
+        let marker_parked = self
+            .marker_slots
+            .iter()
+            .any(|s| matches!(s, MarkerSlot::Deliver { .. }));
+        let tracer_gated = tracer_has_work
+            && (self.markq.throttled()
+                || self.deliver_buf.len() > 4 * self.markq.entries_per_chunk());
+        if marker_parked || tracer_gated {
+            return StallReason::QueueFull;
+        }
+        let mem_pending = self.roots.pending.is_some()
+            || !self.responses.is_empty()
+            || self.markq.next_event().is_some()
+            || self
+                .marker_slots
+                .iter()
+                .any(|s| matches!(s, MarkerSlot::Busy { .. }));
+        if mem_pending {
+            return StallReason::MemLatency;
+        }
+        StallReason::Idle
+    }
+
+    /// The event ring (if tracing is enabled), leaving tracing active.
+    pub fn take_trace(&mut self) -> Option<EventTrace> {
+        let capacity = self.trace.as_ref()?.capacity();
+        self.trace.replace(EventTrace::new(capacity))
     }
 
     /// Advances the unit by one clock cycle; returns whether anything
@@ -437,8 +526,28 @@ impl TraversalUnit {
             // Split borrows: the shared cache is optional.
             let shared = self.shared_cache.as_mut();
             let mut port = self.port_free;
+            let spill_before = self.trace.is_some().then(|| self.markq.stats());
             progress |= self.markq.tick(now, mem, &mut heap.phys, shared, &mut port);
             self.port_free = port;
+            if let (Some(before), Some(trace)) = (spill_before, &mut self.trace) {
+                let after = self.markq.stats();
+                if after.spill_writes > before.spill_writes {
+                    trace.record(
+                        now,
+                        "markq",
+                        "spill_write",
+                        after.spill_writes - before.spill_writes,
+                    );
+                }
+                if after.spill_reads > before.spill_reads {
+                    trace.record(
+                        now,
+                        "markq",
+                        "spill_read",
+                        after.spill_reads - before.spill_reads,
+                    );
+                }
+            }
         }
         progress |= self.tick_roots(now, mem, heap);
         progress |= self.tick_marker_deliver(now);
@@ -487,6 +596,7 @@ impl TraversalUnit {
             port_busy_cycles: self.port_busy_cycles,
             markq: self.markq.stats(),
             translator: self.translator.stats(),
+            stalls: self.stalls,
         }
     }
 
@@ -616,11 +726,18 @@ impl TraversalUnit {
             return true;
         }
         self.port_free = false;
-        let walks_before = self.translator.stats().walks;
+        let before = self.translator.stats();
         let (pa, ready) = self.translate(Requester::Marker, va, now, mem, heap);
-        if self.cfg.tlb.blocking_requesters && self.translator.stats().walks > walks_before {
-            // Blocking TLB: the marker pipeline freezes for the walk.
+        let after = self.translator.stats();
+        if self.cfg.tlb.blocking_requesters && after.walks > before.walks {
+            // Blocking TLB: the marker pipeline freezes for the walk —
+            // behind the busy walker first, if it had to queue.
             self.marker_blocked_until = ready;
+            self.marker_block_reason = if after.walker_wait_cycles > before.walker_wait_cycles {
+                StallReason::PtwBusy
+            } else {
+                StallReason::TlbMiss
+            };
         }
         // Functional fetch-or now; timing decided by what the old value
         // was (write-back elision for already-marked objects, §V-C).
@@ -631,6 +748,9 @@ impl TraversalUnit {
             self.already_marked += 1;
         } else {
             self.objects_marked += 1;
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.record(now, "marker", "mark_issue", va);
         }
         self.marker_slots[slot_idx] = MarkerSlot::Busy { done, va, old };
         true
@@ -712,12 +832,9 @@ impl TraversalUnit {
                 };
                 let to_page_end = PAGE_SIZE - (cursor % PAGE_SIZE);
                 let size = align.min(fit).min(to_page_end).max(WORD);
-                let walks_before = self.translator.stats().walks;
+                let before = self.translator.stats();
                 let (pa, ready) = self.translate(Requester::Tracer, cursor, now, mem, heap);
-                if self.cfg.tlb.blocking_requesters && self.translator.stats().walks > walks_before
-                {
-                    self.tracer_blocked_until = ready;
-                }
+                self.block_tracer_on_walk(&before, ready);
                 let done =
                     self.data_access(pa, size as u32, false, false, Source::Tracer, ready, mem);
                 let refs: Vec<u64> = (0..size / WORD)
@@ -725,6 +842,9 @@ impl TraversalUnit {
                     .filter(|&r| r != 0)
                     .collect();
                 self.push_response(done, refs);
+                if let Some(trace) = &mut self.trace {
+                    trace.record(now, "tracer", "trace_issue", size);
+                }
                 let next = cursor + size;
                 if next < end {
                     self.trace_state = Some(TraceState::Bidi { cursor: next, end });
@@ -737,12 +857,9 @@ impl TraversalUnit {
                 // bidirectional layout removes (§IV-A.I).
                 let objref = tracegc_heap::ObjRef::new(obj);
                 let tib_va = conv::tib_slot(objref);
-                let walks_before = self.translator.stats().walks;
+                let before = self.translator.stats();
                 let (pa, ready) = self.translate(Requester::Tracer, tib_va, now, mem, heap);
-                if self.cfg.tlb.blocking_requesters && self.translator.stats().walks > walks_before
-                {
-                    self.tracer_blocked_until = ready;
-                }
+                self.block_tracer_on_walk(&before, ready);
                 let t1 = self.data_access(pa, 8, false, false, Source::Tracer, ready, mem);
                 let tib = heap.read_va(tib_va);
                 // Offset words, dependent on the TIB pointer.
@@ -766,12 +883,9 @@ impl TraversalUnit {
                 };
                 let objref = tracegc_heap::ObjRef::new(obj);
                 let field_va = conv::field_slot(objref, offset);
-                let walks_before = self.translator.stats().walks;
+                let before = self.translator.stats();
                 let (pa, ready) = self.translate(Requester::Tracer, field_va, now, mem, heap);
-                if self.cfg.tlb.blocking_requesters && self.translator.stats().walks > walks_before
-                {
-                    self.tracer_blocked_until = ready;
-                }
+                self.block_tracer_on_walk(&before, ready);
                 let done = self.data_access(pa, 8, false, false, Source::Tracer, ready, mem);
                 let raw = heap.read_va(field_va);
                 let refs = if raw != 0 { vec![raw] } else { Vec::new() };
@@ -781,6 +895,22 @@ impl TraversalUnit {
                 }
                 true
             }
+        }
+    }
+
+    /// Freezes the tracer when the translation that produced `before` →
+    /// current stats walked, classifying the freeze as a walk of its own
+    /// ([`StallReason::TlbMiss`]) or a wait behind the busy walker
+    /// ([`StallReason::PtwBusy`]).
+    fn block_tracer_on_walk(&mut self, before: &tracegc_vmem::TranslatorStats, ready: Cycle) {
+        let after = self.translator.stats();
+        if self.cfg.tlb.blocking_requesters && after.walks > before.walks {
+            self.tracer_blocked_until = ready;
+            self.tracer_block_reason = if after.walker_wait_cycles > before.walker_wait_cycles {
+                StallReason::PtwBusy
+            } else {
+                StallReason::TlbMiss
+            };
         }
     }
 
@@ -1083,6 +1213,51 @@ mod tests {
         let result = unit.run_mark(&mut heap, &mut mem, 0);
         assert_eq!(result.objects_marked, 0);
         assert!(heap.marked_set().is_empty());
+    }
+
+    #[test]
+    fn stall_accounting_sums_to_pass_cycles() {
+        // The central observability invariant: every cycle of the pass is
+        // attributed to exactly one bucket.
+        for layout in [LayoutKind::Bidirectional, LayoutKind::Conventional] {
+            let mut heap = build_heap(2000, layout);
+            let mut mem = MemSystem::ddr3(Default::default());
+            let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut heap);
+            let result = unit.run_mark(&mut heap, &mut mem, 0);
+            assert_eq!(
+                result.stalls.total(),
+                result.cycles(),
+                "busy + stalls must cover the {layout:?} pass exactly"
+            );
+            assert!(result.stalls.busy_cycles() > 0);
+            assert!(result.stalls.total_stalled() > 0, "a DDR3 pass must stall");
+        }
+    }
+
+    #[test]
+    fn trace_ring_records_mark_events_when_enabled() {
+        let mut heap = build_heap(500, LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let cfg = GcUnitConfig {
+            trace: true,
+            ..GcUnitConfig::default()
+        };
+        let mut unit = TraversalUnit::new(cfg, &mut heap);
+        let result = unit.run_mark(&mut heap, &mut mem, 0);
+        let trace = unit.take_trace().expect("tracing enabled");
+        let marks = trace.events().filter(|e| e.kind == "mark_issue").count() as u64;
+        assert_eq!(marks, result.objects_marked + result.already_marked);
+        // Cycle-ordered and after take the ring starts fresh.
+        let mut last = 0;
+        for e in trace.events() {
+            assert!(e.cycle >= last);
+            last = e.cycle;
+        }
+        assert!(unit.take_trace().expect("still enabled").is_empty());
+
+        let mut heap2 = build_heap(500, LayoutKind::Bidirectional);
+        let mut unit2 = TraversalUnit::new(GcUnitConfig::default(), &mut heap2);
+        assert!(unit2.take_trace().is_none(), "tracing off by default");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use tracegc_heap::Heap;
 use tracegc_mem::MemSystem;
-use tracegc_sim::Cycle;
+use tracegc_sim::{Cycle, TraceEvent};
 
 use crate::config::GcUnitConfig;
 use crate::mmio::{MmioRegs, Reg};
@@ -68,6 +68,20 @@ impl GcUnit {
     /// The traversal unit (for detailed statistics).
     pub fn traversal(&self) -> &TraversalUnit {
         &self.traversal
+    }
+
+    /// Drains both sub-units' event rings (populated when the config's
+    /// `trace` flag is set) into one cycle-ordered vector.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        let mut events: Vec<TraceEvent> = Vec::new();
+        if let Some(t) = self.traversal.take_trace() {
+            events.extend(t.into_vec());
+        }
+        if let Some(t) = self.reclaim.take_trace() {
+            events.extend(t.into_vec());
+        }
+        events.sort_by_key(|e| e.cycle);
+        events
     }
 
     /// Runs a complete stop-the-world collection starting at cycle

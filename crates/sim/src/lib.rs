@@ -10,6 +10,9 @@
 //!   analogue of a Chisel `Queue`.
 //! * [`stats`] — counters, histograms, latency percentiles and windowed
 //!   bandwidth time series used to regenerate the paper's figures.
+//! * [`metrics`] — cycle-attributed observability: [`StallReason`]-keyed
+//!   stall accounting, a bounded [`EventTrace`] ring, and the
+//!   [`MetricSet`] registry behind the harness's JSON sidecars.
 //! * [`rng`] — the in-tree deterministic PRNG (SplitMix64-seeded
 //!   xoshiro256++); the project has no external dependencies, so all
 //!   randomness flows through this module.
@@ -32,10 +35,12 @@
 //! ```
 
 pub mod dist;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 
+pub use metrics::{EventTrace, MetricSet, StallAccounting, StallReason, TraceEvent};
 pub use queue::BoundedQueue;
 pub use rng::{Rng, SplitMix64, StdRng};
 pub use stats::{BandwidthMeter, Counter, Histogram, LatencyRecorder};

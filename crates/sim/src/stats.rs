@@ -178,14 +178,20 @@ impl LatencyRecorder {
 
     /// The `p`-th percentile (0.0 ..= 100.0) by nearest-rank, or `None` when
     /// empty.
+    ///
+    /// Nearest-rank: the value at rank `ceil(p/100 · n)` (1-based) of the
+    /// sorted samples. Endpoints: `p = 0` returns the smallest sample
+    /// (the rank is clamped to at least 1) and `p = 100` returns the
+    /// largest.
     pub fn percentile(&mut self, p: f64) -> Option<u64> {
         if self.samples.is_empty() {
             return None;
         }
         self.ensure_sorted();
         let p = p.clamp(0.0, 100.0);
-        let rank = ((p / 100.0) * (self.samples.len() as f64 - 1.0)).round() as usize;
-        Some(self.samples[rank])
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(self.samples[rank.clamp(1, n) - 1])
     }
 
     /// The full cumulative distribution as `(value, fraction ≤ value)`
@@ -290,18 +296,39 @@ impl BandwidthMeter {
             .collect()
     }
 
-    /// Average bandwidth in GB/s over the `[0, last_cycle]` span.
+    /// Average bandwidth in GB/s over the inclusive `[0, last_cycle]`
+    /// span — `last_cycle + 1` cycles, so bytes recorded only at cycle 0
+    /// still report a finite rate.
     pub fn average_gbps(&self) -> f64 {
-        if self.last_cycle == 0 {
+        if self.total_bytes == 0 {
             0.0
         } else {
-            self.total_bytes as f64 / self.last_cycle as f64
+            self.total_bytes as f64 / (self.last_cycle + 1) as f64
         }
     }
 
     /// Peak single-window bandwidth in GB/s.
+    ///
+    /// Each window's rate is its bytes over its *elapsed* span: full
+    /// windows span `window` cycles, but the final window only spans
+    /// `last_cycle + 1 − start` cycles. This makes the peak an upper
+    /// bound on [`average_gbps`](Self::average_gbps) (the average is a
+    /// span-weighted mean of exactly these per-window rates), where a
+    /// full-window denominator would understate a barely-started final
+    /// window.
     pub fn peak_gbps(&self) -> f64 {
-        self.series_gbps().into_iter().fold(0.0, f64::max)
+        let n = self.bytes_per_window.len();
+        self.bytes_per_window
+            .iter()
+            .enumerate()
+            .fold(0.0, |peak, (i, &b)| {
+                let span = if i + 1 == n {
+                    self.last_cycle + 1 - i as Cycle * self.window
+                } else {
+                    self.window
+                };
+                f64::max(peak, b as f64 / span as f64)
+            })
     }
 }
 
@@ -359,8 +386,23 @@ mod tests {
         }
         assert_eq!(r.percentile(0.0), Some(1));
         assert_eq!(r.percentile(100.0), Some(100));
-        assert_eq!(r.percentile(50.0), Some(51)); // nearest-rank on 0..=99 index
+        assert_eq!(r.percentile(50.0), Some(50)); // nearest-rank: ceil(0.5 * 100) = rank 50
+        assert_eq!(r.percentile(99.0), Some(99));
+        assert_eq!(r.percentile(99.9), Some(100)); // ceil(99.9) = rank 100
         assert_eq!(r.max(), Some(100));
+    }
+
+    #[test]
+    fn latency_percentile_is_true_nearest_rank() {
+        // The regression from the old linear-index rounding: on [1, 2],
+        // p50 must be the rank-1 sample (ceil(0.5 * 2) = 1), not 2.
+        let mut r = LatencyRecorder::new();
+        r.record(2);
+        r.record(1);
+        assert_eq!(r.percentile(50.0), Some(1));
+        assert_eq!(r.percentile(50.1), Some(2));
+        assert_eq!(r.percentile(0.0), Some(1));
+        assert_eq!(r.percentile(100.0), Some(2));
     }
 
     #[test]
@@ -397,6 +439,25 @@ mod tests {
         assert!((s[0] - 1.0).abs() < 1e-12);
         assert!((s[1] - 2.0).abs() < 1e-12);
         assert_eq!(m.total_bytes(), 300);
-        assert!((m.peak_gbps() - 2.0).abs() < 1e-12);
+        // The second window has elapsed for exactly one cycle (cycle 100),
+        // so its peak rate is 200 B/cycle, not 200 B / 100 cycles.
+        assert!((m.peak_gbps() - 200.0).abs() < 1e-12);
+        // Average spans [0, 100] inclusive: 300 bytes over 101 cycles.
+        assert!((m.average_gbps() - 300.0 / 101.0).abs() < 1e-12);
+        assert!(m.average_gbps() <= m.peak_gbps());
+    }
+
+    #[test]
+    fn bandwidth_meter_cycle_zero_only() {
+        // Regression: bytes recorded only at cycle 0 used to divide by
+        // last_cycle == 0 and report 0.0 GB/s.
+        let mut m = BandwidthMeter::new(100);
+        m.record(0, 64);
+        assert!((m.average_gbps() - 64.0).abs() < 1e-12);
+        assert!((m.peak_gbps() - 64.0).abs() < 1e-12);
+
+        let empty = BandwidthMeter::new(100);
+        assert_eq!(empty.average_gbps(), 0.0);
+        assert_eq!(empty.peak_gbps(), 0.0);
     }
 }

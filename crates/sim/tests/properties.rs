@@ -74,6 +74,9 @@ fn percentiles_are_monotone() {
             assert!(v >= last, "case {case}: p{p} = {v} < previous {last}");
             last = v;
         }
+        // Exact nearest-rank endpoints: p0 is the smallest sample, p100
+        // the largest.
+        assert_eq!(r.percentile(0.0), Some(*samples.iter().min().unwrap()));
         assert_eq!(r.percentile(100.0), Some(*samples.iter().max().unwrap()));
     }
 }
@@ -114,6 +117,30 @@ fn bandwidth_meter_conserves_bytes() {
         assert_eq!(m.total_bytes(), total, "case {case}");
         let series_total: f64 = m.series_gbps().iter().sum::<f64>() * window as f64;
         assert!((series_total - total as f64).abs() < 1e-6, "case {case}");
+    }
+}
+
+#[test]
+fn bandwidth_average_never_exceeds_peak() {
+    // average_gbps is a span-weighted mean of the per-window rates that
+    // peak_gbps maximizes over, so avg ≤ peak must hold for any record
+    // sequence.
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let window = rng.random_range(1u64..10_000);
+        let mut m = BandwidthMeter::new(window);
+        for _ in 0..rng.random_range(1usize..200) {
+            m.record(
+                rng.random_range(0u64..1 << 18),
+                rng.random_range(1u64..4096),
+            );
+        }
+        let (avg, peak) = (m.average_gbps(), m.peak_gbps());
+        assert!(
+            avg <= peak + 1e-9,
+            "case {case}: average {avg} exceeds peak {peak}"
+        );
+        assert!(avg > 0.0, "case {case}: bytes were recorded");
     }
 }
 

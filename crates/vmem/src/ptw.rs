@@ -104,6 +104,9 @@ pub struct TranslatorStats {
     /// Cycles some requester spent waiting for a busy walker (the
     /// serialization the paper calls out).
     pub walker_wait_cycles: u64,
+    /// Cycles spent inside page-table walks themselves (PTE fetches
+    /// through the PTW cache), excluding walker-queue waits.
+    pub walk_cycles: u64,
 }
 
 /// The shared translation machinery of the traversal unit (and, reused,
@@ -240,6 +243,7 @@ impl Translator {
             t = ptw_cache.access(pte_pa, false, t, Source::Ptw, &mut backing);
         }
         self.stats.walks += 1;
+        self.stats.walk_cycles += t.saturating_sub(start);
         self.walks_inflight.push(t);
 
         let (pa, page_bytes) = self

@@ -77,6 +77,7 @@ fn results_are_independent_of_jobs() {
         scale: 0.015,
         pauses: 1,
         jobs,
+        ..Options::default()
     };
     let serial = run_ids(&ids, &opts(1)).expect("valid ids");
     let parallel = run_ids(&ids, &opts(8)).expect("valid ids");
