@@ -1,9 +1,6 @@
 //! The timed software collector running on the in-order core model.
 
-use tracegc_heap::layout::{
-    bidi, conv, decode_cell_start, encode_free_cell_start, CellStart, Header, LayoutKind,
-    HEADER_MARK_BIT, WORD,
-};
+use tracegc_heap::layout::{Header, HEADER_MARK_BIT, WORD};
 use tracegc_heap::{Heap, ObjRef};
 use tracegc_mem::cache::L2Backing;
 use tracegc_mem::{Cache, CacheConfig, MemSystem, Source};
@@ -89,17 +86,17 @@ pub struct PhaseResult {
 /// ```
 #[derive(Debug)]
 pub struct Cpu {
-    cfg: CpuConfig,
+    pub(crate) cfg: CpuConfig,
     l1d: Cache,
     l2: Cache,
     translator: Translator,
-    now: Cycle,
+    pub(crate) now: Cycle,
     /// Per-phase cycle ledger (reset at each phase start).
-    stalls: StallAccounting,
+    pub(crate) stalls: StallAccounting,
     /// Whether the most recent [`Cpu::access`] triggered a page-table
     /// walk — load-use waits on it are then TLB misses, not plain memory
     /// latency.
-    last_access_walked: bool,
+    pub(crate) last_access_walked: bool,
 }
 
 impl Cpu {
@@ -135,7 +132,13 @@ impl Cpu {
 
     /// A timed data access: translate, then L1 → L2 → DRAM. Returns the
     /// cycle the data is available.
-    fn access(&mut self, heap: &Heap, mem: &mut MemSystem, va: u64, write: bool) -> Cycle {
+    pub(crate) fn access(
+        &mut self,
+        heap: &Heap,
+        mem: &mut MemSystem,
+        va: u64,
+        write: bool,
+    ) -> Cycle {
         let walks_before = self.translator.stats().walks;
         let (pa, t) = self
             .translator
@@ -152,14 +155,14 @@ impl Cpu {
 
     /// Issue `n` single-cycle instructions.
     #[inline]
-    fn instr(&mut self, n: u64) {
+    pub(crate) fn instr(&mut self, n: u64) {
         self.now += n;
         self.stalls.busy(n);
     }
 
     /// Stalls the core until `t` (a load-use dependency), attributing the
     /// wait to a TLB miss when `walked`, memory latency otherwise.
-    fn wait_tagged(&mut self, t: Cycle, walked: bool) {
+    pub(crate) fn wait_tagged(&mut self, t: Cycle, walked: bool) {
         let span = t.saturating_sub(self.now);
         if span > 0 {
             let reason = if walked {
@@ -173,121 +176,33 @@ impl Cpu {
     }
 
     /// [`Cpu::wait_tagged`] using the most recent access's walk flag.
-    fn wait(&mut self, t: Cycle) {
+    pub(crate) fn wait(&mut self, t: Cycle) {
         self.wait_tagged(t, self.last_access_walked);
     }
 
     /// Runs the mark phase: a breadth-limited DFS with a software mark
     /// stack, exactly the traversal of §III-A, with every memory touch
     /// timed through the cache hierarchy.
+    ///
+    /// A thin driver: schedules a single
+    /// [`CpuMarkEngine`](crate::engine::CpuMarkEngine) under the lockstep
+    /// policy (proven cycle- and ledger-exact against the historical
+    /// inline loop by `tests/engine_equivalence.rs`).
     pub fn run_mark(&mut self, heap: &mut Heap, mem: &mut MemSystem) -> PhaseResult {
         let start = self.now;
-        self.stalls = StallAccounting::default();
-        let layout = heap.layout();
-        let mut result = PhaseResult::default();
-
-        // The runtime scanned the roots into the hwgc space; the software
-        // collector reads them from there.
-        let hwgc_base = heap.spaces().hwgc_base;
-        let t = self.access(heap, mem, hwgc_base, false);
-        self.wait(t);
-        let nroots = heap.read_va(hwgc_base);
-
-        // Software mark stack: functional copy + timed pushes/pops.
-        let mut stack: Vec<ObjRef> = Vec::new();
-        let mut sp: u64 = 0;
-        for i in 0..nroots {
-            let slot = hwgc_base + (1 + i) * WORD;
-            let t = self.access(heap, mem, slot, false);
-            self.wait(t);
-            let raw = heap.read_va(slot);
-            if raw != 0 {
-                self.push(heap, mem, &mut stack, &mut sp, ObjRef::new(raw));
-            }
+        let mut engine = crate::engine::CpuMarkEngine::new(self, 0);
+        {
+            let mut ctx = tracegc_heap::SocCtx::single(mem, heap);
+            tracegc_sim::Scheduler::new(tracegc_sim::Policy::Lockstep).run(
+                &mut [&mut engine],
+                &mut ctx,
+                start,
+            );
         }
-
-        while let Some(obj) = self.pop(heap, mem, &mut stack, &mut sp) {
-            self.instr(self.cfg.instr_per_object);
-
-            // Load the header; the mark-test branch *depends* on it, so
-            // the in-order core stalls until the data arrives.
-            let t = self.access(heap, mem, obj.addr(), false);
-            self.wait(t);
-            let pa = heap.va_to_pa(obj.addr());
-            let old = Header::from_raw(heap.phys.read_u64(pa));
-            if old.is_marked() {
-                continue;
-            }
-            // Store the mark (write-back absorbs it; no stall).
-            heap.phys.write_u64(pa, old.with_mark().raw());
-            self.access(heap, mem, obj.addr(), true);
-            self.instr(1);
-            result.work_items += 1;
-
-            let nrefs = old.nrefs();
-            match layout {
-                LayoutKind::Bidirectional => {
-                    // Reference slots sit contiguously below the header.
-                    // An in-order core (ooo_window = 1) stalls on every
-                    // load-use pair; an out-of-order core overlaps up to
-                    // `ooo_window` outstanding ref loads.
-                    let window = self.cfg.ooo_window.max(1);
-                    let mut pending: std::collections::VecDeque<(tracegc_sim::Cycle, u64, bool)> =
-                        std::collections::VecDeque::with_capacity(window);
-                    for i in 0..nrefs {
-                        self.instr(self.cfg.instr_per_ref);
-                        let slot = bidi::ref_slot(obj, i);
-                        let t = self.access(heap, mem, slot, false);
-                        let raw = heap.read_va(slot);
-                        pending.push_back((t, raw, self.last_access_walked));
-                        result.refs_traced += 1;
-                        if pending.len() >= window {
-                            let (t, raw, walked) = pending.pop_front().expect("non-empty");
-                            self.wait_tagged(t, walked);
-                            if raw != 0 {
-                                self.push(heap, mem, &mut stack, &mut sp, ObjRef::new(raw));
-                            }
-                        }
-                    }
-                    while let Some((t, raw, walked)) = pending.pop_front() {
-                        self.wait_tagged(t, walked);
-                        if raw != 0 {
-                            self.push(heap, mem, &mut stack, &mut sp, ObjRef::new(raw));
-                        }
-                    }
-                }
-                LayoutKind::Conventional => {
-                    // TIB pointer, then the offset table, then scattered
-                    // field loads — the two extra accesses of §IV-A.
-                    let tib_slot = conv::tib_slot(obj);
-                    let t = self.access(heap, mem, tib_slot, false);
-                    self.wait(t);
-                    let tib = heap.read_va(tib_slot);
-                    for i in 0..nrefs {
-                        self.instr(self.cfg.instr_per_ref);
-                        let off_va = tib + (1 + i as u64) * WORD;
-                        let t = self.access(heap, mem, off_va, false);
-                        self.wait(t);
-                        let offset = heap.read_va(off_va) as u32;
-                        let slot = conv::field_slot(obj, offset);
-                        let t = self.access(heap, mem, slot, false);
-                        self.wait(t);
-                        let raw = heap.read_va(slot);
-                        result.refs_traced += 1;
-                        if raw != 0 {
-                            self.push(heap, mem, &mut stack, &mut sp, ObjRef::new(raw));
-                        }
-                    }
-                }
-            }
-        }
-
-        result.cycles = self.now - start;
-        result.stalls = self.stalls;
-        result
+        engine.into_result()
     }
 
-    fn push(
+    pub(crate) fn push(
         &mut self,
         heap: &mut Heap,
         mem: &mut MemSystem,
@@ -308,7 +223,7 @@ impl Cpu {
         *sp += 1;
     }
 
-    fn pop(
+    pub(crate) fn pop(
         &mut self,
         heap: &mut Heap,
         mem: &mut MemSystem,
@@ -327,66 +242,23 @@ impl Cpu {
     /// Runs the sweep phase: a linear scan over every mark-sweep block,
     /// rebuilding free lists and clearing surviving marks — the software
     /// equivalent of the reclamation unit (§V-D).
+    ///
+    /// A thin driver: schedules a single
+    /// [`CpuSweepEngine`](crate::engine::CpuSweepEngine) under the
+    /// lockstep policy (proven cycle- and ledger-exact against the
+    /// historical inline loop by `tests/engine_equivalence.rs`).
     pub fn run_sweep(&mut self, heap: &mut Heap, mem: &mut MemSystem) -> PhaseResult {
         let start = self.now;
-        self.stalls = StallAccounting::default();
-        let layout = heap.layout();
-        let mut result = PhaseResult::default();
-
-        let blocks = heap.blocks().to_vec();
-        for (bidx, block) in blocks.iter().enumerate() {
-            let mut free_head = 0u64;
-            let mut free_cells = 0u64;
-            for i in (0..block.ncells).rev() {
-                self.instr(self.cfg.instr_per_cell);
-                let cell = block.base_va + i * block.cell_bytes;
-                // Load the cell-start word; the classification branch
-                // depends on it.
-                let t = self.access(heap, mem, cell, false);
-                self.wait(t);
-                match decode_cell_start(heap.read_va(cell)) {
-                    CellStart::Free { .. } => {
-                        heap.write_va(cell, encode_free_cell_start(free_head));
-                        self.access(heap, mem, cell, true);
-                        self.instr(1);
-                        free_head = cell;
-                        free_cells += 1;
-                    }
-                    CellStart::Live { nrefs, .. } => {
-                        let header_va = match layout {
-                            LayoutKind::Bidirectional => bidi::header_of_cell(cell, nrefs),
-                            LayoutKind::Conventional => conv::header_of_cell(cell),
-                        };
-                        let t = self.access(heap, mem, header_va, false);
-                        self.wait(t);
-                        let header = Header::from_raw(heap.read_va(header_va));
-                        if header.is_marked() {
-                            heap.write_va(header_va, header.without_mark().raw());
-                            self.access(heap, mem, header_va, true);
-                            self.instr(1);
-                        } else {
-                            heap.write_va(cell, encode_free_cell_start(free_head));
-                            self.access(heap, mem, cell, true);
-                            self.instr(1);
-                            free_head = cell;
-                            free_cells += 1;
-                            result.work_items += 1;
-                        }
-                    }
-                }
-            }
-            heap.set_block_free_list(bidx, free_head, free_cells);
+        let mut engine = crate::engine::CpuSweepEngine::new(self, 0);
+        {
+            let mut ctx = tracegc_heap::SocCtx::single(mem, heap);
+            tracegc_sim::Scheduler::new(tracegc_sim::Policy::Lockstep).run(
+                &mut [&mut engine],
+                &mut ctx,
+                start,
+            );
         }
-        // LOS marks are cleared by the runtime (untimed here, matching
-        // the paper's split of responsibilities).
-        for los in heap.los_objects().to_vec() {
-            let h = heap.header(los.obj).without_mark();
-            heap.write_va(los.obj.addr(), h.raw());
-        }
-        heap.finish_sweep();
-        result.cycles = self.now - start;
-        result.stalls = self.stalls;
-        result
+        engine.into_result()
     }
 
     /// Runs a complete stop-the-world GC (mark then sweep); returns the
@@ -412,6 +284,7 @@ impl Cpu {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tracegc_heap::layout::LayoutKind;
     use tracegc_heap::verify::{check_free_lists, check_marks_match_reachability};
     use tracegc_heap::HeapConfig;
 

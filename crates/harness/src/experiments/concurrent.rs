@@ -55,7 +55,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
                     "0".into(),
                     "0".into(),
                 ];
-                (row, Some((stw.cycles(), stw.stalls)), 0, 0)
+                (row, ("stw".to_string(), stw.cycles(), stw.stalls), 0, 0)
             }
             Some((label, cycles_per_op, write_fraction)) => {
                 let report = run_concurrent_mark(
@@ -77,20 +77,23 @@ pub fn run(opts: &Options) -> ExperimentOutput {
                     format!("{}", report.allocated_during_gc),
                     format!("{}", report.mutator_barrier_cycles / 1000),
                 ];
-                (row, None, report.mutator_ops, report.write_barriers)
+                let key = label.replace("concurrent/", "conc_");
+                (
+                    row,
+                    (key, report.traversal.cycles(), report.traversal.stalls),
+                    report.mutator_ops,
+                    report.write_barriers,
+                )
             }
         }
     });
-    // Only the STW baseline runs through the ticked `run_mark` loop and
-    // therefore has a complete stall ledger; the concurrent rows step the
-    // unit externally (mutator interleaving) and are excluded from the
-    // per-phase invariant.
+    // Every row — STW and concurrent alike — now runs the unit under the
+    // scheduler, which charges the per-pass ledger cycle-for-cycle, so
+    // each mode gets an exact phase entry.
     let mut metrics = MetricsDoc::new("conc");
-    for (row, stw, mutator_ops, write_barriers) in rows {
+    for (row, (key, cycles, stalls), mutator_ops, write_barriers) in rows {
         table.row(row);
-        if let Some((cycles, stalls)) = stw {
-            metrics.phase("lusearch.stw.unit_mark", cycles, 1, stalls);
-        }
+        metrics.phase(&format!("lusearch.{key}.unit_mark"), cycles, 1, stalls);
         metrics.counter("mutator_ops", mutator_ops);
         metrics.counter("write_barriers", write_barriers);
     }
@@ -137,13 +140,17 @@ pub fn run_multi(opts: &Options) -> ExperimentOutput {
         let mut mem = MemKind::ddr3_default().fresh();
         let report = run_multiprocess_mark(&mut procs, &mut mem, 0);
         let mean: u64 = report.per_process.iter().map(|r| r.cycles()).sum::<u64>() / n as u64;
-        (report.total_cycles(0), mean)
+        (report.total_cycles(0), mean, report.per_process)
     });
     let solo_wall = results[0].0;
-    // The multiprocess driver steps every unit externally, so there is
-    // no per-phase stall ledger here — wall-clock gauges only.
+    // The round-robin scheduler charges each process's ledger on every
+    // cycle it is live (its own bottleneck when served, PortBusy when
+    // the datapath serves a sibling), so per-process phases are exact.
     let mut metrics = MetricsDoc::new("multi");
-    for (n, (wall, mean)) in counts.into_iter().zip(results) {
+    for (n, (wall, mean, per_process)) in counts.into_iter().zip(results) {
+        for (i, r) in per_process.iter().enumerate() {
+            metrics.phase(&format!("{n}proc.p{i}.mark"), r.cycles(), 1, r.stalls);
+        }
         metrics.gauge(&format!("wall_ms_{n}proc"), wall as f64 / 1e6);
         metrics.gauge(&format!("mean_per_process_ms_{n}proc"), mean as f64 / 1e6);
         table.row(vec![

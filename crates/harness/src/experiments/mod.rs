@@ -16,6 +16,8 @@ pub mod fig20;
 pub mod fig21;
 pub mod fig22;
 pub mod fig23;
+pub mod multiunit;
+pub mod overlap;
 pub mod table1;
 
 use tracegc_sim::TraceEvent;
@@ -71,11 +73,33 @@ pub struct ExperimentOutput {
     pub trace: Vec<TraceEvent>,
 }
 
-/// Every experiment id, in paper order.
-pub const ALL: [&str; 22] = [
-    "table1", "fig1a", "fig1b", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
-    "fig22", "fig23", "ablA", "ablB", "ablC", "ablD", "ablE", "ablF", "ablG", "ablH", "conc",
+/// Every experiment id, in paper order (scheduler-layer experiments
+/// `overlap` and `multiunit` last).
+pub const ALL: [&str; 24] = [
+    "table1",
+    "fig1a",
+    "fig1b",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "fig23",
+    "ablA",
+    "ablB",
+    "ablC",
+    "ablD",
+    "ablE",
+    "ablF",
+    "ablG",
+    "ablH",
+    "conc",
     "multi",
+    "overlap",
+    "multiunit",
 ];
 
 /// Runs one experiment by id. Returns `None` for unknown ids.
@@ -114,6 +138,8 @@ fn run_inner(id: &str, opts: &Options) -> Option<ExperimentOutput> {
         "ablH" => ablations::run_refload(opts),
         "conc" => concurrent::run(opts),
         "multi" => concurrent::run_multi(opts),
+        "overlap" => overlap::run(opts),
+        "multiunit" => multiunit::run(opts),
         _ => return None,
     })
 }

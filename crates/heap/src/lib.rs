@@ -39,9 +39,11 @@
 pub mod heap;
 pub mod layout;
 pub mod snapshot;
+pub mod soc;
 pub mod space;
 pub mod verify;
 
 pub use heap::{AllocError, BlockInfo, Heap, HeapConfig, HeapStats};
 pub use layout::{CellStart, Header, LayoutKind, ObjRef, WORD};
+pub use soc::SocCtx;
 pub use space::SpaceMap;

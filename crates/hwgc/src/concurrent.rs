@@ -15,13 +15,12 @@
 //! cycle-stepped [`TraversalUnit`] interleaved with a modelled mutator,
 //! and verifies the SATB safety invariant in its tests.
 
-use tracegc_heap::layout::HEADER_MARK_BIT;
-use tracegc_heap::{Heap, ObjRef};
+use tracegc_heap::{Heap, ObjRef, SocCtx};
 use tracegc_mem::MemSystem;
-use tracegc_sim::rng::{Rng, StdRng};
+use tracegc_sim::sched::{Policy, Scheduler};
 use tracegc_sim::Cycle;
 
-use crate::barrier::{BarrierCosts, BarrierModel};
+use crate::engine::{MarkEngine, MutatorEngine};
 use crate::traversal::{TraversalResult, TraversalUnit};
 
 /// Mutator behaviour while the collector runs.
@@ -83,80 +82,29 @@ pub fn run_concurrent_mark(
     mutator_cfg: MutatorConfig,
     start: Cycle,
 ) -> ConcurrentReport {
-    let mut rng = StdRng::seed_from_u64(mutator_cfg.seed);
-    let mut barriers = BarrierModel::new(BarrierCosts::default());
     // The mutator works over the objects live at collection start.
-    let mut working_set: Vec<ObjRef> = heap.reachable_from_roots().into_iter().collect();
-    let mut report_ops = 0u64;
-    let mut allocated = 0u64;
-
+    let working_set: Vec<ObjRef> = heap.reachable_from_roots().into_iter().collect();
     unit.begin(heap, start);
-    let mut now = start;
-    let mut next_mutator_op = start + mutator_cfg.cycles_per_op;
-    loop {
-        // Interleave mutator operations at their configured rate.
-        while next_mutator_op <= now && !working_set.is_empty() {
-            report_ops += 1;
-            next_mutator_op += mutator_cfg.cycles_per_op;
-            let victim = working_set[rng.random_range(0..working_set.len())];
-            let slots = heap.nrefs(victim);
-            if slots == 0 {
-                continue;
-            }
-            let slot = rng.random_range(0..slots);
-            if rng.random::<f64>() < mutator_cfg.write_fraction {
-                // Overwrite: the write barrier publishes the old value
-                // so the collector cannot lose it (Fig. 3).
-                let old = heap.get_ref(victim, slot);
-                if let Some(old) = barriers.write_barrier(old) {
-                    unit.inject_reference(old.addr());
-                }
-                let target = if rng.random::<f64>() < mutator_cfg.alloc_fraction {
-                    // Allocate black: new objects are marked at birth.
-                    match heap.alloc(rng.random_range(0..3), rng.random_range(0..4), false) {
-                        Ok(obj) => {
-                            let pa = heap.va_to_pa(obj.addr());
-                            heap.phys.fetch_or_u64(pa, HEADER_MARK_BIT);
-                            allocated += 1;
-                            working_set.push(obj);
-                            Some(obj)
-                        }
-                        Err(_) => None,
-                    }
-                } else {
-                    Some(working_set[rng.random_range(0..working_set.len())])
-                };
-                heap.set_ref(victim, slot, target);
-            } else {
-                // Read: loads the reference (a read barrier would check
-                // relocation here; marking-only concurrent GC needs none).
-                let _ = heap.get_ref(victim, slot);
-            }
-        }
+    // The mutator is scheduled *before* the collector so barrier
+    // references published at cycle `t` enter the mark queue at `t`;
+    // as a background engine it paces the clock (via its next-op time)
+    // without gating completion. Lockstep over both reproduces the
+    // historical hand-rolled interleaving cycle-for-cycle.
+    let mut mutator = MutatorEngine::new(mutator_cfg, 0, working_set, start);
+    let end = {
+        let mut mark = MarkEngine::new(unit, 0);
+        let mut ctx = SocCtx::single(mem, heap);
+        let report =
+            Scheduler::new(Policy::Lockstep).run(&mut [&mut mutator, &mut mark], &mut ctx, start);
+        report.end
+    };
 
-        let progress = unit.step(now, heap, mem);
-        if unit.is_complete() {
-            break;
-        }
-        if progress {
-            now += 1;
-        } else {
-            let wake = unit
-                .next_event_at()
-                .into_iter()
-                .chain(std::iter::once(next_mutator_op))
-                .min()
-                .expect("mutator op always pending");
-            now = wake.max(now + 1);
-        }
-    }
-
-    let stats = barriers.stats();
+    let stats = mutator.barrier_stats();
     ConcurrentReport {
-        traversal: unit.result_at(start, now),
-        mutator_ops: report_ops,
+        traversal: unit.result_at(start, end),
+        mutator_ops: mutator.ops(),
         write_barriers: stats.writes,
-        allocated_during_gc: allocated,
+        allocated_during_gc: mutator.allocated(),
         mutator_barrier_cycles: stats.cycles,
     }
 }

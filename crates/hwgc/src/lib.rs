@@ -48,6 +48,7 @@ pub mod barrier;
 pub mod compress;
 pub mod concurrent;
 pub mod config;
+pub mod engine;
 pub mod markbit_cache;
 pub mod markq;
 pub mod mmio;
@@ -59,9 +60,10 @@ pub mod unit;
 pub use compress::RefCodec;
 pub use concurrent::{run_concurrent_mark, ConcurrentReport, MutatorConfig};
 pub use config::{CacheTopology, GcUnitConfig};
+pub use engine::{MarkEngine, MutatorEngine};
 pub use markbit_cache::MarkBitCache;
 pub use markq::{MarkQueue, MarkQueueConfig, MarkQueueStats};
 pub use multiproc::{run_multiprocess_mark, MultiProcessReport, ProcessContext};
-pub use reclaim::{ReclaimResult, ReclamationUnit};
+pub use reclaim::{ReclaimResult, ReclamationUnit, SweepEngine};
 pub use traversal::{TraversalResult, TraversalUnit};
 pub use unit::{GcReport, GcUnit};

@@ -11,10 +11,12 @@
 //! shared, so concurrent collections overlap their memory latencies
 //! while sharing issue bandwidth.
 
-use tracegc_heap::Heap;
+use tracegc_heap::{Heap, SocCtx};
 use tracegc_mem::MemSystem;
+use tracegc_sim::sched::{Engine, Policy, Scheduler};
 use tracegc_sim::Cycle;
 
+use crate::engine::MarkEngine;
 use crate::traversal::{TraversalResult, TraversalUnit};
 
 /// One process's collection context: its heap and its view of the unit
@@ -46,63 +48,48 @@ impl MultiProcessReport {
 /// Marks every process's heap on one shared unit, round-robining the
 /// datapath cycle by cycle. Returns per-process results.
 ///
+/// A thin driver: each context becomes a
+/// [`MarkEngine`] and the
+/// [`Scheduler`]'s round-robin policy reproduces the historical
+/// tag-selected datapath multiplexing exactly (same `now % n` service
+/// slot, same full-idle-round skip-ahead), while additionally charging
+/// per-process stall ledgers: the served context's bottleneck on its
+/// slot, [`PortBusy`](tracegc_sim::StallReason::PortBusy) on cycles the
+/// datapath served someone else. With one process this degenerates to
+/// [`TraversalUnit::run_mark`] cycle- and ledger-exactly (proven in
+/// `tests/engine_equivalence.rs`).
+///
 /// # Panics
 ///
-/// Panics on an empty context list or an internal deadlock.
+/// Panics on an empty context list, or — via the scheduler's
+/// no-progress watchdog — with a per-engine stall-reason and ledger
+/// dump if no context can ever advance.
 pub fn run_multiprocess_mark(
     procs: &mut [ProcessContext],
     mem: &mut MemSystem,
     start: Cycle,
 ) -> MultiProcessReport {
     assert!(!procs.is_empty(), "need at least one process");
-    let n = procs.len();
     for p in procs.iter_mut() {
         p.unit.begin(&p.heap, start);
     }
-    let mut done = vec![false; n];
-    let mut ends = vec![start; n];
-    let mut now = start;
-    let mut idle_round = 0usize;
-    loop {
-        // The datapath serves one context per cycle (tag-selected).
-        let idx = (now % n as u64) as usize;
-        let mut progress = false;
-        if !done[idx] {
-            let p = &mut procs[idx];
-            progress = p.unit.step(now, &mut p.heap, mem);
-            if p.unit.is_complete() {
-                done[idx] = true;
-                ends[idx] = now;
-            }
+    let ends = {
+        let mut heaps = Vec::with_capacity(procs.len());
+        let mut engines = Vec::with_capacity(procs.len());
+        for (i, p) in procs.iter_mut().enumerate() {
+            let ProcessContext { unit, heap } = p;
+            heaps.push(&mut *heap);
+            engines.push(MarkEngine::new(unit, i));
         }
-        if done.iter().all(|&d| d) {
-            break;
-        }
-        if progress {
-            idle_round = 0;
-            now += 1;
-        } else {
-            idle_round += 1;
-            if idle_round >= n {
-                // A full round with no progress: skip to the earliest
-                // pending completion of any unfinished context.
-                let wake = procs
-                    .iter()
-                    .zip(&done)
-                    .filter(|(_, &d)| !d)
-                    .filter_map(|(p, _)| p.unit.next_event_at())
-                    .min();
-                match wake {
-                    Some(t) if t > now => now = t,
-                    Some(_) => now += 1,
-                    None => panic!("multi-process mark deadlock at cycle {now}"),
-                }
-                idle_round = 0;
-            } else {
-                now += 1;
-            }
-        }
-    }
+        let mut ctx = SocCtx::new(mem, heaps);
+        let mut dyns: Vec<&mut dyn Engine<SocCtx>> = engines
+            .iter_mut()
+            .map(|e| e as &mut dyn Engine<SocCtx>)
+            .collect();
+        Scheduler::new(Policy::RoundRobin)
+            .run(&mut dyns, &mut ctx, start)
+            .ends
+    };
     let per_process = procs
         .iter()
         .zip(&ends)

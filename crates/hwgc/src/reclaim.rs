@@ -16,9 +16,10 @@
 use tracegc_heap::layout::{
     bidi, conv, decode_cell_start, encode_free_cell_start, CellStart, Header, LayoutKind,
 };
-use tracegc_heap::Heap;
+use tracegc_heap::{Heap, SocCtx};
 use tracegc_mem::{MemReq, MemSystem, Source};
 use tracegc_sim::metrics::DEFAULT_TRACE_CAPACITY;
+use tracegc_sim::sched::{Engine, Policy, Progress, Scheduler};
 use tracegc_sim::{Cycle, EventTrace, StallAccounting, StallReason};
 use tracegc_vmem::{Requester, Translator};
 
@@ -118,86 +119,23 @@ impl ReclamationUnit {
     /// Runs a full sweep starting at `start`, rebuilding every block's
     /// free list and clearing surviving mark bits. Functionally identical
     /// to [`tracegc_heap::verify::software_sweep`].
+    ///
+    /// A thin driver: schedules a single [`SweepEngine`] under the
+    /// lockstep policy, which replays the historical min-local-clock
+    /// event loop action-for-action (proven cycle- and ledger-exact by
+    /// `tests/engine_equivalence.rs`).
     pub fn run_sweep(
         &mut self,
         heap: &mut Heap,
         mem: &mut MemSystem,
         start: Cycle,
     ) -> ReclaimResult {
-        let mut result = ReclaimResult {
-            start,
-            end: start,
-            lanes: self.cfg.sweepers.max(1) as u64,
-            ..ReclaimResult::default()
-        };
-        let nblocks = heap.blocks().len();
-        let mut next_block = 0usize;
-        let mut sweepers: Vec<Sweeper> = (0..self.cfg.sweepers.max(1))
-            .map(|_| Sweeper {
-                block: None,
-                bufs: Vec::with_capacity(self.cfg.sweeper_line_bufs),
-                use_clock: 0,
-                now: start,
-            })
-            .collect();
-
-        // Find the sweeper whose local clock is earliest; advance it
-        // by one cell. This interleaves the parallel sweepers'
-        // requests through the shared memory system in time order.
-        while let Some(idx) = (0..sweepers.len())
-            .filter(|&i| sweepers[i].block.is_some() || next_block < nblocks)
-            .min_by_key(|&i| sweepers[i].now)
+        let mut engine = SweepEngine::new(self, 0, start);
         {
-            let sweeper = &mut sweepers[idx];
-            if sweeper.block.is_none() {
-                // Fetch the next block from the global block list.
-                let info = heap.blocks()[next_block];
-                sweeper.block = Some(BlockJob {
-                    bidx: next_block,
-                    base_va: info.base_va,
-                    cell_bytes: info.cell_bytes,
-                    ncells: info.ncells,
-                    next_cell: 0,
-                    tail: 0,
-                    free_head: 0,
-                    free_cells: 0,
-                });
-                next_block += 1;
-                sweeper.now += self.cfg.sweeper_block_cycles;
-                result.stalls.busy(self.cfg.sweeper_block_cycles);
-                continue;
-            }
-            Self::step_cell(
-                sweeper,
-                heap,
-                mem,
-                &self.cfg,
-                &mut self.translator,
-                &mut self.ptw_cache,
-                &mut self.trace,
-                &mut result,
-            );
+            let mut ctx = SocCtx::single(mem, heap);
+            Scheduler::new(Policy::Lockstep).run(&mut [&mut engine], &mut ctx, start);
         }
-        if std::env::var_os("TRACEGC_DEBUG_SWEEP").is_some() {
-            for (i, s) in sweepers.iter().enumerate() {
-                eprintln!("sweeper {i}: finished at {}", s.now);
-            }
-        }
-        for s in &sweepers {
-            result.end = result.end.max(s.now);
-        }
-        // A lane that finished early is idle until the slowest one ends,
-        // keeping busy + stalls == cycles × lanes exact.
-        for s in &sweepers {
-            result.stalls.stall(StallReason::Idle, result.end - s.now);
-        }
-        heap.finish_sweep();
-        // LOS marks are cleared by the runtime (§V-A).
-        for los in heap.los_objects().to_vec() {
-            let h = heap.header(los.obj).without_mark();
-            heap.write_va(los.obj.addr(), h.raw());
-        }
-        result
+        engine.into_result()
     }
 
     /// Reads the 64-byte line containing `va` through the sweeper's line
@@ -256,16 +194,6 @@ impl ReclamationUnit {
             result.stalls.stall(reason, xlat);
         }
         result.stalls.stall(StallReason::MemLatency, total - xlat);
-        if std::env::var_os("TRACEGC_DEBUG_SWEEP").is_some() {
-            eprintln!(
-                "read now={} ready={} done={} lat={} tlb_part={}",
-                sweeper.now,
-                ready,
-                done,
-                done - sweeper.now,
-                ready - sweeper.now
-            );
-        }
         result.line_reads += 1;
         let entry = LineBuf {
             line_va,
@@ -396,6 +324,185 @@ impl ReclamationUnit {
     /// Bytes of the word within its 64-byte line (helper for tests).
     pub fn word_in_line(va: u64) -> u64 {
         va & 63
+    }
+}
+
+/// The reclamation unit's sweeper array as a scheduled engine over
+/// `heaps[heap_idx]`.
+///
+/// Each [`step`](SweepEngine::step) replays every sweeper action whose
+/// local clock has been reached — block fetches and cell scans, chosen
+/// earliest-local-clock-first exactly like the historical event loop —
+/// so the action order, memory-request timestamps and [`ReclaimResult`]
+/// are identical whether the engine runs alone or interleaved with
+/// other engines on a shared memory system. When all blocks are swept
+/// the engine stalls until the slowest lane's finish cycle (charging
+/// early lanes' idle tails), finalizes the heap (free lists, LOS mark
+/// clears) and reports [`Progress::Done`].
+///
+/// The engine self-accounts its multi-lane ledger into the
+/// [`ReclaimResult`], so the scheduler's `note_busy`/`note_stall`
+/// charges stay the default no-ops.
+#[derive(Debug)]
+pub struct SweepEngine<'a> {
+    unit: &'a mut ReclamationUnit,
+    heap_idx: usize,
+    sweepers: Vec<Sweeper>,
+    /// Block count, captured from the heap on the first step.
+    nblocks: Option<usize>,
+    next_block: usize,
+    result: ReclaimResult,
+    finalized: bool,
+}
+
+impl<'a> SweepEngine<'a> {
+    /// A sweep pass over `heaps[heap_idx]` starting at `start`.
+    pub fn new(unit: &'a mut ReclamationUnit, heap_idx: usize, start: Cycle) -> Self {
+        let lanes = unit.cfg.sweepers.max(1);
+        let line_bufs = unit.cfg.sweeper_line_bufs;
+        Self {
+            unit,
+            heap_idx,
+            sweepers: (0..lanes)
+                .map(|_| Sweeper {
+                    block: None,
+                    bufs: Vec::with_capacity(line_bufs),
+                    use_clock: 0,
+                    now: start,
+                })
+                .collect(),
+            nblocks: None,
+            next_block: 0,
+            result: ReclaimResult {
+                start,
+                end: start,
+                lanes: lanes as u64,
+                ..ReclaimResult::default()
+            },
+            finalized: false,
+        }
+    }
+
+    /// The completed pass's result (after the scheduler reports done).
+    pub fn into_result(self) -> ReclaimResult {
+        self.result
+    }
+
+    /// Index of the earliest-clock sweeper with work, if any.
+    fn earliest_pending(&self) -> Option<usize> {
+        let nblocks = self.nblocks.unwrap_or(0);
+        (0..self.sweepers.len())
+            .filter(|&i| self.sweepers[i].block.is_some() || self.next_block < nblocks)
+            .min_by_key(|&i| self.sweepers[i].now)
+    }
+
+    /// Idle tails, free-list bookkeeping and LOS mark clears once every
+    /// block is swept.
+    fn finalize(&mut self, heap: &mut Heap) {
+        for s in &self.sweepers {
+            self.result.end = self.result.end.max(s.now);
+        }
+        // A lane that finished early is idle until the slowest one ends,
+        // keeping busy + stalls == cycles × lanes exact.
+        for s in &self.sweepers {
+            self.result
+                .stalls
+                .stall(StallReason::Idle, self.result.end - s.now);
+        }
+        heap.finish_sweep();
+        // LOS marks are cleared by the runtime (§V-A).
+        for los in heap.los_objects().to_vec() {
+            let h = heap.header(los.obj).without_mark();
+            heap.write_va(los.obj.addr(), h.raw());
+        }
+        self.finalized = true;
+    }
+}
+
+impl<'a, 'c> Engine<SocCtx<'c>> for SweepEngine<'a> {
+    fn name(&self) -> &'static str {
+        "reclaim"
+    }
+
+    fn step(&mut self, now: Cycle, ctx: &mut SocCtx<'c>) -> Progress {
+        let SocCtx { mem, heaps, .. } = ctx;
+        let heap = &mut *heaps[self.heap_idx];
+        if self.nblocks.is_none() {
+            self.nblocks = Some(heap.blocks().len());
+        }
+        // Replay every sweeper action due by the shared clock, earliest
+        // local clock first: the same global time-ordering the
+        // historical standalone loop produced, so the interleaving of
+        // requests through the shared memory system is unchanged.
+        let mut progress = false;
+        while let Some(idx) = self.earliest_pending() {
+            if self.sweepers[idx].now > now {
+                return if progress {
+                    Progress::Advanced
+                } else {
+                    Progress::Stalled
+                };
+            }
+            let sweeper = &mut self.sweepers[idx];
+            if sweeper.block.is_none() {
+                // Fetch the next block from the global block list.
+                let info = heap.blocks()[self.next_block];
+                sweeper.block = Some(BlockJob {
+                    bidx: self.next_block,
+                    base_va: info.base_va,
+                    cell_bytes: info.cell_bytes,
+                    ncells: info.ncells,
+                    next_cell: 0,
+                    tail: 0,
+                    free_head: 0,
+                    free_cells: 0,
+                });
+                self.next_block += 1;
+                sweeper.now += self.unit.cfg.sweeper_block_cycles;
+                self.result.stalls.busy(self.unit.cfg.sweeper_block_cycles);
+            } else {
+                ReclamationUnit::step_cell(
+                    sweeper,
+                    heap,
+                    mem,
+                    &self.unit.cfg,
+                    &mut self.unit.translator,
+                    &mut self.unit.ptw_cache,
+                    &mut self.unit.trace,
+                    &mut self.result,
+                );
+            }
+            progress = true;
+        }
+        // All blocks swept: wait out the slowest lane, then finish.
+        if !self.finalized {
+            self.finalize(heap);
+        }
+        if now >= self.result.end {
+            Progress::Done
+        } else if progress {
+            Progress::Advanced
+        } else {
+            Progress::Stalled
+        }
+    }
+
+    fn next_event_at(&self) -> Option<Cycle> {
+        self.earliest_pending()
+            .map(|i| self.sweepers[i].now)
+            .or(self.finalized.then_some(self.result.end))
+    }
+
+    fn stall_reason(&self, _now: Cycle) -> StallReason {
+        if self.finalized {
+            StallReason::Idle
+        } else {
+            StallReason::MemLatency
+        }
+    }
+
+    fn ledger(&self) -> Option<StallAccounting> {
+        Some(self.result.stalls)
     }
 }
 

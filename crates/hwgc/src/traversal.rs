@@ -18,11 +18,12 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use tracegc_heap::layout::{bidi, conv, Header, LayoutKind, HEADER_MARK_BIT, WORD};
-use tracegc_heap::Heap;
+use tracegc_heap::{Heap, SocCtx};
 use tracegc_mem::cache::MemBacking;
 use tracegc_mem::req::decompose_aligned;
 use tracegc_mem::{Cache, CacheConfig, MemReq, MemSystem, Source};
 use tracegc_sim::metrics::DEFAULT_TRACE_CAPACITY;
+use tracegc_sim::sched::{Policy, Scheduler};
 use tracegc_sim::{BoundedQueue, Cycle, EventTrace, StallAccounting, StallReason};
 use tracegc_vmem::{Requester, Translator, PAGE_SIZE};
 
@@ -56,8 +57,11 @@ pub struct TraversalResult {
     /// Translation statistics.
     pub translator: tracegc_vmem::TranslatorStats,
     /// Cycle attribution for the pass: `stalls.total() == cycles()` for
-    /// passes driven by [`TraversalUnit::run_mark`] (externally stepped
-    /// passes leave this empty).
+    /// scheduler-driven passes (any of the `run_*` drivers, or a
+    /// [`MarkEngine`](crate::engine::MarkEngine) under a lockstep
+    /// scheduler). A raw [`TraversalUnit::step`] loop that never calls
+    /// [`TraversalUnit::charge_busy`] / [`TraversalUnit::charge_stall`]
+    /// leaves this empty.
     pub stalls: StallAccounting,
 }
 
@@ -354,8 +358,15 @@ impl TraversalUnit {
 
     /// Runs a complete mark pass starting at cycle `start`.
     ///
+    /// A thin driver: schedules a single [`MarkEngine`] under the
+    /// lockstep policy, which reproduces the historical hand-rolled
+    /// step loop cycle-for-cycle and stall-ledger-exactly (proven by
+    /// `tests/engine_equivalence.rs`).
+    ///
     /// On return, exactly the objects reachable from the heap's roots
     /// carry mark bits (verified against the oracle in tests).
+    ///
+    /// [`MarkEngine`]: crate::engine::MarkEngine
     pub fn run_mark(
         &mut self,
         heap: &mut Heap,
@@ -363,66 +374,44 @@ impl TraversalUnit {
         start: Cycle,
     ) -> TraversalResult {
         self.begin(heap, start);
-        let mut now = start;
-        let mut iterations: u64 = 0;
-        loop {
-            let progress = self.step(now, heap, mem);
-            iterations += 1;
-            if iterations.is_multiple_of(5_000_000)
-                && std::env::var_os("TRACEGC_DEBUG_TRAVERSAL").is_some()
-            {
-                eprintln!(
-                    "traversal @cycle {now}: iter={iterations} markq={} tracerq={} deliver={} \
-                     responses={} injected={} roots_done={} marked={} trace_state={}",
-                    self.markq.len(),
-                    self.tracerq.len(),
-                    self.deliver_buf.len(),
-                    self.responses.len(),
-                    self.injected.len(),
-                    self.roots.done(),
-                    self.objects_marked,
-                    self.trace_state.is_some(),
-                );
-            }
-            if self.is_complete() {
-                break;
-            }
-            if progress {
-                self.stalls.busy(1);
-                now += 1;
-            } else {
-                // Attribute the stalled span to its bottleneck before
-                // skipping ahead; the break above happens before any
-                // advance, so busy + stalls stays exactly equal to the
-                // pass's cycle count.
-                let reason = self.classify_stall(now);
-                match self.next_event() {
-                    Some(t) if t > now => {
-                        let span = t - now;
-                        self.stalls.stall(reason, span);
-                        if let Some(trace) = &mut self.trace {
-                            trace.record(now, "traversal", reason.stall_kind(), span);
-                        }
-                        now = t;
-                    }
-                    Some(_) => {
-                        self.stalls.stall(reason, 1);
-                        now += 1;
-                    }
-                    None => {
-                        panic!(
-                            "traversal unit deadlock at cycle {now}: markq={}, tracerq={}, \
-                             deliver={}, roots_done={}",
-                            self.markq.len(),
-                            self.tracerq.len(),
-                            self.deliver_buf.len(),
-                            self.roots.done()
-                        );
-                    }
-                }
-            }
+        let end = {
+            let mut ctx = SocCtx::single(mem, heap);
+            let mut engine = crate::engine::MarkEngine::new(self, 0);
+            let report = Scheduler::new(Policy::Lockstep).run(&mut [&mut engine], &mut ctx, start);
+            report.end
+        };
+        self.result_at(start, end)
+    }
+
+    /// Charges `n` cycles of forward progress to this pass's ledger
+    /// (called by the scheduler via [`MarkEngine`]'s `note_busy`).
+    ///
+    /// [`MarkEngine`]: crate::engine::MarkEngine
+    pub fn charge_busy(&mut self, n: u64) {
+        self.stalls.busy(n);
+    }
+
+    /// Charges `span` stalled cycles starting at `now` to `reason`,
+    /// recording the span in the event trace when enabled (called by the
+    /// scheduler via [`MarkEngine`]'s `note_stall`).
+    ///
+    /// [`MarkEngine`]: crate::engine::MarkEngine
+    pub fn charge_stall(&mut self, now: Cycle, reason: StallReason, span: u64) {
+        self.stalls.stall(reason, span);
+        if let Some(trace) = &mut self.trace {
+            trace.record(now, "traversal", reason.stall_kind(), span);
         }
-        self.result_at(start, now)
+    }
+
+    /// Attributes a hypothetical no-progress cycle at `now` to its
+    /// bottleneck (public face of the stall classifier, for schedulers).
+    pub fn stall_reason(&self, now: Cycle) -> StallReason {
+        self.classify_stall(now)
+    }
+
+    /// This pass's cycle ledger so far.
+    pub fn stalls(&self) -> &StallAccounting {
+        &self.stalls
     }
 
     /// Starts a mark pass: loads the root-region chunks and resets the

@@ -175,7 +175,14 @@ mod tests {
         let r2 = unit2.run_gc_at(&mut heap, &mut mem, r1.sweep.end);
         assert_eq!(r2.mark.objects_marked, r1.mark.objects_marked);
         assert_eq!(r2.sweep.cells_freed, 0);
-        check_marks_match_reachability(&heap).err(); // marks cleared by sweep
+        // The sweep cleared every mark, so the heap no longer looks
+        // mid-collection: the mark/reachability oracle must *fail* on
+        // the live set (reachable objects exist but carry no marks).
+        assert!(heap.marked_set().is_empty(), "sweep must clear all marks");
+        assert!(
+            check_marks_match_reachability(&heap).is_err(),
+            "live objects should be unmarked after sweep"
+        );
         check_free_lists(&heap).unwrap();
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! [`MemSystem`] wraps either the DDR3 model or the latency–bandwidth pipe
 //! behind a single interface and layers on the instrumentation the paper's
-//! figures need: per-[`Source`](crate::Source) request and byte counters
+//! figures need: per-[`Source`] request and byte counters
 //! (Fig. 18b), a windowed [`BandwidthMeter`] (Fig. 16), and inter-request
 //! gap tracking (Fig. 17b reports one request every 8.66 cycles).
 

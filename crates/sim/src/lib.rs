@@ -18,6 +18,9 @@
 //!   randomness flows through this module.
 //! * [`dist`] — seeded random distributions (uniform, log-normal, Zipf) used
 //!   by the synthetic DaCapo workload generators.
+//! * [`sched`] — the SoC composition layer: the cycle-stepped
+//!   [`Engine`] trait and the [`Scheduler`] that ticks arbitrary engine
+//!   sets on one shared clock under a pluggable [`Policy`].
 //!
 //! Everything in this crate is deterministic: given the same seed and the
 //! same sequence of calls, the results are bit-identical.
@@ -38,11 +41,13 @@ pub mod dist;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 
 pub use metrics::{EventTrace, MetricSet, StallAccounting, StallReason, TraceEvent};
 pub use queue::BoundedQueue;
 pub use rng::{Rng, SplitMix64, StdRng};
+pub use sched::{Engine, Policy, Progress, Scheduler, SocReport};
 pub use stats::{BandwidthMeter, Counter, Histogram, LatencyRecorder};
 
 /// A point in simulated time, measured in core clock cycles.

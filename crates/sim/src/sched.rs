@@ -1,0 +1,688 @@
+//! The SoC composition layer: a cycle-stepped [`Engine`] trait and a
+//! [`Scheduler`] that ticks arbitrary engine sets on one shared clock.
+//!
+//! The paper's system is one synchronous SoC — traversal unit,
+//! reclamation sweepers, CPU and page-table walker all tick against a
+//! single DDR3 controller. Modelling each component as an independently
+//! steppable process under a bulk-synchronous scheduler is what makes
+//! multi-unit and overlapped-phase scenarios composable: any set of
+//! [`Engine`]s can share a clock and a memory system under a pluggable
+//! [`Policy`] (lockstep, fixed priority, round-robin datapath
+//! time-multiplexing, or the §VII bandwidth throttle).
+//!
+//! The scheduler is generic over the context type `Ctx` handed to every
+//! [`Engine::step`] call, so this crate stays free of heap/memory
+//! dependencies; the concrete SoC context (one memory system plus the
+//! scheduled heaps) lives downstream in `tracegc-heap`.
+//!
+//! # Clock protocol
+//!
+//! Each iteration the scheduler offers the current cycle to its engines
+//! and classifies the outcome:
+//!
+//! * some engine [`Advanced`](Progress::Advanced) — the clock moves one
+//!   cycle; advancing engines are charged busy via [`Engine::note_busy`],
+//!   stalled ones one cycle of their [`Engine::stall_reason`].
+//! * every live engine [`Stalled`](Progress::Stalled) — the clock skips
+//!   to the earliest [`Engine::next_event_at`], charging each engine the
+//!   skipped span; with no pending event anywhere the scheduler panics
+//!   with a per-engine stall dump (see below).
+//! * an engine returns [`Done`](Progress::Done) — its completion cycle is
+//!   recorded and it is never stepped again. The run ends when every
+//!   non-[background](Engine::is_background) engine is done.
+//!
+//! A no-progress watchdog replaces ad-hoc per-loop deadlock panics:
+//! after [`DEFAULT_NO_PROGRESS_LIMIT`] cycles (configurable via
+//! [`Scheduler::no_progress_limit`]) in which every engine stalled, the
+//! scheduler panics with a dump of each engine's name, current stall
+//! reason, pending event and [`StallAccounting`] ledger.
+//!
+//! # Examples
+//!
+//! ```
+//! use tracegc_sim::sched::{Engine, Policy, Progress, Scheduler};
+//!
+//! /// Counts down one unit of work per cycle; `Ctx` is unused.
+//! struct Countdown(u64);
+//! impl Engine<()> for Countdown {
+//!     fn name(&self) -> &'static str {
+//!         "countdown"
+//!     }
+//!     fn step(&mut self, _now: u64, _ctx: &mut ()) -> Progress {
+//!         if self.0 == 0 {
+//!             return Progress::Done;
+//!         }
+//!         self.0 -= 1;
+//!         Progress::Advanced
+//!     }
+//!     fn next_event_at(&self) -> Option<u64> {
+//!         None
+//!     }
+//! }
+//!
+//! let mut e = Countdown(10);
+//! let report = Scheduler::new(Policy::Lockstep).run(&mut [&mut e], &mut (), 0);
+//! assert_eq!(report.end, 10);
+//! ```
+
+use crate::metrics::{StallAccounting, StallReason};
+use crate::Cycle;
+
+/// What an [`Engine`] accomplished in one offered cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// The engine did work this cycle.
+    Advanced,
+    /// The engine could not make progress; consult
+    /// [`Engine::next_event_at`] for when it might.
+    Stalled,
+    /// The engine has finished; it will not be stepped again.
+    Done,
+}
+
+/// A cycle-stepped state machine the [`Scheduler`] can tick.
+///
+/// Implementations exist for the traversal unit, the reclamation
+/// unit's sweeper array, the CPU collector phases and the
+/// concurrent-mutator model (in their owning crates); anything that can
+/// advance one cycle at a time against shared state can join an SoC.
+///
+/// Engines that keep their own [`StallAccounting`] ledgers internally
+/// (self-clocked engines like the sweeper array) leave the `note_*`
+/// hooks as the default no-ops; externally-clocked engines route the
+/// scheduler's charges into their ledger so the
+/// `busy + Σ stalls == cycles` invariant holds per engine.
+pub trait Engine<Ctx> {
+    /// Short stable name, used in watchdog dumps and progress logs.
+    fn name(&self) -> &'static str;
+
+    /// Offers the engine cycle `now`; the engine reports what it did.
+    fn step(&mut self, now: Cycle, ctx: &mut Ctx) -> Progress;
+
+    /// Earliest cycle at which a stalled engine could progress, if any.
+    fn next_event_at(&self) -> Option<Cycle>;
+
+    /// Why the engine cannot progress at `now` (used for stall charging
+    /// and watchdog dumps). Defaults to [`StallReason::Idle`].
+    fn stall_reason(&self, _now: Cycle) -> StallReason {
+        StallReason::Idle
+    }
+
+    /// Charges `n` cycles of forward progress to the engine's ledger.
+    /// Default no-op for self-accounting engines.
+    fn note_busy(&mut self, _n: u64) {}
+
+    /// Charges `span` stalled cycles starting at `now` to `reason`.
+    /// Default no-op for self-accounting engines.
+    fn note_stall(&mut self, _now: Cycle, _reason: StallReason, _span: u64) {}
+
+    /// Background engines (e.g. a mutator) never finish and do not gate
+    /// run completion.
+    fn is_background(&self) -> bool {
+        false
+    }
+
+    /// A snapshot of the engine's stall ledger for watchdog dumps.
+    fn ledger(&self) -> Option<StallAccounting> {
+        None
+    }
+}
+
+/// How the [`Scheduler`] arbitrates its engines each cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Policy {
+    /// Every live engine is offered every cycle, in registration order.
+    Lockstep,
+    /// Every live engine is offered every cycle, in the given order
+    /// (a permutation of engine indices; earlier = higher priority).
+    Priority(Vec<usize>),
+    /// One engine is served per cycle (`now % n`), modelling a single
+    /// time-multiplexed datapath (§VII multi-process sharing). Unserved
+    /// engines are charged [`StallReason::PortBusy`].
+    RoundRobin,
+    /// Lockstep, but engines are only offered cycles at multiples of
+    /// `period` from the start cycle; skipped cycles are charged
+    /// [`StallReason::Throttled`] (§VII bandwidth capping).
+    Throttled {
+        /// Cycles between consecutive service cycles (≥ 1).
+        period: Cycle,
+    },
+}
+
+/// Default no-progress watchdog: panic after this many consecutive
+/// cycles in which no engine advanced or finished.
+pub const DEFAULT_NO_PROGRESS_LIMIT: Cycle = 10_000_000;
+
+/// Outcome of one [`Scheduler::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocReport {
+    /// Cycle the run began.
+    pub start: Cycle,
+    /// Cycle the last non-background engine finished.
+    pub end: Cycle,
+    /// Per-engine completion cycles, in registration order (background
+    /// engines keep `start`).
+    pub ends: Vec<Cycle>,
+}
+
+impl SocReport {
+    /// Wall-clock cycles of the whole run.
+    pub fn cycles(&self) -> Cycle {
+        self.end - self.start
+    }
+}
+
+/// Ticks a set of [`Engine`]s on one shared clock under a [`Policy`].
+///
+/// The scheduler borrows the engines only for the duration of
+/// [`Scheduler::run`], so callers keep ownership and can extract
+/// engine-specific results afterwards.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    policy: Policy,
+    no_progress_limit: Cycle,
+}
+
+impl Scheduler {
+    /// A scheduler with the given policy and the default watchdog.
+    pub fn new(policy: Policy) -> Self {
+        Self {
+            policy,
+            no_progress_limit: DEFAULT_NO_PROGRESS_LIMIT,
+        }
+    }
+
+    /// Overrides the no-progress watchdog threshold.
+    pub fn no_progress_limit(mut self, cycles: Cycle) -> Self {
+        self.no_progress_limit = cycles;
+        self
+    }
+
+    /// Runs the engines to completion from cycle `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when every engine stalls with no pending event, or when
+    /// the no-progress watchdog trips — both with a per-engine
+    /// stall-reason and ledger dump.
+    pub fn run<Ctx>(
+        &self,
+        engines: &mut [&mut dyn Engine<Ctx>],
+        ctx: &mut Ctx,
+        start: Cycle,
+    ) -> SocReport {
+        assert!(!engines.is_empty(), "scheduler needs at least one engine");
+        assert!(
+            engines.iter().any(|e| !e.is_background()),
+            "scheduler needs a foreground engine to define completion"
+        );
+        match &self.policy {
+            Policy::RoundRobin => self.run_round_robin(engines, ctx, start),
+            Policy::Lockstep => self.run_synchronous(engines, ctx, start, None, 1),
+            Policy::Priority(order) => {
+                self.run_synchronous(engines, ctx, start, Some(order.clone()), 1)
+            }
+            Policy::Throttled { period } => {
+                self.run_synchronous(engines, ctx, start, None, (*period).max(1))
+            }
+        }
+    }
+
+    /// Lockstep / priority / throttled: every live engine is offered
+    /// every service cycle.
+    fn run_synchronous<Ctx>(
+        &self,
+        engines: &mut [&mut dyn Engine<Ctx>],
+        ctx: &mut Ctx,
+        start: Cycle,
+        order: Option<Vec<usize>>,
+        period: Cycle,
+    ) -> SocReport {
+        let n = engines.len();
+        let order: Vec<usize> = order.unwrap_or_else(|| (0..n).collect());
+        {
+            let mut seen = vec![false; n];
+            for &i in &order {
+                assert!(i < n && !seen[i], "priority order must permute 0..{n}");
+                seen[i] = true;
+            }
+            assert!(order.len() == n, "priority order must permute 0..{n}");
+        }
+        let mut done = vec![false; n];
+        let mut ends = vec![start; n];
+        let mut advanced = vec![false; n];
+        let mut now = start;
+        let mut last_progress = start;
+        loop {
+            advanced.iter_mut().for_each(|a| *a = false);
+            let mut any_progress = false;
+            for &i in &order {
+                if done[i] {
+                    continue;
+                }
+                match engines[i].step(now, ctx) {
+                    Progress::Done => {
+                        done[i] = true;
+                        ends[i] = now;
+                        any_progress = true;
+                    }
+                    Progress::Advanced => {
+                        advanced[i] = true;
+                        any_progress = true;
+                    }
+                    Progress::Stalled => {}
+                }
+            }
+            if (0..n).all(|i| done[i] || engines[i].is_background()) {
+                break;
+            }
+            if any_progress {
+                last_progress = now;
+                for i in 0..n {
+                    if done[i] {
+                        continue;
+                    }
+                    if advanced[i] {
+                        engines[i].note_busy(1);
+                    } else {
+                        let reason = engines[i].stall_reason(now);
+                        engines[i].note_stall(now, reason, 1);
+                    }
+                }
+                now += 1;
+            } else {
+                // Every live engine stalled: skip to the earliest event,
+                // charging the span to each engine's bottleneck.
+                let wake = (0..n)
+                    .filter(|&i| !done[i])
+                    .filter_map(|i| engines[i].next_event_at())
+                    .min();
+                match wake {
+                    Some(t) if t > now => {
+                        let span = t - now;
+                        for i in (0..n).filter(|&i| !done[i]) {
+                            let reason = engines[i].stall_reason(now);
+                            engines[i].note_stall(now, reason, span);
+                        }
+                        now = t;
+                    }
+                    Some(_) => {
+                        for i in (0..n).filter(|&i| !done[i]) {
+                            let reason = engines[i].stall_reason(now);
+                            engines[i].note_stall(now, reason, 1);
+                        }
+                        now += 1;
+                    }
+                    None => self.deadlock_dump(
+                        engines,
+                        &done,
+                        now,
+                        "every engine is stalled with no pending event",
+                    ),
+                }
+                if now - last_progress > self.no_progress_limit {
+                    self.deadlock_dump(
+                        engines,
+                        &done,
+                        now,
+                        "no engine made progress within the watchdog window",
+                    );
+                }
+            }
+            // §VII throttle: align the clock to the next service cycle,
+            // charging the gap so per-engine ledgers stay exact.
+            if period > 1 {
+                let rel = now - start;
+                let aligned = start + rel.div_ceil(period) * period;
+                if aligned > now {
+                    let span = aligned - now;
+                    for i in (0..n).filter(|&i| !done[i]) {
+                        engines[i].note_stall(now, StallReason::Throttled, span);
+                    }
+                    now = aligned;
+                }
+            }
+        }
+        let end = (0..n)
+            .filter(|&i| !engines[i].is_background())
+            .map(|i| ends[i])
+            .max()
+            .expect("at least one foreground engine");
+        SocReport { start, end, ends }
+    }
+
+    /// Round-robin: the single datapath serves engine `now % n` each
+    /// cycle; a full round without progress skips to the earliest event.
+    fn run_round_robin<Ctx>(
+        &self,
+        engines: &mut [&mut dyn Engine<Ctx>],
+        ctx: &mut Ctx,
+        start: Cycle,
+    ) -> SocReport {
+        let n = engines.len();
+        assert!(
+            engines.iter().all(|e| !e.is_background()),
+            "round-robin arbitration has no background lane"
+        );
+        let mut done = vec![false; n];
+        let mut ends = vec![start; n];
+        let mut now = start;
+        let mut idle_round = 0usize;
+        let mut last_progress = start;
+        loop {
+            let idx = (now % n as u64) as usize;
+            let mut progress = false;
+            if !done[idx] {
+                match engines[idx].step(now, ctx) {
+                    Progress::Done => {
+                        done[idx] = true;
+                        ends[idx] = now;
+                        progress = true;
+                    }
+                    Progress::Advanced => progress = true,
+                    Progress::Stalled => {}
+                }
+            }
+            if done.iter().all(|&d| d) {
+                break;
+            }
+            if progress {
+                last_progress = now;
+                idle_round = 0;
+                if !done[idx] {
+                    engines[idx].note_busy(1);
+                }
+                for j in (0..n).filter(|&j| j != idx && !done[j]) {
+                    engines[j].note_stall(now, StallReason::PortBusy, 1);
+                }
+                now += 1;
+            } else {
+                idle_round += 1;
+                if idle_round >= n {
+                    // A full round with no progress: skip to the earliest
+                    // pending completion of any unfinished engine.
+                    let wake = (0..n)
+                        .filter(|&j| !done[j])
+                        .filter_map(|j| engines[j].next_event_at())
+                        .min();
+                    match wake {
+                        Some(t) if t > now => {
+                            let span = t - now;
+                            for j in (0..n).filter(|&j| !done[j]) {
+                                let reason = engines[j].stall_reason(now);
+                                engines[j].note_stall(now, reason, span);
+                            }
+                            now = t;
+                        }
+                        Some(_) => {
+                            for j in (0..n).filter(|&j| !done[j]) {
+                                let reason = engines[j].stall_reason(now);
+                                engines[j].note_stall(now, reason, 1);
+                            }
+                            now += 1;
+                        }
+                        None => self.deadlock_dump(
+                            engines,
+                            &done,
+                            now,
+                            "every engine is stalled with no pending event",
+                        ),
+                    }
+                    idle_round = 0;
+                } else {
+                    for j in (0..n).filter(|&j| !done[j]) {
+                        let reason = if j == idx {
+                            engines[j].stall_reason(now)
+                        } else {
+                            StallReason::PortBusy
+                        };
+                        engines[j].note_stall(now, reason, 1);
+                    }
+                    now += 1;
+                }
+                if now - last_progress > self.no_progress_limit {
+                    self.deadlock_dump(
+                        engines,
+                        &done,
+                        now,
+                        "no engine made progress within the watchdog window",
+                    );
+                }
+            }
+        }
+        let end = *ends.iter().max().expect("non-empty");
+        SocReport { start, end, ends }
+    }
+
+    /// Panics with the per-engine stall-reason and ledger dump.
+    fn deadlock_dump<Ctx>(
+        &self,
+        engines: &[&mut dyn Engine<Ctx>],
+        done: &[bool],
+        now: Cycle,
+        why: &str,
+    ) -> ! {
+        let mut msg = format!("scheduler deadlock at cycle {now}: {why}\n");
+        for (i, e) in engines.iter().enumerate() {
+            if done[i] {
+                msg.push_str(&format!("  [{i}] {}: done\n", e.name()));
+                continue;
+            }
+            msg.push_str(&format!(
+                "  [{i}] {}: stalled on {}, next_event={:?}",
+                e.name(),
+                e.stall_reason(now).name(),
+                e.next_event_at()
+            ));
+            if let Some(ledger) = e.ledger() {
+                msg.push_str(&format!(" — busy={}", ledger.busy_cycles()));
+                for (reason, cycles) in ledger.breakdown() {
+                    if cycles > 0 {
+                        msg.push_str(&format!(" {}={cycles}", reason.name()));
+                    }
+                }
+            }
+            msg.push('\n');
+        }
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy engine: does `work` units, one per cycle, optionally only
+    /// when `gate` divides `now`; self-reports a ledger.
+    struct Toy {
+        name: &'static str,
+        work: u64,
+        gate: u64,
+        ledger: StallAccounting,
+        background: bool,
+    }
+
+    impl Toy {
+        fn new(name: &'static str, work: u64) -> Self {
+            Self {
+                name,
+                work,
+                gate: 1,
+                ledger: StallAccounting::default(),
+                background: false,
+            }
+        }
+    }
+
+    impl Engine<Vec<&'static str>> for Toy {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn step(&mut self, now: Cycle, log: &mut Vec<&'static str>) -> Progress {
+            if self.work == 0 && !self.background {
+                return Progress::Done;
+            }
+            if !now.is_multiple_of(self.gate) {
+                return Progress::Stalled;
+            }
+            log.push(self.name);
+            self.work = self.work.saturating_sub(1);
+            Progress::Advanced
+        }
+        fn next_event_at(&self) -> Option<Cycle> {
+            // Toys with `gate == 1` never stall while live, so the
+            // scheduler never consults this.
+            None
+        }
+        fn stall_reason(&self, _now: Cycle) -> StallReason {
+            StallReason::MemLatency
+        }
+        fn note_busy(&mut self, n: u64) {
+            self.ledger.busy(n);
+        }
+        fn note_stall(&mut self, _now: Cycle, reason: StallReason, span: u64) {
+            self.ledger.stall(reason, span);
+        }
+        fn is_background(&self) -> bool {
+            self.background
+        }
+        fn ledger(&self) -> Option<StallAccounting> {
+            Some(self.ledger)
+        }
+    }
+
+    #[test]
+    fn lockstep_single_engine_runs_to_completion() {
+        let mut e = Toy::new("a", 5);
+        let mut log = Vec::new();
+        let report = Scheduler::new(Policy::Lockstep).run(&mut [&mut e], &mut log, 100);
+        assert_eq!(report.start, 100);
+        assert_eq!(report.end, 105);
+        assert_eq!(report.ends, vec![105]);
+        assert_eq!(report.cycles(), 5);
+        assert_eq!(e.ledger.busy_cycles(), 5);
+        assert_eq!(e.ledger.total_stalled(), 0);
+    }
+
+    #[test]
+    fn lockstep_ends_track_each_engine_and_ledgers_cover_spans() {
+        let mut a = Toy::new("a", 3);
+        let mut b = Toy::new("b", 7);
+        let mut log = Vec::new();
+        let report = Scheduler::new(Policy::Lockstep).run(&mut [&mut a, &mut b], &mut log, 0);
+        assert_eq!(report.ends, vec![3, 7]);
+        assert_eq!(report.end, 7);
+        // Each engine's ledger covers exactly its live span.
+        assert_eq!(a.ledger.total(), 3);
+        assert_eq!(b.ledger.total(), 7);
+        assert_eq!(b.ledger.busy_cycles(), 7);
+    }
+
+    #[test]
+    fn priority_orders_intra_cycle_service() {
+        let mut a = Toy::new("a", 2);
+        let mut b = Toy::new("b", 2);
+        let mut log = Vec::new();
+        Scheduler::new(Policy::Priority(vec![1, 0])).run(&mut [&mut a, &mut b], &mut log, 0);
+        assert_eq!(log, vec!["b", "a", "b", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "priority order must permute")]
+    fn priority_rejects_non_permutations() {
+        let mut a = Toy::new("a", 1);
+        let mut b = Toy::new("b", 1);
+        let mut log = Vec::new();
+        Scheduler::new(Policy::Priority(vec![0, 0])).run(&mut [&mut a, &mut b], &mut log, 0);
+    }
+
+    #[test]
+    fn round_robin_serves_one_engine_per_cycle() {
+        let mut a = Toy::new("a", 2);
+        let mut b = Toy::new("b", 2);
+        let mut log = Vec::new();
+        let report = Scheduler::new(Policy::RoundRobin).run(&mut [&mut a, &mut b], &mut log, 0);
+        // Interleaved service: a@0 b@1 a@2 b@3, Done on the next served
+        // cycle each.
+        assert_eq!(log, vec!["a", "b", "a", "b"]);
+        assert_eq!(report.ends, vec![4, 5]);
+        // Unserved live cycles are charged to the shared port.
+        assert!(a.ledger.stalled(StallReason::PortBusy) > 0);
+        assert_eq!(a.ledger.total(), 4);
+        assert_eq!(b.ledger.total(), 5);
+    }
+
+    #[test]
+    fn throttled_charges_skipped_cycles() {
+        let mut a = Toy::new("a", 4);
+        let mut log = Vec::new();
+        let report =
+            Scheduler::new(Policy::Throttled { period: 4 }).run(&mut [&mut a], &mut log, 0);
+        // Service at 0,4,8,12; Done observed at 16.
+        assert_eq!(report.end, 16);
+        assert_eq!(a.ledger.busy_cycles(), 4);
+        assert_eq!(a.ledger.stalled(StallReason::Throttled), 12);
+        assert_eq!(a.ledger.total(), 16);
+    }
+
+    #[test]
+    fn background_engines_do_not_gate_completion() {
+        let mut fg = Toy::new("fg", 3);
+        let mut bg = Toy::new("bg", 0);
+        bg.background = true;
+        let mut log = Vec::new();
+        let report = Scheduler::new(Policy::Lockstep).run(&mut [&mut bg, &mut fg], &mut log, 0);
+        assert_eq!(report.end, 3);
+        assert_eq!(report.ends, vec![0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduler deadlock")]
+    fn all_stalled_with_no_event_panics_with_dump() {
+        struct Stuck;
+        impl Engine<()> for Stuck {
+            fn name(&self) -> &'static str {
+                "stuck"
+            }
+            fn step(&mut self, _now: Cycle, _ctx: &mut ()) -> Progress {
+                Progress::Stalled
+            }
+            fn next_event_at(&self) -> Option<Cycle> {
+                None
+            }
+        }
+        let mut e = Stuck;
+        Scheduler::new(Policy::Lockstep).run(&mut [&mut e], &mut (), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog")]
+    fn no_progress_watchdog_trips_on_livelock() {
+        /// Always stalled, but always claims an event one cycle away.
+        struct Livelock;
+        impl Engine<()> for Livelock {
+            fn name(&self) -> &'static str {
+                "livelock"
+            }
+            fn step(&mut self, _now: Cycle, _ctx: &mut ()) -> Progress {
+                Progress::Stalled
+            }
+            fn next_event_at(&self) -> Option<Cycle> {
+                Some(u64::MAX)
+            }
+        }
+        let mut e = Livelock;
+        Scheduler::new(Policy::Lockstep)
+            .no_progress_limit(1000)
+            .run(&mut [&mut e], &mut (), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreground engine")]
+    fn all_background_is_rejected() {
+        let mut bg = Toy::new("bg", 0);
+        bg.background = true;
+        let mut log = Vec::new();
+        Scheduler::new(Policy::Lockstep).run(&mut [&mut bg], &mut log, 0);
+    }
+}

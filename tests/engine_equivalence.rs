@@ -1,0 +1,316 @@
+//! Refactor-equivalence wall for the `Engine`/`Scheduler` layer.
+//!
+//! The `run_mark` / `run_sweep` / `run_gc` / `run_multiprocess_mark`
+//! entry points are thin drivers over `Engine::step` + `Scheduler`.
+//! This file proves the refactor preserved behavior cycle-for-cycle:
+//! every fingerprint below (end cycle, work counts, and the complete
+//! per-reason stall ledger) was captured from the pre-refactor
+//! run-to-completion loops on `main` and must match byte for byte.
+//!
+//! To regenerate after an *intentional* timing-model change, run
+//!
+//! ```text
+//! cargo test -p tracegc --test engine_equivalence -- --nocapture print_
+//! ```
+//!
+//! and paste the printed fingerprints over the constants.
+
+use tracegc::heap::{Heap, HeapConfig, LayoutKind, ObjRef};
+use tracegc::hwgc::multiproc::{run_multiprocess_mark, ProcessContext};
+use tracegc::hwgc::{
+    run_concurrent_mark, GcUnit, GcUnitConfig, MutatorConfig, ReclamationUnit, TraversalUnit,
+};
+use tracegc::mem::MemSystem;
+use tracegc::sim::{StallAccounting, StallReason};
+
+/// Renders a ledger as a stable, diffable string.
+fn ledger(s: &StallAccounting) -> String {
+    let mut out = format!("busy={}", s.busy_cycles());
+    for r in StallReason::ALL {
+        out.push_str(&format!(";{}={}", r.name(), s.stalled(r)));
+    }
+    out
+}
+
+/// A binary tree with cross edges (the traversal unit's test workload).
+fn mark_heap(n: usize, layout: LayoutKind) -> Heap {
+    let mut h = Heap::new(HeapConfig {
+        phys_bytes: 256 << 20,
+        layout,
+        ..HeapConfig::default()
+    });
+    let objs: Vec<ObjRef> = (0..n)
+        .map(|i| h.alloc(3, (i % 6) as u32, false).unwrap())
+        .collect();
+    let live = n * 3 / 5;
+    for i in 0..live {
+        if 2 * i + 1 < live {
+            h.set_ref(objs[i], 0, Some(objs[2 * i + 1]));
+        }
+        if 2 * i + 2 < live {
+            h.set_ref(objs[i], 1, Some(objs[2 * i + 2]));
+        }
+        h.set_ref(objs[i], 2, Some(objs[(i * 31 + 7) % live]));
+    }
+    for i in live..n - 1 {
+        h.set_ref(objs[i], 0, Some(objs[i + 1]));
+    }
+    h.set_roots(&[objs[0]]);
+    h
+}
+
+/// A half-live heap with marks already set (the sweeper's test workload).
+fn swept_heap(n: usize) -> Heap {
+    let mut h = Heap::new(HeapConfig {
+        phys_bytes: 128 << 20,
+        ..HeapConfig::default()
+    });
+    let objs: Vec<ObjRef> = (0..n)
+        .map(|i| h.alloc((i % 3) as u32, (i % 8) as u32, false).unwrap())
+        .collect();
+    let live = n / 2;
+    for i in 0..live.saturating_sub(1) {
+        if h.nrefs(objs[i]) > 0 {
+            h.set_ref(objs[i], 0, Some(objs[i + 1]));
+        }
+    }
+    h.set_roots(&objs[..live]);
+    tracegc::heap::verify::software_mark(&mut h);
+    h
+}
+
+/// The CPU collector's test workload.
+fn cpu_heap(layout: LayoutKind) -> Heap {
+    let mut h = Heap::new(HeapConfig {
+        phys_bytes: 128 << 20,
+        layout,
+        ..HeapConfig::default()
+    });
+    let objs: Vec<ObjRef> = (0..500)
+        .map(|i| h.alloc(2 + (i % 3) as u32, (i % 5) as u32, false).unwrap())
+        .collect();
+    for i in 0..300usize {
+        h.set_ref(objs[i], 0, Some(objs[(i + 1) % 300]));
+        h.set_ref(objs[i], 1, Some(objs[(i * 17) % 300]));
+    }
+    for i in 300..499usize {
+        h.set_ref(objs[i], 0, Some(objs[i + 1]));
+    }
+    h.set_roots(&[objs[0], objs[150]]);
+    h
+}
+
+fn mark_fingerprint(layout: LayoutKind) -> String {
+    let mut heap = mark_heap(1500, layout);
+    let mut mem = MemSystem::ddr3(Default::default());
+    let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut heap);
+    let r = unit.run_mark(&mut heap, &mut mem, 0);
+    format!(
+        "end={};marked={};refs={};{}",
+        r.end,
+        r.objects_marked,
+        r.refs_enqueued,
+        ledger(&r.stalls)
+    )
+}
+
+fn sweep_fingerprint(sweepers: usize) -> String {
+    let mut heap = swept_heap(2000);
+    let mut mem = MemSystem::ddr3(Default::default());
+    let cfg = GcUnitConfig {
+        sweepers,
+        ..GcUnitConfig::default()
+    };
+    let mut unit = ReclamationUnit::new(cfg, &heap);
+    let r = unit.run_sweep(&mut heap, &mut mem, 0);
+    format!(
+        "end={};freed={};reads={};{}",
+        r.end,
+        r.cells_freed,
+        r.line_reads,
+        ledger(&r.stalls)
+    )
+}
+
+fn cpu_fingerprint(layout: LayoutKind) -> String {
+    let mut heap = cpu_heap(layout);
+    let mut mem = MemSystem::ddr3(Default::default());
+    let mut cpu = tracegc::cpu::Cpu::new(tracegc::cpu::CpuConfig::default(), &mut heap);
+    let (mark, sweep) = cpu.run_gc(&mut heap, &mut mem);
+    format!(
+        "mark={};work={};refs={};{}|sweep={};work={};{}",
+        mark.cycles,
+        mark.work_items,
+        mark.refs_traced,
+        ledger(&mark.stalls),
+        sweep.cycles,
+        sweep.work_items,
+        ledger(&sweep.stalls)
+    )
+}
+
+fn gc_unit_fingerprint() -> String {
+    let mut heap = mark_heap(1200, LayoutKind::Bidirectional);
+    let mut mem = MemSystem::ddr3(Default::default());
+    let mut unit = GcUnit::new(GcUnitConfig::default(), &mut heap);
+    let r = unit.run_gc(&mut heap, &mut mem);
+    format!(
+        "mark_end={};sweep_end={};marked={};freed={}",
+        r.mark.end, r.sweep.end, r.mark.objects_marked, r.sweep.cells_freed
+    )
+}
+
+fn multiproc_context(n: usize, seed: u64) -> ProcessContext {
+    let mut h = Heap::new(HeapConfig {
+        phys_bytes: 64 << 20,
+        ..HeapConfig::default()
+    });
+    let objs: Vec<ObjRef> = (0..n)
+        .map(|i| h.alloc(2, (i % 3) as u32, false).unwrap())
+        .collect();
+    let live = n / 2;
+    for i in 0..live {
+        if 2 * i + 1 < live {
+            h.set_ref(objs[i], 0, Some(objs[2 * i + 1]));
+        }
+        h.set_ref(
+            objs[i],
+            1,
+            Some(objs[((i as u64 * 17 + seed) % live as u64) as usize]),
+        );
+    }
+    h.set_roots(&[objs[0]]);
+    let unit = TraversalUnit::new(GcUnitConfig::default(), &mut h);
+    ProcessContext { unit, heap: h }
+}
+
+fn multiproc_fingerprint() -> String {
+    let mut procs = vec![multiproc_context(1500, 1), multiproc_context(1000, 2)];
+    let mut mem = MemSystem::ddr3(Default::default());
+    let report = run_multiprocess_mark(&mut procs, &mut mem, 0);
+    format!(
+        "end={};p0_end={};p0_marked={};p1_end={};p1_marked={}",
+        report.end,
+        report.per_process[0].end,
+        report.per_process[0].objects_marked,
+        report.per_process[1].end,
+        report.per_process[1].objects_marked
+    )
+}
+
+fn concurrent_fingerprint() -> String {
+    let mut heap = mark_heap(1500, LayoutKind::Bidirectional);
+    let mut mem = MemSystem::ddr3(Default::default());
+    let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut heap);
+    let r = run_concurrent_mark(&mut unit, &mut heap, &mut mem, MutatorConfig::default(), 0);
+    format!(
+        "end={};marked={};ops={};barriers={}",
+        r.traversal.end, r.traversal.objects_marked, r.mutator_ops, r.write_barriers
+    )
+}
+
+// ---------------------------------------------------------------------
+// Golden fingerprints captured from the pre-refactor loops on `main`.
+// ---------------------------------------------------------------------
+
+const GOLDEN_MARK_BIDI: &str = "end=10634;marked=900;refs=1799;busy=4814;mem_latency=5673;\
+                                queue_full=0;tlb_miss=147;ptw_busy=0;throttled=0;port_busy=0;idle=0";
+const GOLDEN_MARK_CONV: &str = "end=21713;marked=900;refs=1799;busy=8074;mem_latency=13110;\
+                                queue_full=0;tlb_miss=529;ptw_busy=0;throttled=0;port_busy=0;idle=0";
+const GOLDEN_SWEEP_2: &str = "end=182515;freed=1000;reads=5802;busy=191216;mem_latency=112601;\
+                              queue_full=0;tlb_miss=1165;ptw_busy=113;throttled=0;port_busy=0;\
+                              idle=59935";
+const GOLDEN_SWEEP_4: &str = "end=107251;freed=1000;reads=5802;busy=191216;mem_latency=118967;\
+                              queue_full=0;tlb_miss=1087;ptw_busy=444;throttled=0;port_busy=0;\
+                              idle=117290";
+const GOLDEN_CPU_BIDI: &str = "mark=29038;work=300;refs=900;busy=10522;mem_latency=17724;\
+                               queue_full=0;tlb_miss=792;ptw_busy=0;throttled=0;port_busy=0;idle=0\
+                               |sweep=167708;work=200;busy=35833;mem_latency=128962;queue_full=0;\
+                               tlb_miss=2913;ptw_busy=0;throttled=0;port_busy=0;idle=0";
+const GOLDEN_GC_UNIT: &str = "mark_end=7830;sweep_end=71908;marked=720;freed=480";
+const GOLDEN_MULTIPROC_DUO: &str = "end=5923;p0_end=2884;p0_marked=200;p1_end=5923;p1_marked=350";
+const GOLDEN_CONCURRENT: &str = "end=10854;marked=900;ops=271;barriers=60";
+
+#[test]
+fn print_fingerprints() {
+    // Run with --nocapture to (re)capture the golden constants.
+    println!(
+        "GOLDEN_MARK_BIDI: {}",
+        mark_fingerprint(LayoutKind::Bidirectional)
+    );
+    println!(
+        "GOLDEN_MARK_CONV: {}",
+        mark_fingerprint(LayoutKind::Conventional)
+    );
+    println!("GOLDEN_SWEEP_2: {}", sweep_fingerprint(2));
+    println!("GOLDEN_SWEEP_4: {}", sweep_fingerprint(4));
+    println!(
+        "GOLDEN_CPU_BIDI: {}",
+        cpu_fingerprint(LayoutKind::Bidirectional)
+    );
+    println!("GOLDEN_GC_UNIT: {}", gc_unit_fingerprint());
+    println!("GOLDEN_MULTIPROC_DUO: {}", multiproc_fingerprint());
+    println!("GOLDEN_CONCURRENT: {}", concurrent_fingerprint());
+}
+
+#[test]
+fn scheduled_mark_matches_pre_refactor_golden() {
+    assert_eq!(
+        mark_fingerprint(LayoutKind::Bidirectional),
+        GOLDEN_MARK_BIDI
+    );
+    assert_eq!(mark_fingerprint(LayoutKind::Conventional), GOLDEN_MARK_CONV);
+}
+
+#[test]
+fn scheduled_sweep_matches_pre_refactor_golden() {
+    assert_eq!(sweep_fingerprint(2), GOLDEN_SWEEP_2);
+    assert_eq!(sweep_fingerprint(4), GOLDEN_SWEEP_4);
+}
+
+#[test]
+fn scheduled_cpu_phases_match_pre_refactor_golden() {
+    assert_eq!(cpu_fingerprint(LayoutKind::Bidirectional), GOLDEN_CPU_BIDI);
+}
+
+#[test]
+fn scheduled_gc_unit_matches_pre_refactor_golden() {
+    assert_eq!(gc_unit_fingerprint(), GOLDEN_GC_UNIT);
+}
+
+#[test]
+fn scheduled_multiproc_matches_pre_refactor_golden() {
+    assert_eq!(multiproc_fingerprint(), GOLDEN_MULTIPROC_DUO);
+}
+
+#[test]
+fn scheduled_concurrent_matches_pre_refactor_golden() {
+    assert_eq!(concurrent_fingerprint(), GOLDEN_CONCURRENT);
+}
+
+#[test]
+fn single_process_multiproc_equals_plain_run_mark_exactly() {
+    // One process on the shared datapath is served every cycle, so the
+    // round-robin scheduler must degenerate to the stop-the-world
+    // driver: same end cycle AND the same stall ledger.
+    let multi = {
+        let mut procs = [multiproc_context(1200, 4)];
+        let mut mem = MemSystem::ddr3(Default::default());
+        let r = run_multiprocess_mark(&mut procs, &mut mem, 0);
+        r.per_process[0].clone()
+    };
+    let plain = {
+        let mut procs = [multiproc_context(1200, 4)];
+        let mut mem = MemSystem::ddr3(Default::default());
+        let p = &mut procs[0];
+        p.unit.run_mark(&mut p.heap, &mut mem, 0)
+    };
+    assert_eq!(multi.end, plain.end, "end cycles must match exactly");
+    assert_eq!(multi.objects_marked, plain.objects_marked);
+    assert_eq!(multi.refs_enqueued, plain.refs_enqueued);
+    assert_eq!(
+        ledger(&multi.stalls),
+        ledger(&plain.stalls),
+        "stall ledgers must match exactly"
+    );
+}

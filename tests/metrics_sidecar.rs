@@ -34,10 +34,11 @@ fn every_sidecar_is_valid_and_attributed() {
         json_syntax_check(&json).unwrap_or_else(|e| panic!("{id}: malformed JSON: {e}"));
         assert!(json.contains(SCHEMA), "{id}: missing schema tag");
         // Every simulated experiment carries at least one attributed
-        // phase; the model/config-only ones (table1/fig22/ablD/ablH)
-        // and the externally-stepped multiprocess run are
-        // gauge/counter-only by design.
-        if !matches!(id, "table1" | "fig22" | "ablD" | "ablH" | "multi") {
+        // phase — including the scheduler-composed runs (conc, multi,
+        // overlap, multiunit), whose ledgers the scheduler charges
+        // cycle-for-cycle; only the model/config-only experiments
+        // (table1/fig22/ablD/ablH) are gauge/counter-only by design.
+        if !matches!(id, "table1" | "fig22" | "ablD" | "ablH") {
             assert!(!doc.phases.is_empty(), "{id}: no phases recorded");
             let stalled: u64 = doc.phases.iter().map(|p| p.stalls.total_stalled()).sum();
             assert!(stalled > 0, "{id}: no stall cycles attributed anywhere");
