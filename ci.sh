@@ -34,4 +34,20 @@ python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
     || grep -q '"schema": "tracegc-metrics-v1"' "$SIDECAR_DIR/j1/fig15.metrics.json"
 cmp "$SIDECAR_DIR/j1/fig15.metrics.json" "$SIDECAR_DIR/j8/fig15.metrics.json"
 
+echo "==> faultsweep smoke (golden scale; must degrade deterministically, exit 2)"
+# At the golden scale the sweep always hits at least one fallback, so
+# the exit-code contract (0 clean / 2 degraded / 3 failed) is testable:
+# anything but 2 here means the fault pipeline or the exit mapping broke.
+rc=0
+./target/release/experiments --scale 0.015 --pauses 1 --jobs 1 \
+    --out "$SIDECAR_DIR/fs1" faultsweep >/dev/null 2>&1 || rc=$?
+test "$rc" -eq 2
+rc=0
+./target/release/experiments --scale 0.015 --pauses 1 --jobs 8 \
+    --out "$SIDECAR_DIR/fs8" faultsweep >/dev/null 2>&1 || rc=$?
+test "$rc" -eq 2
+cmp "$SIDECAR_DIR/fs1/faultsweep.csv" "$SIDECAR_DIR/fs8/faultsweep.csv"
+cmp "$SIDECAR_DIR/fs1/faultsweep.metrics.json" "$SIDECAR_DIR/fs8/faultsweep.metrics.json"
+cmp "$SIDECAR_DIR/fs1/faultsweep.csv" tests/golden/faultsweep.csv
+
 echo "ci.sh: all green"

@@ -239,6 +239,154 @@ impl Cpu {
         Some(obj)
     }
 
+    /// Resumes a mark phase from a faulted traversal unit's architected
+    /// state: `pending` is the drained queue contents (the traversal
+    /// unit's `drain_architected_state`), and the mark bitmap is
+    /// whatever the unit left in the heap.
+    ///
+    /// The drained words are *untrusted* — the set may contain the very
+    /// word a fault corrupted — so each entry is software-sanitized
+    /// (null, alignment, bounds) before being dereferenced; survivors
+    /// that fail the checks are silently dropped, which is sound because
+    /// the unit never enqueues an invalid reference from an uncorrupted
+    /// read.
+    ///
+    /// Unlike [`Cpu::run_mark`], the seeded entries are traced
+    /// *unconditionally*: the unit marks objects before tracing them, so
+    /// a drained entry may be marked-but-untraced and a mark-test skip
+    /// would hide its children forever. Children discovered during the
+    /// resume are marked in place and pushed only when newly marked, so
+    /// marking stays monotonic and the loop provably terminates.
+    pub fn resume_mark_from(
+        &mut self,
+        heap: &mut Heap,
+        mem: &mut MemSystem,
+        pending: &[u64],
+    ) -> PhaseResult {
+        self.stalls = StallAccounting::default();
+        let start = self.now;
+        let mut result = PhaseResult::default();
+        let mut stack: Vec<ObjRef> = Vec::new();
+        let mut sp: u64 = 0;
+
+        for &va in pending {
+            // Null/alignment test plus the bounds compare.
+            self.instr(2);
+            if va == 0 || !va.is_multiple_of(WORD) || !heap.spaces().in_traced_space(va) {
+                continue;
+            }
+            // Seed: mark (idempotent — the unit may already have) and
+            // stack for an unconditional trace.
+            let t = self.access(heap, mem, va, false);
+            self.wait(t);
+            let pa = heap.va_to_pa(va);
+            let old = Header::from_raw(heap.phys.fetch_or_u64(pa, HEADER_MARK_BIT));
+            self.access(heap, mem, va, true);
+            self.instr(1);
+            if !old.is_marked() {
+                result.work_items += 1;
+            }
+            self.push(heap, mem, &mut stack, &mut sp, ObjRef::new(va));
+        }
+
+        while let Some(obj) = self.pop(heap, mem, &mut stack, &mut sp) {
+            self.trace_marked(heap, mem, &mut stack, &mut sp, obj, &mut result);
+        }
+
+        result.cycles = self.now - start;
+        result.stalls = self.stalls;
+        result
+    }
+
+    /// Traces every reference of an already-marked `obj`, marking each
+    /// child in place and pushing only the newly marked — the resume
+    /// loop's body (timing mirrors the normal mark loop's visit).
+    fn trace_marked(
+        &mut self,
+        heap: &mut Heap,
+        mem: &mut MemSystem,
+        stack: &mut Vec<ObjRef>,
+        sp: &mut u64,
+        obj: ObjRef,
+        result: &mut PhaseResult,
+    ) {
+        use std::collections::VecDeque;
+        use tracegc_heap::layout::{bidi, conv, LayoutKind};
+
+        self.instr(self.cfg.instr_per_object);
+        let t = self.access(heap, mem, obj.addr(), false);
+        self.wait(t);
+        let nrefs = Header::from_raw(heap.read_va(obj.addr())).nrefs();
+
+        let mark_child = |cpu: &mut Self,
+                          heap: &mut Heap,
+                          mem: &mut MemSystem,
+                          stack: &mut Vec<ObjRef>,
+                          sp: &mut u64,
+                          result: &mut PhaseResult,
+                          raw: u64| {
+            let t = cpu.access(heap, mem, raw, false);
+            cpu.wait(t);
+            let pa = heap.va_to_pa(raw);
+            let old = heap.phys.fetch_or_u64(pa, HEADER_MARK_BIT);
+            cpu.access(heap, mem, raw, true);
+            cpu.instr(1);
+            if !Header::from_raw(old).is_marked() {
+                result.work_items += 1;
+                cpu.push(heap, mem, stack, sp, ObjRef::new(raw));
+            }
+        };
+
+        match heap.layout() {
+            LayoutKind::Bidirectional => {
+                let window = self.cfg.ooo_window.max(1);
+                let mut pending: VecDeque<(Cycle, u64, bool)> = VecDeque::with_capacity(window);
+                for i in 0..nrefs {
+                    self.instr(self.cfg.instr_per_ref);
+                    let slot = bidi::ref_slot(obj, i);
+                    let t = self.access(heap, mem, slot, false);
+                    let raw = heap.read_va(slot);
+                    pending.push_back((t, raw, self.last_access_walked));
+                    result.refs_traced += 1;
+                    if pending.len() >= window {
+                        let (t, raw, walked) = pending.pop_front().expect("non-empty");
+                        self.wait_tagged(t, walked);
+                        if raw != 0 {
+                            mark_child(self, heap, mem, stack, sp, result, raw);
+                        }
+                    }
+                }
+                while let Some((t, raw, walked)) = pending.pop_front() {
+                    self.wait_tagged(t, walked);
+                    if raw != 0 {
+                        mark_child(self, heap, mem, stack, sp, result, raw);
+                    }
+                }
+            }
+            LayoutKind::Conventional => {
+                let tib_slot = conv::tib_slot(obj);
+                let t = self.access(heap, mem, tib_slot, false);
+                self.wait(t);
+                let tib = heap.read_va(tib_slot);
+                for i in 0..nrefs {
+                    self.instr(self.cfg.instr_per_ref);
+                    let off_va = tib + (1 + i as u64) * WORD;
+                    let t = self.access(heap, mem, off_va, false);
+                    self.wait(t);
+                    let offset = heap.read_va(off_va) as u32;
+                    let slot = conv::field_slot(obj, offset);
+                    let t = self.access(heap, mem, slot, false);
+                    self.wait(t);
+                    let raw = heap.read_va(slot);
+                    result.refs_traced += 1;
+                    if raw != 0 {
+                        mark_child(self, heap, mem, stack, sp, result, raw);
+                    }
+                }
+            }
+        }
+    }
+
     /// Runs the sweep phase: a linear scan over every mark-sweep block,
     /// rebuilding free lists and clearing surviving marks — the software
     /// equivalent of the reclamation unit (§V-D).
@@ -419,6 +567,66 @@ mod tests {
             assert!(mark.stalls.busy_cycles() > 0);
             assert!(mark.stalls.total_stalled() > 0, "cold caches must stall");
         }
+    }
+
+    #[test]
+    fn resume_from_roots_completes_the_mark() {
+        for layout in [LayoutKind::Bidirectional, LayoutKind::Conventional] {
+            let mut heap = build_graph(layout);
+            let mut mem = MemSystem::ddr3(Default::default());
+            let mut cpu = Cpu::new(CpuConfig::default(), &mut heap);
+            let pending: Vec<u64> = heap.roots().iter().map(|r| r.addr()).collect();
+            let result = cpu.resume_mark_from(&mut heap, &mut mem, &pending);
+            check_marks_match_reachability(&heap).unwrap();
+            assert_eq!(result.work_items, 300, "{layout:?}");
+            assert_eq!(result.stalls.total(), result.cycles, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn resume_retraces_marked_but_untraced_seeds() {
+        // The hardware marks objects *before* tracing them, so the
+        // drained state can contain already-marked entries whose
+        // children were never visited. A mark-test skip would lose them.
+        let mut heap = build_graph(LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut cpu = Cpu::new(CpuConfig::default(), &mut heap);
+        let roots: Vec<ObjRef> = heap.roots().to_vec();
+        for &r in &roots {
+            assert!(!heap.mark(r), "roots start unmarked");
+        }
+        let pending: Vec<u64> = roots.iter().map(|r| r.addr()).collect();
+        let result = cpu.resume_mark_from(&mut heap, &mut mem, &pending);
+        check_marks_match_reachability(&heap).unwrap();
+        // The seeds were already marked, so only their descendants count
+        // as new work.
+        assert_eq!(result.work_items, 300 - roots.len() as u64);
+    }
+
+    #[test]
+    fn resume_sanitizes_untrusted_pending_words() {
+        let mut heap = build_graph(LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut cpu = Cpu::new(CpuConfig::default(), &mut heap);
+        // Null, misaligned, and out-of-bounds words — exactly what a
+        // corrupting fault can leave in the drained state.
+        let junk = [0u64, 0x1003, 1u64 << 40, !7u64];
+        let result = cpu.resume_mark_from(&mut heap, &mut mem, &junk);
+        assert_eq!(result.work_items, 0);
+        assert!(heap.marked_set().is_empty());
+    }
+
+    #[test]
+    fn resume_tolerates_duplicate_pending_entries() {
+        let mut heap = build_graph(LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut cpu = Cpu::new(CpuConfig::default(), &mut heap);
+        let mut pending: Vec<u64> = heap.roots().iter().map(|r| r.addr()).collect();
+        let dup = pending.clone();
+        pending.extend(dup);
+        let result = cpu.resume_mark_from(&mut heap, &mut mem, &pending);
+        check_marks_match_reachability(&heap).unwrap();
+        assert_eq!(result.work_items, 300);
     }
 
     #[test]

@@ -25,8 +25,9 @@ use tracegc::metrics;
 fn usage() -> String {
     format!(
         "usage: experiments [--quick] [--scale F] [--pauses N] [--jobs N] [--out DIR] \
-         [--trace FILE] <id>...\n\
-         ids: all {}",
+         [--trace FILE] [--fault-rate R] [--fault-seed S] <id>...\n\
+         ids: all {}\n\
+         exit codes: 0 clean, 2 degraded to the software-fallback mark, 3 a run failed",
         experiments::ALL.join(" ")
     )
 }
@@ -77,6 +78,37 @@ fn main() -> ExitCode {
                 Some(v) => out_dir = PathBuf::from(v),
                 None => {
                     eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fault-rate" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if (0.0..=1.0).contains(&v) => {
+                    let mut cfg = opts
+                        .fault
+                        .unwrap_or_else(|| tracegc_sim::FaultConfig::zero_rates(0x5EED));
+                    cfg.bit_flip_rate = v;
+                    cfg.drop_rate = v;
+                    cfg.delay_rate = v;
+                    cfg.corrupt_ref_rate = v;
+                    cfg.corrupt_header_rate = v;
+                    cfg.pte_fault_rate = v;
+                    opts.fault = Some(cfg);
+                }
+                _ => {
+                    eprintln!("--fault-rate needs a probability in [0, 1]\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fault-seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => {
+                    let mut cfg = opts
+                        .fault
+                        .unwrap_or_else(|| tracegc_sim::FaultConfig::zero_rates(v));
+                    cfg.seed = v;
+                    opts.fault = Some(cfg);
+                }
+                None => {
+                    eprintln!("--fault-seed needs a number\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -192,5 +224,12 @@ fn main() -> ExitCode {
         busy / wall_s.max(1e-9),
         completed.len() as f64 / wall_s.max(1e-9),
     );
-    ExitCode::SUCCESS
+    // Degraded/failed runs surface in the exit code (0 clean, 2 the
+    // software fallback completed a trapped mark, 3 a run failed) so CI
+    // can gate on the difference without parsing sidecars.
+    let code = experiments::exit_code_for(&completed);
+    if code != 0 {
+        eprintln!("exit {code}: fault injection degraded at least one run (see sidecars)");
+    }
+    ExitCode::from(code)
 }

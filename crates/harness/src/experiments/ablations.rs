@@ -19,7 +19,7 @@ use tracegc_workloads::spec::by_name;
 
 use super::{ExperimentOutput, Options};
 use crate::metrics::MetricsDoc;
-use crate::runner::{run_cpu_gc, run_unit_gc, MemKind};
+use crate::runner::{run_cpu_gc, run_unit_gc_faulted, MemKind};
 use crate::table::{ms, ratio, Table};
 
 /// `ablA`: FR-FCFS vs FIFO, 16 vs 8 outstanding reads.
@@ -49,11 +49,13 @@ pub fn run_memsched(opts: &Options) -> ExperimentOutput {
         &["config", "unit-mark-ms", "cpu-mark-ms"],
     );
     let rows = crate::parallel::par_map(opts.jobs, variants.to_vec(), |(name, cfg)| {
-        let unit = run_unit_gc(
+        let unit = run_unit_gc_faulted(
             &spec,
             LayoutKind::Bidirectional,
             GcUnitConfig::default(),
             MemKind::Ddr3(cfg),
+            false,
+            opts.fault,
         );
         let cpu = run_cpu_gc(&spec, LayoutKind::Bidirectional, MemKind::Ddr3(cfg));
         let row = vec![
@@ -65,13 +67,15 @@ pub fn run_memsched(opts: &Options) -> ExperimentOutput {
             row,
             (name, unit.report.mark.cycles(), unit.report.mark.stalls),
             (name, cpu.mark.cycles, cpu.mark.stalls),
+            (unit.fault_stats, unit.fallback.is_some()),
         )
     });
     let mut metrics = MetricsDoc::new("ablA");
-    for (row, (name, ucycles, ustalls), (_, ccycles, cstalls)) in rows {
+    for (row, (name, ucycles, ustalls), (_, ccycles, cstalls), (stats, fell_back)) in rows {
         table.row(row);
         metrics.phase(&format!("{name}.unit_mark"), ucycles, 1, ustalls);
         metrics.phase(&format!("{name}.cpu_mark"), ccycles, 1, cstalls);
+        super::note_unit_faults(&mut metrics, &stats, fell_back);
     }
     ExperimentOutput {
         id: "ablA",
@@ -100,11 +104,13 @@ pub fn run_layout(opts: &Options) -> ExperimentOutput {
         ("conventional-tib", LayoutKind::Conventional),
     ];
     let results = crate::parallel::par_map(opts.jobs, layouts, |(name, layout)| {
-        let unit = run_unit_gc(
+        let unit = run_unit_gc_faulted(
             &spec,
             layout,
             GcUnitConfig::default(),
             MemKind::ddr3_default(),
+            false,
+            opts.fault,
         );
         let cpu = run_cpu_gc(&spec, layout, MemKind::ddr3_default());
         (
@@ -114,13 +120,17 @@ pub fn run_layout(opts: &Options) -> ExperimentOutput {
             cpu.mark.cycles,
             unit.report.mark.stalls,
             cpu.mark.stalls,
+            (unit.fault_stats, unit.fallback.is_some()),
         )
     });
     let mut metrics = MetricsDoc::new("ablB");
-    for (name, unit_mark, unit_reqs, cpu_mark, unit_stalls, cpu_stalls) in results {
+    for (name, unit_mark, unit_reqs, cpu_mark, unit_stalls, cpu_stalls, (stats, fell_back)) in
+        results
+    {
         unit_times.push(unit_mark);
         metrics.phase(&format!("{name}.unit_mark"), unit_mark, 1, unit_stalls);
         metrics.phase(&format!("{name}.cpu_mark"), cpu_mark, 1, cpu_stalls);
+        super::note_unit_faults(&mut metrics, &stats, fell_back);
         table.row(vec![
             name.into(),
             ms(unit_mark),
@@ -171,18 +181,27 @@ pub fn run_tlb(opts: &Options) -> ExperimentOutput {
                 },
                 ..GcUnitConfig::default()
             };
-            let unit = run_unit_gc(&spec, LayoutKind::Bidirectional, cfg, MemKind::pipe_8gbps());
+            let unit = run_unit_gc_faulted(
+                &spec,
+                LayoutKind::Bidirectional,
+                cfg,
+                MemKind::pipe_8gbps(),
+                false,
+                opts.fault,
+            );
             (
                 name,
                 unit.report.mark.cycles(),
                 unit.report.mark.translator,
                 unit.report.mark.stalls,
+                (unit.fault_stats, unit.fallback.is_some()),
             )
         });
     let mut metrics = MetricsDoc::new("ablC");
-    for (name, cycles, translator, stalls) in results {
+    for (name, cycles, translator, stalls, (stats, fell_back)) in results {
         times.push(cycles);
         metrics.phase(&format!("{name}.unit_mark"), cycles, 1, stalls);
+        super::note_unit_faults(&mut metrics, &stats, fell_back);
         table.row(vec![
             name.into(),
             ms(cycles),
@@ -292,24 +311,27 @@ pub fn run_superpages(opts: &Options) -> ExperimentOutput {
     let mut times = Vec::new();
     let variants = vec![("4KiB", false), ("2MiB-superpages", true)];
     let results = crate::parallel::par_map(opts.jobs, variants, |(name, superpages)| {
-        let run = crate::runner::run_unit_gc_opts(
+        let run = run_unit_gc_faulted(
             &spec,
             LayoutKind::Bidirectional,
             GcUnitConfig::default(),
             MemKind::ddr3_default(),
             superpages,
+            opts.fault,
         );
         (
             name,
             run.report.mark.cycles(),
             run.report.mark.translator,
             run.report.mark.stalls,
+            (run.fault_stats, run.fallback.is_some()),
         )
     });
     let mut metrics = MetricsDoc::new("ablE");
-    for (name, cycles, translator, stalls) in results {
+    for (name, cycles, translator, stalls, (stats, fell_back)) in results {
         times.push(cycles);
         metrics.phase(&format!("xalan.{name}.unit_mark"), cycles, 1, stalls);
+        super::note_unit_faults(&mut metrics, &stats, fell_back);
         table.row(vec![
             name.into(),
             ms(cycles),

@@ -17,7 +17,7 @@ use tracegc_sim::StallAccounting;
 
 use super::{ExperimentOutput, Options};
 use crate::metrics::MetricsDoc;
-use crate::runner::{run_unit_gc, MemKind};
+use crate::runner::{run_unit_gc_faulted, MemKind};
 use crate::table::Table;
 
 const FIG18_SOURCES: [Source; 4] = [
@@ -83,7 +83,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         };
         if shared_topology {
             // Shared topology: count accesses at the shared cache.
-            let run = run_unit_gc(
+            let run = run_unit_gc_faulted(
                 &spec,
                 LayoutKind::Bidirectional,
                 GcUnitConfig {
@@ -91,6 +91,8 @@ pub fn run(opts: &Options) -> ExperimentOutput {
                     ..GcUnitConfig::default()
                 },
                 MemKind::ddr3_default(),
+                false,
+                opts.fault,
             );
             let stats = run
                 .unit
@@ -110,15 +112,22 @@ pub fn run(opts: &Options) -> ExperimentOutput {
                     100.0 * stats.accesses(Source::Ptw) as f64 / total.max(1) as f64
                 ),
             ];
-            (row, phase_of(&run, "shared"))
+            (
+                row,
+                phase_of(&run, "shared"),
+                run.fault_stats,
+                run.fallback.is_some(),
+            )
         } else {
             // Partitioned topology: count requests at the memory
             // controller.
-            let run = run_unit_gc(
+            let run = run_unit_gc_faulted(
                 &spec,
                 LayoutKind::Bidirectional,
                 GcUnitConfig::default(),
                 MemKind::ddr3_default(),
+                false,
+                opts.fault,
             );
             let snap = &run.snapshot;
             let total: u64 = FIG18_SOURCES.iter().map(|&s| snap.requests(s)).sum();
@@ -131,17 +140,23 @@ pub fn run(opts: &Options) -> ExperimentOutput {
                 m(snap.requests(Source::Marker)),
                 format!("{:.0}%", 100.0 * work as f64 / total.max(1) as f64),
             ];
-            (row, phase_of(&run, "part"))
+            (
+                row,
+                phase_of(&run, "part"),
+                run.fault_stats,
+                run.fallback.is_some(),
+            )
         }
     });
     let mut metrics = MetricsDoc::new("fig18");
     for pair in rows.chunks(2) {
         shared.row(pair[0].0.clone());
         partitioned.row(pair[1].0.clone());
-        for (_, phases) in pair {
+        for (_, phases, stats, fell_back) in pair {
             for (name, cycles, lanes, stalls) in phases {
                 metrics.phase(name, *cycles, *lanes, *stalls);
             }
+            super::note_unit_faults(&mut metrics, stats, *fell_back);
         }
     }
     ExperimentOutput {

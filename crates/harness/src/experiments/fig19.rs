@@ -12,7 +12,7 @@ use tracegc_workloads::spec::by_name;
 
 use super::{ExperimentOutput, Options};
 use crate::metrics::MetricsDoc;
-use crate::runner::{run_unit_gc, MemKind};
+use crate::runner::{run_unit_gc_faulted, MemKind};
 use crate::table::{ms, Table};
 
 /// Mark-queue capacities matching the paper's x-axis (total KB
@@ -76,11 +76,13 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             compress: v.compress,
             ..GcUnitConfig::default()
         };
-        let run = run_unit_gc(
+        let run = run_unit_gc_faulted(
             &spec,
             LayoutKind::Bidirectional,
             cfg,
             MemKind::ddr3_default(),
+            false,
+            opts.fault,
         );
         let q = run.report.mark.markq;
         let spill_reqs = q.spill_writes + q.spill_reads;
@@ -102,14 +104,21 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             run.report.mark.cycles(),
             run.report.mark.stalls,
         );
-        (row, phase, q.peak_occupancy)
+        (
+            row,
+            phase,
+            q.peak_occupancy,
+            run.fault_stats,
+            run.fallback.is_some(),
+        )
     });
     let mut metrics = MetricsDoc::new("fig19");
     let mut peak_occupancy = 0u64;
-    for (row, (name, cycles, stalls), peak) in rows {
+    for (row, (name, cycles, stalls), peak, stats, fell_back) in rows {
         table.row(row);
         metrics.phase(&name, cycles, 1, stalls);
         peak_occupancy = peak_occupancy.max(peak);
+        super::note_unit_faults(&mut metrics, &stats, fell_back);
     }
     metrics.counter("peak_markq_occupancy", peak_occupancy);
     ExperimentOutput {

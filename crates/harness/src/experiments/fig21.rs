@@ -11,7 +11,7 @@ use tracegc_workloads::spec::by_name;
 
 use super::{ExperimentOutput, Options};
 use crate::metrics::MetricsDoc;
-use crate::runner::{run_unit_gc, MemKind};
+use crate::runner::{run_unit_gc_faulted, MemKind};
 use crate::table::Table;
 
 const CACHE_SIZES: [usize; 5] = [0, 64, 105, 128, 256];
@@ -23,7 +23,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         .scaled(opts.scale);
 
     // Fig. 21a: object-access-frequency distribution from one mark pass.
-    let mut run = run_unit_gc(
+    let mut run = run_unit_gc_faulted(
         &spec,
         LayoutKind::Bidirectional,
         GcUnitConfig {
@@ -31,6 +31,8 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             ..GcUnitConfig::default()
         },
         MemKind::ddr3_default(),
+        false,
+        opts.fault,
     );
     let counts = run.unit.traversal().access_counts();
     let mut freq: Vec<u32> = counts.values().copied().collect();
@@ -66,11 +68,13 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             markbit_cache: size,
             ..GcUnitConfig::default()
         };
-        let run = run_unit_gc(
+        let run = run_unit_gc_faulted(
             &spec,
             LayoutKind::Bidirectional,
             cfg,
             MemKind::ddr3_default(),
+            false,
+            opts.fault,
         );
         let mark = &run.report.mark;
         let attempts = mark.objects_marked + mark.already_marked + mark.filtered;
@@ -84,7 +88,13 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             format!("{:.3}", reqs as f64 / attempts.max(1) as f64),
             crate::table::ms(mark.cycles()),
         ];
-        (row, mark.cycles(), mark.stalls)
+        (
+            row,
+            mark.cycles(),
+            mark.stalls,
+            run.fault_stats,
+            run.fallback.is_some(),
+        )
     });
     let mut metrics = MetricsDoc::new("fig21");
     metrics.phase(
@@ -93,10 +103,12 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         1,
         run.report.mark.stalls,
     );
+    super::note_unit_faults(&mut metrics, &run.fault_stats, run.fallback.is_some());
     metrics.counter("mark_accesses", total_accesses);
-    for (&size, (row, cycles, stalls)) in CACHE_SIZES.iter().zip(rows) {
+    for (&size, (row, cycles, stalls, stats, fell_back)) in CACHE_SIZES.iter().zip(rows) {
         sweep.row(row);
         metrics.phase(&format!("luindex.cache{size}.unit_mark"), cycles, 1, stalls);
+        super::note_unit_faults(&mut metrics, &stats, fell_back);
     }
 
     ExperimentOutput {

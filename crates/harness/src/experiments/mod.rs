@@ -6,6 +6,7 @@
 
 pub mod ablations;
 pub mod concurrent;
+pub mod faultsweep;
 pub mod fig01;
 pub mod fig15;
 pub mod fig16;
@@ -41,6 +42,10 @@ pub struct Options {
     /// (those that run a single instrumented unit); the drained events
     /// land in [`ExperimentOutput::trace`].
     pub trace: bool,
+    /// Fault-injection configuration threaded into every unit-only
+    /// collection (`None`, the default, runs everything clean). An
+    /// inactive config (all rates zero) is equivalent to `None`.
+    pub fault: Option<tracegc_sim::FaultConfig>,
 }
 
 impl Default for Options {
@@ -50,6 +55,7 @@ impl Default for Options {
             pauses: 3,
             jobs: 1,
             trace: false,
+            fault: None,
         }
     }
 }
@@ -75,7 +81,7 @@ pub struct ExperimentOutput {
 
 /// Every experiment id, in paper order (scheduler-layer experiments
 /// `overlap` and `multiunit` last).
-pub const ALL: [&str; 24] = [
+pub const ALL: [&str; 25] = [
     "table1",
     "fig1a",
     "fig1b",
@@ -100,6 +106,7 @@ pub const ALL: [&str; 24] = [
     "multi",
     "overlap",
     "multiunit",
+    "faultsweep",
 ];
 
 /// Runs one experiment by id. Returns `None` for unknown ids.
@@ -140,6 +147,7 @@ fn run_inner(id: &str, opts: &Options) -> Option<ExperimentOutput> {
         "multi" => concurrent::run_multi(opts),
         "overlap" => overlap::run(opts),
         "multiunit" => multiunit::run(opts),
+        "faultsweep" => faultsweep::run(opts),
         _ => return None,
     })
 }
@@ -175,6 +183,44 @@ pub fn run_ids(ids: &[&str], opts: &Options) -> Result<Vec<CompletedExperiment>,
     }))
 }
 
+/// Folds one unit run's fault outcome into an experiment's metrics doc:
+/// nonzero injector counters plus a `fallback_runs` tick when the mark
+/// degraded to software. Clean runs contribute nothing, keeping the
+/// faults section empty (and sidecars byte-identical to fault-free
+/// runs).
+pub(crate) fn note_unit_faults(
+    metrics: &mut MetricsDoc,
+    stats: &tracegc_sim::FaultStats,
+    fell_back: bool,
+) {
+    metrics.note_faults(stats);
+    if fell_back {
+        metrics.fault("fallback_runs", 1);
+    }
+}
+
+/// Maps a finished batch to the CLI's exit code: `0` when every run was
+/// clean, `2` when at least one collection degraded to the software
+/// fallback (results are still correct), `3` when any run failed
+/// outright. The codes are part of the CLI contract (see
+/// EXPERIMENTS.md) so CI can distinguish "degraded as designed" from
+/// "broken".
+pub fn exit_code_for(completed: &[CompletedExperiment]) -> u8 {
+    let sum = |key: &str| {
+        completed
+            .iter()
+            .filter_map(|c| c.output.metrics.fault_value(key))
+            .sum::<u64>()
+    };
+    if sum("failed_runs") > 0 {
+        3
+    } else if sum("fallback_runs") > 0 {
+        2
+    } else {
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +228,35 @@ mod tests {
     #[test]
     fn unknown_id_is_none() {
         assert!(run("fig99", &Options::default()).is_none());
+    }
+
+    #[test]
+    fn exit_codes_rank_failure_over_fallback_over_clean() {
+        let mk = |faults: &[(&str, u64)]| {
+            let mut metrics = MetricsDoc::new("x");
+            for (k, v) in faults {
+                metrics.fault(k, *v);
+            }
+            CompletedExperiment {
+                output: ExperimentOutput {
+                    id: "x",
+                    title: "x",
+                    tables: Vec::new(),
+                    notes: Vec::new(),
+                    metrics,
+                    trace: Vec::new(),
+                },
+                wall: std::time::Duration::ZERO,
+            }
+        };
+        assert_eq!(exit_code_for(&[]), 0);
+        assert_eq!(exit_code_for(&[mk(&[])]), 0);
+        assert_eq!(exit_code_for(&[mk(&[("retries", 4)])]), 0);
+        assert_eq!(exit_code_for(&[mk(&[("fallback_runs", 1)])]), 2);
+        assert_eq!(
+            exit_code_for(&[mk(&[("fallback_runs", 2)]), mk(&[("failed_runs", 1)])]),
+            3
+        );
     }
 
     #[test]

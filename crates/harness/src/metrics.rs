@@ -41,6 +41,10 @@ pub struct MetricsDoc {
     pub phases: Vec<PhaseMetrics>,
     /// Named integer counters, in emission order.
     pub counters: Vec<(String, u64)>,
+    /// Named fault-injection counters, in emission order. Kept apart
+    /// from `counters` so tooling can find the fault section without
+    /// name conventions; empty for clean (fault-free) runs.
+    pub faults: Vec<(String, u64)>,
     /// Named float gauges, in emission order.
     pub gauges: Vec<(String, f64)>,
 }
@@ -71,6 +75,40 @@ impl MetricsDoc {
         } else {
             self.counters.push((name.to_string(), v));
         }
+    }
+
+    /// Adds `v` to fault counter `name` (creating it at 0).
+    pub fn fault(&mut self, name: &str, v: u64) {
+        if let Some(slot) = self.faults.iter_mut().find(|(n, _)| n == name) {
+            slot.1 += v;
+        } else {
+            self.faults.push((name.to_string(), v));
+        }
+    }
+
+    /// The current value of counter `name`, if present.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Folds the nonzero counters of one fault-injector snapshot into
+    /// the faults section. Zero entries are skipped, so clean runs keep
+    /// an empty section and zero-rate sidecars stay byte-identical to
+    /// fault-free ones.
+    pub fn note_faults(&mut self, stats: &tracegc_sim::FaultStats) {
+        for (name, v) in stats.entries() {
+            if v > 0 {
+                self.fault(name, v);
+            }
+        }
+    }
+
+    /// The current value of fault counter `name`, if present.
+    pub fn fault_value(&self, name: &str) -> Option<u64> {
+        self.faults.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// Sets gauge `name` to `v` (overwriting).
@@ -178,6 +216,16 @@ impl MetricsDoc {
             let _ = write!(s, "    {}: {v}", json_string(name));
         }
         s.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        s.push_str("  \"faults\": {");
+        for (i, (name, v)) in self.faults.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(s, "    {}: {v}", json_string(name));
+        }
+        s.push_str(if self.faults.is_empty() {
             "},\n"
         } else {
             "\n  },\n"
@@ -456,6 +504,28 @@ mod tests {
         let doc = MetricsDoc::new("empty");
         json_syntax_check(&doc.to_json()).unwrap();
         doc.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fault_section_accumulates_and_renders() {
+        let mut doc = MetricsDoc::new("faultsweep");
+        // Clean docs still carry an (empty) faults object, so the
+        // sidecar shape is rate-independent.
+        assert!(doc.to_json().contains("\"faults\": {},"));
+        doc.fault("retries", 3);
+        doc.fault("retries", 2);
+        doc.fault("fallback_runs", 1);
+        let json = doc.to_json();
+        json_syntax_check(&json).unwrap();
+        assert!(json.contains("\"retries\": 5"));
+        assert_eq!(doc.fault_value("retries"), Some(5));
+        assert_eq!(doc.fault_value("fallback_runs"), Some(1));
+        assert_eq!(doc.fault_value("nope"), None);
+        // Faults live in their own namespace, not in counters.
+        assert_eq!(doc.counter_value("retries"), None);
+        doc.counter("retries", 9);
+        assert_eq!(doc.counter_value("retries"), Some(9));
+        assert_eq!(doc.fault_value("retries"), Some(5));
     }
 
     #[test]

@@ -11,12 +11,15 @@
 //! the same number of cells.
 
 use tracegc_cpu::{Cpu, CpuConfig};
+use tracegc_heap::verify::check_marks_match_reachability;
 use tracegc_heap::LayoutKind;
-use tracegc_hwgc::{GcUnit, GcUnitConfig};
+use tracegc_hwgc::{GcUnit, GcUnitConfig, Trap, TraversalUnit};
 use tracegc_mem::ddr3::Ddr3Config;
 use tracegc_mem::pipe::PipeConfig;
 use tracegc_mem::{MemSystem, Source};
-use tracegc_sim::{Cycle, StallAccounting, TraceEvent};
+use tracegc_sim::{
+    Cycle, FaultConfig, FaultPlan, FaultSite, FaultStats, SimError, StallAccounting, TraceEvent,
+};
 use tracegc_workloads::generate::{churn, generate_heap, WorkloadHeap};
 use tracegc_workloads::spec::BenchSpec;
 
@@ -275,6 +278,19 @@ impl DualRun {
     }
 }
 
+/// How the driver recovered from a trapped mark: the architected state
+/// drained from the frozen traversal unit and the cost of finishing the
+/// mark in software.
+#[derive(Debug, Clone, Copy)]
+pub struct FallbackInfo {
+    /// The trap that froze the unit.
+    pub trap: Trap,
+    /// Pending reference words drained from the unit's queues.
+    pub drained: usize,
+    /// Cycles the CPU's software-fallback mark took.
+    pub cycles: Cycle,
+}
+
 /// Result of a unit-only collection (for experiments that need access
 /// to the unit's internal statistics).
 #[derive(Debug)]
@@ -287,6 +303,12 @@ pub struct UnitRun {
     pub unit: GcUnit,
     /// The workload after collection.
     pub workload: WorkloadHeap,
+    /// Merged fault-injector counters over all sites (all-zero for
+    /// clean runs).
+    pub fault_stats: FaultStats,
+    /// `Some` when the mark trapped and the CPU finished it in software
+    /// before the unit swept.
+    pub fallback: Option<FallbackInfo>,
 }
 
 /// Runs a single accelerator-only collection on a fresh workload.
@@ -308,15 +330,212 @@ pub fn run_unit_gc_opts(
     mem_kind: MemKind,
     superpages: bool,
 ) -> UnitRun {
+    run_unit_gc_faulted(spec, layout, cfg, mem_kind, superpages, None)
+}
+
+/// Like [`run_unit_gc_opts`], optionally injecting faults from `fault`.
+///
+/// The degradation protocol mirrors what the driver would do: a trapped
+/// mark leaves the unit frozen; the driver drains its architected state
+/// (mark bitmap is already in the heap, pending reference words come
+/// out of the queues), detaches the memory-system injector (recovery
+/// runs on recovered memory), finishes the mark with the software
+/// collector, and only then lets the unit sweep.
+///
+/// # Panics
+///
+/// Panics if the mark errors *without* latching a trap — injected
+/// faults always trap, so that would be a simulator bug, not an
+/// injected fault.
+pub fn run_unit_gc_faulted(
+    spec: &BenchSpec,
+    layout: LayoutKind,
+    cfg: GcUnitConfig,
+    mem_kind: MemKind,
+    superpages: bool,
+    fault: Option<FaultConfig>,
+) -> UnitRun {
     let mut workload = tracegc_workloads::generate::generate_heap_opts(spec, layout, superpages);
     let mut mem = mem_kind.fresh();
     let mut unit = GcUnit::new(cfg, &mut workload.heap);
-    let report = unit.run_gc(&mut workload.heap, &mut mem);
+
+    let plan = fault.filter(|f| f.is_active()).map(FaultPlan::new);
+    if let Some(plan) = &plan {
+        mem.set_fault_injector(plan.injector(FaultSite::Mem));
+        unit.install_fault_plan(plan);
+    }
+
+    let mut fault_stats = FaultStats::default();
+    let mut fallback = None;
+    let report = match unit.try_run_gc_at(&mut workload.heap, &mut mem, 0) {
+        Ok(report) => report,
+        Err(e) => {
+            let trap = unit
+                .traversal()
+                .trap()
+                .unwrap_or_else(|| panic!("mark failed without a trap: {e}"));
+            let mark = unit.traversal().result_at(0, trap.at);
+            let pending = unit.traversal_mut().drain_architected_state(&workload.heap);
+            // The trap may have left a latched unrecoverable fault in
+            // the memory system; clear it and detach the injector so
+            // the fallback runs on recovered memory.
+            let _ = mem.take_fault();
+            if let Some(inj) = mem.take_fault_injector() {
+                fault_stats.merge(inj.stats());
+            }
+            let mut cpu = Cpu::new(CpuConfig::default(), &mut workload.heap);
+            cpu.advance_to(trap.at);
+            let fb = cpu.resume_mark_from(&mut workload.heap, &mut mem, &pending);
+            check_marks_match_reachability(&workload.heap)
+                .expect("software fallback must complete the mark exactly");
+            let marked_total = workload.heap.marked_set().len() as u64;
+            let sweep = unit.sweep_after_fallback(
+                &mut workload.heap,
+                &mut mem,
+                trap.at + fb.cycles,
+                marked_total,
+            );
+            fallback = Some(FallbackInfo {
+                trap,
+                drained: pending.len(),
+                cycles: fb.cycles,
+            });
+            tracegc_hwgc::GcReport { mark, sweep }
+        }
+    };
+
+    if let Some(inj) = mem.take_fault_injector() {
+        fault_stats.merge(inj.stats());
+    }
+    if let Some(s) = unit.traversal().fault_stats() {
+        fault_stats.merge(s);
+    }
+    if let Some(s) = unit.traversal().ptw_fault_stats() {
+        fault_stats.merge(s);
+    }
+
     UnitRun {
         report,
         snapshot: MemSnapshot::capture(&mem),
         unit,
         workload,
+        fault_stats,
+        fallback,
+    }
+}
+
+/// How one fault-injected mark-only run ended.
+#[derive(Debug, Clone)]
+pub enum MarkOutcome {
+    /// The unit completed the mark despite (or without) injected
+    /// faults — retries and ECC correction absorbed everything.
+    Clean,
+    /// The unit trapped and the software fallback completed the mark.
+    Fallback(FallbackInfo),
+    /// The mark errored without a recoverable trap.
+    Failed(SimError),
+}
+
+/// Result of [`run_faulted_mark`]: one mark pass under fault injection,
+/// degraded to software where necessary.
+#[derive(Debug)]
+pub struct FaultedMarkRun {
+    /// How the run ended.
+    pub outcome: MarkOutcome,
+    /// Cycles the hardware spent (full mark when clean, up to the trap
+    /// otherwise).
+    pub unit_cycles: Cycle,
+    /// Cycles the software fallback spent (0 when clean).
+    pub fallback_cycles: Cycle,
+    /// Objects carrying a mark when the pass finished.
+    pub objects_marked: u64,
+    /// Merged fault-injector counters over all sites.
+    pub stats: FaultStats,
+    /// Unit-side cycle attribution (the full mark when clean, up to the
+    /// freeze when trapped).
+    pub unit_stalls: StallAccounting,
+    /// Software-fallback cycle attribution (all-zero when clean).
+    pub fallback_stalls: StallAccounting,
+}
+
+impl FaultedMarkRun {
+    /// Total mark cycles, hardware plus fallback.
+    pub fn total_cycles(&self) -> Cycle {
+        self.unit_cycles + self.fallback_cycles
+    }
+}
+
+/// Runs one traversal-only pass under fault injection and, if the unit
+/// traps, completes the mark with the software fallback. Every run
+/// that does not fail is differentially checked: the final mark set
+/// must match reachability exactly, whichever path produced it.
+pub fn run_faulted_mark(
+    spec: &BenchSpec,
+    layout: LayoutKind,
+    cfg: GcUnitConfig,
+    mem_kind: MemKind,
+    fault: FaultConfig,
+) -> FaultedMarkRun {
+    let mut workload = generate_heap(spec, layout);
+    let mut mem = mem_kind.fresh();
+    let mut unit = TraversalUnit::new(cfg, &mut workload.heap);
+
+    let plan = fault.is_active().then(|| FaultPlan::new(fault));
+    if let Some(plan) = &plan {
+        mem.set_fault_injector(plan.injector(FaultSite::Mem));
+        unit.install_fault_plan(plan);
+    }
+
+    let mut stats = FaultStats::default();
+    let mut fallback_stalls = StallAccounting::default();
+    let (outcome, unit_cycles, fallback_cycles) =
+        match unit.try_run_mark(&mut workload.heap, &mut mem, 0) {
+            Ok(res) => (MarkOutcome::Clean, res.cycles(), 0),
+            Err(e) => match unit.trap() {
+                Some(trap) => {
+                    let pending = unit.drain_architected_state(&workload.heap);
+                    let _ = mem.take_fault();
+                    if let Some(inj) = mem.take_fault_injector() {
+                        stats.merge(inj.stats());
+                    }
+                    let mut cpu = Cpu::new(CpuConfig::default(), &mut workload.heap);
+                    cpu.advance_to(trap.at);
+                    let fb = cpu.resume_mark_from(&mut workload.heap, &mut mem, &pending);
+                    fallback_stalls = fb.stalls;
+                    let info = FallbackInfo {
+                        trap,
+                        drained: pending.len(),
+                        cycles: fb.cycles,
+                    };
+                    (MarkOutcome::Fallback(info), trap.at, fb.cycles)
+                }
+                None => (MarkOutcome::Failed(e), 0, 0),
+            },
+        };
+
+    if let Some(inj) = mem.take_fault_injector() {
+        stats.merge(inj.stats());
+    }
+    if let Some(s) = unit.fault_stats() {
+        stats.merge(s);
+    }
+    if let Some(s) = unit.ptw_fault_stats() {
+        stats.merge(s);
+    }
+
+    if !matches!(outcome, MarkOutcome::Failed(_)) {
+        check_marks_match_reachability(&workload.heap)
+            .expect("fault-injected mark must agree with reachability");
+    }
+
+    FaultedMarkRun {
+        outcome,
+        unit_cycles,
+        fallback_cycles,
+        objects_marked: workload.heap.marked_set().len() as u64,
+        stats,
+        unit_stalls: *unit.stalls(),
+        fallback_stalls,
     }
 }
 
@@ -406,5 +625,84 @@ mod tests {
     fn geomean_basics() {
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn faulted_unit_gc_degrades_to_software_and_still_sweeps() {
+        let fault = FaultConfig {
+            seed: 7,
+            corrupt_ref_rate: 0.05,
+            ..Default::default()
+        };
+        let run = run_unit_gc_faulted(
+            &quick_spec(),
+            LayoutKind::Bidirectional,
+            GcUnitConfig::default(),
+            MemKind::ddr3_default(),
+            false,
+            Some(fault),
+        );
+        let fb = run.fallback.expect("a 5% corruption rate must trap");
+        assert!(fb.cycles > 0, "fallback must cost cycles");
+        assert!(run.fault_stats.corrupted_refs > 0);
+        // The clean reference run frees the same cells: degradation
+        // changes timing, never the collected set.
+        let clean = run_unit_gc(
+            &quick_spec(),
+            LayoutKind::Bidirectional,
+            GcUnitConfig::default(),
+            MemKind::ddr3_default(),
+        );
+        assert_eq!(run.report.sweep.cells_freed, clean.report.sweep.cells_freed);
+        assert!(
+            run.workload.heap.marked_set().is_empty(),
+            "sweep clears marks"
+        );
+        tracegc_heap::verify::check_free_lists(&run.workload.heap).unwrap();
+    }
+
+    #[test]
+    fn clean_unit_gc_reports_zero_fault_stats() {
+        let run = run_unit_gc(
+            &quick_spec(),
+            LayoutKind::Bidirectional,
+            GcUnitConfig::default(),
+            MemKind::ddr3_default(),
+        );
+        assert_eq!(run.fault_stats, FaultStats::default());
+        assert!(run.fallback.is_none());
+    }
+
+    #[test]
+    fn faulted_mark_outcomes_are_differentially_checked() {
+        // Zero rates: clean, no injector attached.
+        let clean = run_faulted_mark(
+            &quick_spec(),
+            LayoutKind::Bidirectional,
+            GcUnitConfig::default(),
+            MemKind::ddr3_default(),
+            FaultConfig::zero_rates(1),
+        );
+        assert!(matches!(clean.outcome, MarkOutcome::Clean));
+        assert_eq!(clean.fallback_cycles, 0);
+        assert_eq!(clean.stats, FaultStats::default());
+
+        // An aggressive rate: must trap and fall back; the oracle
+        // inside run_faulted_mark already pinned mark == reachability.
+        let faulted = run_faulted_mark(
+            &quick_spec(),
+            LayoutKind::Bidirectional,
+            GcUnitConfig::default(),
+            MemKind::ddr3_default(),
+            FaultConfig {
+                seed: 13,
+                corrupt_ref_rate: 0.05,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(faulted.outcome, MarkOutcome::Fallback(_)));
+        assert!(faulted.fallback_cycles > 0);
+        assert_eq!(faulted.objects_marked, clean.objects_marked);
+        assert!(faulted.total_cycles() >= faulted.unit_cycles);
     }
 }

@@ -18,9 +18,10 @@
 use tracegc_heap::{Heap, ObjRef, SocCtx};
 use tracegc_mem::MemSystem;
 use tracegc_sim::sched::{Policy, Scheduler};
-use tracegc_sim::Cycle;
+use tracegc_sim::{Cycle, SimError};
 
 use crate::engine::{MarkEngine, MutatorEngine};
+use crate::trap::Trap;
 use crate::traversal::{TraversalResult, TraversalUnit};
 
 /// Mutator behaviour while the collector runs.
@@ -74,7 +75,8 @@ pub struct ConcurrentReport {
 ///
 /// # Panics
 ///
-/// Panics if the unit deadlocks (a bug, not a workload property).
+/// Panics if the unit deadlocks (a bug, not a workload property) or
+/// faults; use [`try_run_concurrent_mark`] to degrade gracefully.
 pub fn run_concurrent_mark(
     unit: &mut TraversalUnit,
     heap: &mut Heap,
@@ -82,6 +84,20 @@ pub fn run_concurrent_mark(
     mutator_cfg: MutatorConfig,
     start: Cycle,
 ) -> ConcurrentReport {
+    try_run_concurrent_mark(unit, heap, mem, mutator_cfg, start).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`run_concurrent_mark`]: a trap during the mark
+/// surfaces as a [`SimError`] with the unit frozen in its architected
+/// state (recoverable via
+/// [`TraversalUnit::drain_architected_state`]).
+pub fn try_run_concurrent_mark(
+    unit: &mut TraversalUnit,
+    heap: &mut Heap,
+    mem: &mut MemSystem,
+    mutator_cfg: MutatorConfig,
+    start: Cycle,
+) -> Result<ConcurrentReport, SimError> {
     // The mutator works over the objects live at collection start.
     let working_set: Vec<ObjRef> = heap.reachable_from_roots().into_iter().collect();
     unit.begin(heap, start);
@@ -94,19 +110,31 @@ pub fn run_concurrent_mark(
     let end = {
         let mut mark = MarkEngine::new(unit, 0);
         let mut ctx = SocCtx::single(mem, heap);
-        let report =
-            Scheduler::new(Policy::Lockstep).run(&mut [&mut mutator, &mut mark], &mut ctx, start);
+        let report = Scheduler::new(Policy::Lockstep).try_run(
+            &mut [&mut mutator, &mut mark],
+            &mut ctx,
+            start,
+        )?;
         report.end
     };
+    // A trap freezes the unit but ends the schedule normally (the
+    // frozen engine reports done); surface it, plus any fault the
+    // memory system latched on the final access.
+    if let Some(e) = mem.take_fault() {
+        return Err(Trap::from_sim_error(&e).into());
+    }
+    if let Some(t) = unit.trap() {
+        return Err(t.into());
+    }
 
     let stats = mutator.barrier_stats();
-    ConcurrentReport {
+    Ok(ConcurrentReport {
         traversal: unit.result_at(start, end),
         mutator_ops: mutator.ops(),
         write_barriers: stats.writes,
         allocated_during_gc: mutator.allocated(),
         mutator_barrier_cycles: stats.cycles,
-    }
+    })
 }
 
 #[cfg(test)]

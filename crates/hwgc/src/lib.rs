@@ -54,16 +54,22 @@ pub mod markq;
 pub mod mmio;
 pub mod multiproc;
 pub mod reclaim;
+pub mod trap;
 pub mod traversal;
 pub mod unit;
 
 pub use compress::RefCodec;
-pub use concurrent::{run_concurrent_mark, ConcurrentReport, MutatorConfig};
+pub use concurrent::{
+    run_concurrent_mark, try_run_concurrent_mark, ConcurrentReport, MutatorConfig,
+};
 pub use config::{CacheTopology, GcUnitConfig};
 pub use engine::{MarkEngine, MutatorEngine};
 pub use markbit_cache::MarkBitCache;
 pub use markq::{MarkQueue, MarkQueueConfig, MarkQueueStats};
-pub use multiproc::{run_multiprocess_mark, MultiProcessReport, ProcessContext};
+pub use multiproc::{
+    run_multiprocess_mark, try_run_multiprocess_mark, MultiProcessReport, ProcessContext,
+};
 pub use reclaim::{ReclaimResult, ReclamationUnit, SweepEngine};
+pub use trap::{Trap, TrapKind};
 pub use traversal::{TraversalResult, TraversalUnit};
 pub use unit::{GcReport, GcUnit};

@@ -103,6 +103,11 @@ pub struct MarkQueue {
     spilled: u64,
     /// An issued fill whose data arrives at `.0`.
     pending_fill: Option<(Cycle, Vec<u64>)>,
+    /// Latched when a spill write found every chunk slot occupied: the
+    /// driver under-provisioned the region (§V-E) and the unit must
+    /// trap to software rather than risk wedging behind a throttle
+    /// that may never clear.
+    spill_exhausted: bool,
     stats: MarkQueueStats,
 }
 
@@ -133,6 +138,7 @@ impl MarkQueue {
             write_slot: 0,
             spilled: 0,
             pending_fill: None,
+            spill_exhausted: false,
             stats: MarkQueueStats::default(),
             cfg,
         }
@@ -160,6 +166,19 @@ impl MarkQueue {
     /// Whether the tracer must stop issuing requests (§V-C).
     pub fn throttled(&self) -> bool {
         self.outq.len() >= self.cfg.throttle_level
+    }
+
+    /// Whether a spill write ever found the region completely full.
+    /// Latched (never cleared mid-pass): a full region means the driver
+    /// under-provisioned it, and the unit escalates to a trap.
+    pub fn spill_exhausted(&self) -> bool {
+        self.spill_exhausted
+    }
+
+    /// Physical base of the spill region (the faulting address reported
+    /// by a spill-exhaustion trap).
+    pub fn spill_base(&self) -> u64 {
+        self.cfg.spill_base
     }
 
     /// Entries currently held anywhere (queues + spill + pending fill).
@@ -211,6 +230,14 @@ impl MarkQueue {
         port_free: &mut bool,
     ) -> bool {
         // 1. Land a completed fill into inQ.
+        //
+        // The `expect`s below are structural invariants of this state
+        // machine, not fault paths: a fill is only issued when
+        // `inq.free_slots() >= chunk` (checked in step 3), inQ is
+        // private to this struct, and the fill data was just peeked.
+        // Injected faults cannot violate them — they perturb timing and
+        // data, never queue geometry — so a failure here is a simulator
+        // bug and panicking is the correct response.
         if let Some((done, _)) = self.pending_fill {
             if done <= now {
                 let (_, entries) = self.pending_fill.take().expect("fill present");
@@ -302,7 +329,11 @@ impl MarkQueue {
         let chunk_entries = self.entries_per_chunk();
         let slots_total = self.cfg.spill_bytes / 64;
         if self.chunks.len() as u64 >= slots_total {
-            return false; // spill region full: stall, throttle will bite
+            // Spill region full: latch exhaustion so the unit traps to
+            // the software fallback instead of stalling behind a
+            // throttle that a wedged main queue may never clear.
+            self.spill_exhausted = true;
+            return false;
         }
         let take = self.outq.len().min(chunk_entries);
         if take == 0 {
@@ -424,6 +455,50 @@ impl MarkQueue {
     /// Earliest pending event (for the unit's idle skip-ahead).
     pub fn next_event(&self) -> Option<Cycle> {
         self.pending_fill.as_ref().map(|&(t, _)| t)
+    }
+
+    /// Drains every entry — main, `inQ`, `outQ`, an in-flight fill and
+    /// all spilled chunks (read back functionally from `phys`) —
+    /// decoding each. This is the trap path's recovery of the
+    /// architected queue contents for the software fallback; the queue
+    /// is empty afterwards.
+    pub fn drain_all(&mut self, phys: &PhysMem) -> Vec<u64> {
+        let mut encoded = Vec::new();
+        while let Some(e) = self.main.pop() {
+            encoded.push(e);
+        }
+        while let Some(e) = self.inq.pop() {
+            encoded.push(e);
+        }
+        while let Some(e) = self.outq.pop() {
+            encoded.push(e);
+        }
+        if let Some((_, entries)) = self.pending_fill.take() {
+            encoded.extend(entries);
+        }
+        let entry_bytes = self.cfg.codec.entry_bytes();
+        while let Some(chunk) = self.chunks.pop_front() {
+            for i in 0..chunk.count as u64 {
+                let e = match entry_bytes {
+                    8 => phys.read_u64(self.cfg.spill_base + chunk.offset + i * 8),
+                    4 => {
+                        let w = phys.read_u64(self.cfg.spill_base + chunk.offset + (i / 2) * 8);
+                        if i % 2 == 0 {
+                            w & 0xFFFF_FFFF
+                        } else {
+                            w >> 32
+                        }
+                    }
+                    _ => unreachable!("entry sizes are 4 or 8"),
+                };
+                encoded.push(e);
+            }
+        }
+        self.spilled = 0;
+        encoded
+            .into_iter()
+            .map(|e| self.cfg.codec.decode(e))
+            .collect()
     }
 }
 
@@ -582,6 +657,58 @@ mod tests {
         assert!(q.stats().bypassed >= 1);
         assert_eq!(q.stats().spill_writes, 0);
         assert_eq!(q.dequeue(), Some(16));
+    }
+
+    #[test]
+    fn drain_all_recovers_every_entry_including_spilled() {
+        for codec in [RefCodec::Full, RefCodec::Compressed { base: 0x4000_0000 }] {
+            let (mut q, mut mem, mut phys) = harness(8, codec);
+            let mut pushed = Vec::new();
+            let mut now = 0;
+            for i in 0..300u64 {
+                let va = 0x4000_0000 + i * 8;
+                while !q.enqueue(va) {
+                    q.tick(now, &mut mem, &mut phys, None, &mut true_port());
+                    now += 1;
+                }
+                pushed.push(va);
+                q.tick(now, &mut mem, &mut phys, None, &mut true_port());
+                now += 1;
+            }
+            assert!(q.stats().spill_writes > 0, "test must exercise the spill");
+            let mut got = q.drain_all(&phys);
+            got.sort_unstable();
+            pushed.sort_unstable();
+            assert_eq!(got, pushed, "architected drain lost or invented entries");
+            assert!(q.is_empty(), "queue must be empty after the drain");
+        }
+    }
+
+    #[test]
+    fn full_spill_region_latches_exhaustion() {
+        // One 64-byte chunk slot: the second spill write finds the
+        // region full and must latch the exhaustion flag.
+        let cfg = MarkQueueConfig {
+            main_entries: 1,
+            side_entries: 32,
+            throttle_level: 8,
+            codec: RefCodec::Full,
+            spill_base: 0,
+            spill_bytes: 64,
+        };
+        let mut q = MarkQueue::new(cfg);
+        let mut mem = MemSystem::pipe(Default::default());
+        let mut phys = PhysMem::new(1 << 20);
+        let mut now = 0;
+        let mut i = 0u64;
+        while !q.spill_exhausted() {
+            q.enqueue(0x4000_0000 + i * 8);
+            q.tick(now, &mut mem, &mut phys, None, &mut true_port());
+            now += 1;
+            i += 1;
+            assert!(i < 10_000, "exhaustion never latched");
+        }
+        assert!(q.stats().spill_writes >= 1);
     }
 
     #[test]

@@ -14,9 +14,10 @@
 use tracegc_heap::{Heap, SocCtx};
 use tracegc_mem::MemSystem;
 use tracegc_sim::sched::{Engine, Policy, Scheduler};
-use tracegc_sim::Cycle;
+use tracegc_sim::{Cycle, SimError};
 
 use crate::engine::MarkEngine;
+use crate::trap::Trap;
 use crate::traversal::{TraversalResult, TraversalUnit};
 
 /// One process's collection context: its heap and its view of the unit
@@ -61,14 +62,26 @@ impl MultiProcessReport {
 ///
 /// # Panics
 ///
-/// Panics on an empty context list, or — via the scheduler's
-/// no-progress watchdog — with a per-engine stall-reason and ledger
-/// dump if no context can ever advance.
+/// Panics on an empty context list, on a fault in any context, or — via
+/// the scheduler's no-progress watchdog — with a per-engine
+/// stall-reason and ledger dump if no context can ever advance. Use
+/// [`try_run_multiprocess_mark`] to degrade gracefully.
 pub fn run_multiprocess_mark(
     procs: &mut [ProcessContext],
     mem: &mut MemSystem,
     start: Cycle,
 ) -> MultiProcessReport {
+    try_run_multiprocess_mark(procs, mem, start).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`run_multiprocess_mark`]: the first trap in any
+/// context (contexts are polled in order) surfaces as a [`SimError`],
+/// with that context's unit frozen in its architected state.
+pub fn try_run_multiprocess_mark(
+    procs: &mut [ProcessContext],
+    mem: &mut MemSystem,
+    start: Cycle,
+) -> Result<MultiProcessReport, SimError> {
     assert!(!procs.is_empty(), "need at least one process");
     for p in procs.iter_mut() {
         p.unit.begin(&p.heap, start);
@@ -87,18 +100,27 @@ pub fn run_multiprocess_mark(
             .map(|e| e as &mut dyn Engine<SocCtx>)
             .collect();
         Scheduler::new(Policy::RoundRobin)
-            .run(&mut dyns, &mut ctx, start)
+            .try_run(&mut dyns, &mut ctx, start)?
             .ends
     };
+    // A trap freezes its unit but ends the schedule normally; surface
+    // the first one, plus any fault the memory system latched on the
+    // final access of the pass.
+    if let Some(e) = mem.take_fault() {
+        return Err(Trap::from_sim_error(&e).into());
+    }
+    if let Some(t) = procs.iter().find_map(|p| p.unit.trap()) {
+        return Err(t.into());
+    }
     let per_process = procs
         .iter()
         .zip(&ends)
         .map(|(p, &end)| p.unit.result_at(start, end))
         .collect();
-    MultiProcessReport {
+    Ok(MultiProcessReport {
         per_process,
         end: *ends.iter().max().expect("non-empty"),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -24,13 +24,24 @@ use tracegc_mem::req::decompose_aligned;
 use tracegc_mem::{Cache, CacheConfig, MemReq, MemSystem, Source};
 use tracegc_sim::metrics::DEFAULT_TRACE_CAPACITY;
 use tracegc_sim::sched::{Policy, Scheduler};
-use tracegc_sim::{BoundedQueue, Cycle, EventTrace, StallAccounting, StallReason};
+use tracegc_sim::{
+    BoundedQueue, Cycle, EventTrace, FaultInjector, FaultPlan, FaultSite, FaultStats, SimError,
+    StallAccounting, StallReason,
+};
 use tracegc_vmem::{Requester, Translator, PAGE_SIZE};
 
 use crate::compress::RefCodec;
 use crate::config::{CacheTopology, GcUnitConfig};
 use crate::markbit_cache::MarkBitCache;
 use crate::markq::{MarkQueue, MarkQueueConfig, MarkQueueStats};
+use crate::trap::{Trap, TrapKind};
+
+/// Reference-count ceiling for the marker's header sanity check: no
+/// object in any modelled workload approaches 2^26 references (that is
+/// a half-gigabyte reference array), but corruption of the count field
+/// sails past it. Headers above the ceiling trap as
+/// [`TrapKind::HeaderCorrupt`].
+const MAX_PLAUSIBLE_NREFS: u32 = 1 << 26;
 
 /// Result of one mark pass on the traversal unit.
 #[derive(Debug, Clone)]
@@ -208,6 +219,16 @@ pub struct TraversalUnit {
     tracer_block_reason: StallReason,
     /// Event ring, present when `cfg.trace` is set.
     trace: Option<EventTrace>,
+    /// Latched trap (first cause wins); the pipeline freezes while set
+    /// and the driver recovers via
+    /// [`TraversalUnit::drain_architected_state`].
+    trap: Option<Trap>,
+    /// The original (uncorrupted) queue entry behind a faulting marker
+    /// issue — the hardware's faulting-entry register, preserved so the
+    /// software fallback resumes from clean state.
+    trap_pending_ref: Option<u64>,
+    /// Fault injector for the marker datapath (`None` = no injection).
+    fault: Option<FaultInjector>,
 }
 
 impl TraversalUnit {
@@ -270,6 +291,9 @@ impl TraversalUnit {
             marker_block_reason: StallReason::TlbMiss,
             tracer_block_reason: StallReason::TlbMiss,
             trace: cfg.trace.then(|| EventTrace::new(DEFAULT_TRACE_CAPACITY)),
+            trap: None,
+            trap_pending_ref: None,
+            fault: None,
             cfg,
         }
     }
@@ -308,6 +332,45 @@ impl TraversalUnit {
         self.ptw_cache.stats()
     }
 
+    /// Attaches fault injectors from `plan`: the traversal-site stream
+    /// feeds the marker datapath (reference and header corruption) and
+    /// the PTW-site stream feeds the unit's translator (injected page
+    /// faults). Injectors persist across passes; all-zero rates never
+    /// draw and leave the run byte-identical.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        self.fault = Some(plan.injector(FaultSite::Traversal));
+        self.translator
+            .set_fault_injector(plan.injector(FaultSite::Ptw));
+    }
+
+    /// The latched trap, if the unit froze mid-pass.
+    pub fn trap(&self) -> Option<Trap> {
+        self.trap
+    }
+
+    /// Marker-datapath fault statistics (`None` without an injector).
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fault.as_ref().map(|f| f.stats())
+    }
+
+    /// Translator (PTW-site) fault statistics (`None` without an
+    /// injector).
+    pub fn ptw_fault_stats(&self) -> Option<&FaultStats> {
+        self.translator.fault_stats()
+    }
+
+    /// Latches `t` (the first trap wins) — the hardware's trap-cause
+    /// register. The pipeline freezes: [`TraversalUnit::step`] refuses
+    /// to advance and [`TraversalUnit::is_complete`] reports done.
+    fn raise_trap(&mut self, t: Trap) {
+        if self.trap.is_none() {
+            if let Some(trace) = &mut self.trace {
+                trace.record(t.at, "traversal", "trap", t.va);
+            }
+            self.trap = Some(t);
+        }
+    }
+
     fn translate(
         &mut self,
         who: Requester,
@@ -315,14 +378,14 @@ impl TraversalUnit {
         now: Cycle,
         mem: &mut MemSystem,
         heap: &Heap,
-    ) -> (u64, Cycle) {
+    ) -> Result<(u64, Cycle), Trap> {
         let cache = match self.cfg.topology {
             CacheTopology::Partitioned => &mut self.ptw_cache,
             CacheTopology::Shared => self.shared_cache.as_mut().expect("shared cache"),
         };
         self.translator
             .translate_with_cache(who, va, now, mem, &heap.phys, cache)
-            .unwrap_or_else(|e| panic!("traversal unit fault: {e}"))
+            .map_err(|e| Trap::new(TrapKind::PageFault, e.va, now))
     }
 
     /// Issues a data request through the configured topology; returns the
@@ -366,6 +429,11 @@ impl TraversalUnit {
     /// On return, exactly the objects reachable from the heap's roots
     /// carry mark bits (verified against the oracle in tests).
     ///
+    /// # Panics
+    ///
+    /// Panics if the pass faults (trap, memory timeout, deadlock); use
+    /// [`TraversalUnit::try_run_mark`] to degrade gracefully instead.
+    ///
     /// [`MarkEngine`]: crate::engine::MarkEngine
     pub fn run_mark(
         &mut self,
@@ -373,14 +441,40 @@ impl TraversalUnit {
         mem: &mut MemSystem,
         start: Cycle,
     ) -> TraversalResult {
+        self.try_run_mark(heap, mem, start)
+            .unwrap_or_else(|e| panic!("traversal unit fault: {e}"))
+    }
+
+    /// Fallible variant of [`TraversalUnit::run_mark`]: a fault latched
+    /// by the memory system, an injected or genuine datapath fault, or
+    /// a scheduler deadlock surfaces as a [`SimError`] with the
+    /// pipeline frozen in its architected state. The driver can then
+    /// recover the outstanding work via
+    /// [`TraversalUnit::drain_architected_state`] and hand it to the
+    /// CPU's software-fallback mark path.
+    pub fn try_run_mark(
+        &mut self,
+        heap: &mut Heap,
+        mem: &mut MemSystem,
+        start: Cycle,
+    ) -> Result<TraversalResult, SimError> {
         self.begin(heap, start);
         let end = {
             let mut ctx = SocCtx::single(mem, heap);
             let mut engine = crate::engine::MarkEngine::new(self, 0);
-            let report = Scheduler::new(Policy::Lockstep).run(&mut [&mut engine], &mut ctx, start);
+            let report =
+                Scheduler::new(Policy::Lockstep).try_run(&mut [&mut engine], &mut ctx, start)?;
             report.end
         };
-        self.result_at(start, end)
+        // A fault latched by the memory system on the pass's final
+        // access is only observable after the scheduler returns.
+        if let Some(e) = mem.take_fault() {
+            self.raise_trap(Trap::from_sim_error(&e));
+        }
+        if let Some(t) = self.trap {
+            return Err(t.into());
+        }
+        Ok(self.result_at(start, end))
     }
 
     /// Charges `n` cycles of forward progress to this pass's ledger
@@ -425,8 +519,11 @@ impl TraversalUnit {
         self.marker_blocked_until = 0;
         self.tracer_blocked_until = 0;
         // Per-pass, like `cycles()`: the accounting invariant is against
-        // this pass's span, not the unit's lifetime.
+        // this pass's span, not the unit's lifetime. The fault injector,
+        // like the hardware it models, persists across passes.
         self.stalls = StallAccounting::default();
+        self.trap = None;
+        self.trap_pending_ref = None;
     }
 
     /// Attributes a no-progress cycle at `now` to its bottleneck.
@@ -483,6 +580,17 @@ impl TraversalUnit {
     /// Advances the unit by one clock cycle; returns whether anything
     /// happened (when `false`, skip to [`TraversalUnit::next_event_at`]).
     pub fn step(&mut self, now: Cycle, heap: &mut Heap, mem: &mut MemSystem) -> bool {
+        // A latched trap freezes the whole pipeline until the driver
+        // drains the architected state and restarts the pass.
+        if self.trap.is_some() {
+            return false;
+        }
+        // Poll the memory system's fault latch (uncorrectable ECC or an
+        // exhausted retry budget on one of our requests) and escalate.
+        if let Some(e) = mem.take_fault() {
+            self.raise_trap(Trap::from_sim_error(&e));
+            return true;
+        }
         let mut progress = false;
         // Background mutator traffic shares the memory controller.
         if self.bg_period > 0 {
@@ -538,12 +646,33 @@ impl TraversalUnit {
                 }
             }
         }
+        // Spill-region exhaustion latched during the markq tick is an
+        // architectural limit violation: trap before issuing more work.
+        if self.markq.spill_exhausted() {
+            let base = self.markq.spill_base();
+            self.raise_trap(Trap::new(TrapKind::SpillExhausted, base, now));
+            return true;
+        }
+        // Each stage can trap; the pipeline freezes the same cycle so
+        // no later stage consumes state the driver needs to recover.
         progress |= self.tick_roots(now, mem, heap);
+        if self.trap.is_some() {
+            return true;
+        }
         progress |= self.tick_marker_deliver(now);
+        if self.trap.is_some() {
+            return true;
+        }
         progress |= self.tick_marker_issue(now, mem, heap);
+        if self.trap.is_some() {
+            return true;
+        }
         progress |= self.tick_tracer_land(now);
         progress |= self.tick_tracer_deliver();
         progress |= self.tick_tracer_issue(now, mem, heap);
+        if self.trap.is_some() {
+            return true;
+        }
 
         if !self.port_free && !throttled_cycle {
             self.port_busy_cycles += 1;
@@ -562,9 +691,11 @@ impl TraversalUnit {
     }
 
     /// Whether the pass has fully drained (queues, slots, responses and
-    /// injected barrier references).
+    /// injected barrier references) — or trapped, in which case the
+    /// frozen unit makes no further progress and the driver must check
+    /// [`TraversalUnit::trap`].
     pub fn is_complete(&self) -> bool {
-        self.is_done() && self.injected.is_empty()
+        self.trap.is_some() || (self.is_done() && self.injected.is_empty())
     }
 
     /// Earliest pending completion, for idle skip-ahead while stepping.
@@ -587,6 +718,70 @@ impl TraversalUnit {
             translator: self.translator.stats(),
             stalls: self.stalls,
         }
+    }
+
+    /// Drains the unit's architected state after a trap: every
+    /// reference still owed a visit, collected from all pipeline
+    /// registers and queues. Together with the mark bitmap already in
+    /// heap memory, this is everything the CPU's software-fallback path
+    /// (`Cpu::resume_mark_from`) needs to complete the mark.
+    ///
+    /// The list is conservative: it may contain duplicates, references
+    /// to objects already marked but not yet fully traced (the fallback
+    /// re-traces them — marking is monotonic, so this terminates), the
+    /// original uncorrupted value of a faulting queue entry, and — for
+    /// a genuinely corrupt heap — invalid words the fallback's software
+    /// sanitizer skips. Only null entries are dropped here.
+    pub fn drain_architected_state(&mut self, heap: &Heap) -> Vec<u64> {
+        let mut pending = Vec::new();
+        // The faulting-entry register: the original (uncorrupted) value
+        // of the queue entry whose issue trapped.
+        if let Some(raw) = self.trap_pending_ref.take() {
+            pending.push(raw);
+        }
+        // Mark queue: main, inQ, outQ and every spilled chunk.
+        pending.extend(self.markq.drain_all(&heap.phys));
+        // Root reader: unissued chunks (functionally readable), an
+        // in-flight read, and buffered roots.
+        for (addr, size) in std::mem::take(&mut self.roots.chunks) {
+            for i in 0..u64::from(size) / WORD {
+                pending.push(heap.read_va(addr + i * WORD));
+            }
+        }
+        if let Some((_, refs)) = self.roots.pending.take() {
+            pending.extend(refs);
+        }
+        pending.extend(self.roots.buf.drain(..));
+        // Marker slots: objects whose mark AMO already landed
+        // functionally but whose trace was never handed over.
+        for slot in &mut self.marker_slots {
+            match *slot {
+                MarkerSlot::Busy { va, .. } | MarkerSlot::Deliver { va, .. } => pending.push(va),
+                MarkerSlot::Free => {}
+            }
+            *slot = MarkerSlot::Free;
+        }
+        // Tracer queue and the in-flight trace: hand back the whole
+        // object; partial tracing progress is simply redone.
+        while let Some(job) = self.tracerq.pop() {
+            pending.push(job.obj);
+        }
+        if let Some(state) = self.trace_state.take() {
+            pending.push(match state {
+                // In the bidirectional layout `end` is the object
+                // header's address (the ref section precedes it).
+                TraceState::Bidi { end, .. } => end,
+                TraceState::ConvTib { obj, .. } | TraceState::ConvFields { obj, .. } => obj,
+            });
+        }
+        // Undelivered tracer responses and buffered references.
+        while let Some(Reverse(resp)) = self.responses.pop() {
+            pending.extend(resp.refs);
+        }
+        pending.extend(self.deliver_buf.drain(..));
+        pending.extend(self.injected.drain(..));
+        pending.retain(|&va| va != 0);
+        pending
     }
 
     fn begin_roots(&mut self, heap: &Heap) {
@@ -630,7 +825,16 @@ impl TraversalUnit {
         }
         if let Some((addr, size)) = self.roots.chunks.pop_front() {
             self.port_free = false;
-            let (pa, ready) = self.translate(Requester::Marker, addr, now, mem, heap);
+            let (pa, ready) = match self.translate(Requester::Marker, addr, now, mem, heap) {
+                Ok(v) => v,
+                Err(t) => {
+                    // Re-park the chunk so the architected-state drain
+                    // still recovers its roots.
+                    self.roots.chunks.push_front((addr, size));
+                    self.raise_trap(t);
+                    return true;
+                }
+            };
             let done = self.data_access(pa, size, false, false, Source::RootReader, ready, mem);
             let refs: Vec<u64> = (0..size as u64 / WORD)
                 .map(|i| heap.read_va(addr + i * WORD))
@@ -645,15 +849,36 @@ impl TraversalUnit {
     fn tick_marker_deliver(&mut self, now: Cycle) -> bool {
         // Newly completed responses first: they may free their slot
         // without needing tracer-queue space (already marked / no refs).
-        for slot in &mut self.marker_slots {
-            let (va, old) = match *slot {
-                MarkerSlot::Busy { done, va, old } if done <= now => (va, old),
-                _ => continue,
+        let landed = self
+            .marker_slots
+            .iter()
+            .position(|s| matches!(s, MarkerSlot::Busy { done, .. } if *done <= now));
+        if let Some(idx) = landed {
+            let (va, old) = match self.marker_slots[idx] {
+                MarkerSlot::Busy { va, old, .. } => (va, old),
+                _ => unreachable!("matched Busy above"),
             };
-            let header = Header::from_raw(old);
+            // Injected header corruption forces the reference count past
+            // any plausible value; the sanity check below must catch it.
+            let corrupted = self.fault.as_mut().is_some_and(|f| f.corrupt_header());
+            let observed = if corrupted {
+                old | ((u64::from(MAX_PLAUSIBLE_NREFS) + 1) << 2)
+            } else {
+                old
+            };
+            let header = Header::from_raw(observed);
+            if !header.is_live() || header.nrefs() > MAX_PLAUSIBLE_NREFS {
+                // Hold the *uncorrupted* response in the slot so the
+                // architected-state drain recovers the object, then
+                // freeze: a dead tag bit or an absurd count means the
+                // header word cannot be trusted.
+                self.marker_slots[idx] = MarkerSlot::Deliver { va, old };
+                self.raise_trap(Trap::new(TrapKind::HeaderCorrupt, va, now));
+                return true;
+            }
             if header.is_marked() || header.nrefs() == 0 {
                 // Nothing to trace; free the slot.
-                *slot = MarkerSlot::Free;
+                self.marker_slots[idx] = MarkerSlot::Free;
                 return true;
             }
             let job = TraceJob {
@@ -661,10 +886,10 @@ impl TraversalUnit {
                 nrefs: header.nrefs(),
             };
             if self.tracerq.try_push(job).is_ok() {
-                *slot = MarkerSlot::Free;
+                self.marker_slots[idx] = MarkerSlot::Free;
             } else {
                 // Hold the response: back-pressure on the marker.
-                *slot = MarkerSlot::Deliver { va, old };
+                self.marker_slots[idx] = MarkerSlot::Deliver { va, old };
             }
             return true;
         }
@@ -702,13 +927,32 @@ impl TraversalUnit {
         else {
             return false;
         };
-        let Some(va) = self.markq.dequeue() else {
+        let Some(raw) = self.markq.dequeue() else {
             return false;
         };
-        debug_assert!(
-            heap.spaces().in_traced_space(va),
-            "marker popped a non-heap reference {va:#x}"
-        );
+        // The queue-to-marker datapath is where injected single-bit
+        // reference corruption lands (flipping an alignment bit or a
+        // bit beyond every mapped space — see the detectability
+        // contract in `tracegc_sim::fault`).
+        let va = match &mut self.fault {
+            Some(f) => f.corrupt_ref(raw).unwrap_or(raw),
+            None => raw,
+        };
+        // The architectural sanitizer: every reference is checked for
+        // alignment and against the space map before it may reach the
+        // AMO datapath. This catches injected corruption and any
+        // genuinely corrupt queue entry alike; the original entry is
+        // preserved in the faulting-entry register for the fallback.
+        if !va.is_multiple_of(WORD) {
+            self.trap_pending_ref = Some(raw);
+            self.raise_trap(Trap::new(TrapKind::RefMisaligned, va, now));
+            return true;
+        }
+        if !heap.spaces().in_traced_space(va) {
+            self.trap_pending_ref = Some(raw);
+            self.raise_trap(Trap::new(TrapKind::RefOutOfBounds, va, now));
+            return true;
+        }
         *self.access_counts.entry(va).or_insert(0) += 1;
         if self.markbit.filter(va) {
             self.filtered += 1;
@@ -716,7 +960,14 @@ impl TraversalUnit {
         }
         self.port_free = false;
         let before = self.translator.stats();
-        let (pa, ready) = self.translate(Requester::Marker, va, now, mem, heap);
+        let (pa, ready) = match self.translate(Requester::Marker, va, now, mem, heap) {
+            Ok(v) => v,
+            Err(t) => {
+                self.trap_pending_ref = Some(raw);
+                self.raise_trap(t);
+                return true;
+            }
+        };
         let after = self.translator.stats();
         if self.cfg.tlb.blocking_requesters && after.walks > before.walks {
             // Blocking TLB: the marker pipeline freezes for the walk —
@@ -822,7 +1073,16 @@ impl TraversalUnit {
                 let to_page_end = PAGE_SIZE - (cursor % PAGE_SIZE);
                 let size = align.min(fit).min(to_page_end).max(WORD);
                 let before = self.translator.stats();
-                let (pa, ready) = self.translate(Requester::Tracer, cursor, now, mem, heap);
+                let (pa, ready) = match self.translate(Requester::Tracer, cursor, now, mem, heap) {
+                    Ok(v) => v,
+                    Err(t) => {
+                        // Restore the cursor: the drain hands the whole
+                        // object back to the fallback for re-tracing.
+                        self.trace_state = Some(TraceState::Bidi { cursor, end });
+                        self.raise_trap(t);
+                        return true;
+                    }
+                };
                 self.block_tracer_on_walk(&before, ready);
                 let done =
                     self.data_access(pa, size as u32, false, false, Source::Tracer, ready, mem);
@@ -847,7 +1107,14 @@ impl TraversalUnit {
                 let objref = tracegc_heap::ObjRef::new(obj);
                 let tib_va = conv::tib_slot(objref);
                 let before = self.translator.stats();
-                let (pa, ready) = self.translate(Requester::Tracer, tib_va, now, mem, heap);
+                let (pa, ready) = match self.translate(Requester::Tracer, tib_va, now, mem, heap) {
+                    Ok(v) => v,
+                    Err(t) => {
+                        self.trace_state = Some(TraceState::ConvTib { obj, nrefs });
+                        self.raise_trap(t);
+                        return true;
+                    }
+                };
                 self.block_tracer_on_walk(&before, ready);
                 let t1 = self.data_access(pa, 8, false, false, Source::Tracer, ready, mem);
                 let tib = heap.read_va(tib_va);
@@ -855,7 +1122,15 @@ impl TraversalUnit {
                 let mut t2 = t1;
                 let mut offsets = VecDeque::with_capacity(nrefs as usize);
                 for (addr, size) in decompose_aligned(tib + WORD, nrefs as u64 * WORD) {
-                    let (pa, ready) = self.translate(Requester::Tracer, addr, t2, mem, heap);
+                    let (pa, ready) = match self.translate(Requester::Tracer, addr, t2, mem, heap) {
+                        Ok(v) => v,
+                        Err(t) => {
+                            // Restart the whole TIB walk on recovery.
+                            self.trace_state = Some(TraceState::ConvTib { obj, nrefs });
+                            self.raise_trap(t);
+                            return true;
+                        }
+                    };
                     t2 = self.data_access(pa, size, false, false, Source::Tracer, ready, mem);
                     for i in 0..size as u64 / WORD {
                         offsets.push_back(heap.read_va(addr + i * WORD) as u32);
@@ -873,7 +1148,16 @@ impl TraversalUnit {
                 let objref = tracegc_heap::ObjRef::new(obj);
                 let field_va = conv::field_slot(objref, offset);
                 let before = self.translator.stats();
-                let (pa, ready) = self.translate(Requester::Tracer, field_va, now, mem, heap);
+                let (pa, ready) = match self.translate(Requester::Tracer, field_va, now, mem, heap)
+                {
+                    Ok(v) => v,
+                    Err(t) => {
+                        offsets.push_front(offset);
+                        self.trace_state = Some(TraceState::ConvFields { obj, offsets });
+                        self.raise_trap(t);
+                        return true;
+                    }
+                };
                 self.block_tracer_on_walk(&before, ready);
                 let done = self.data_access(pa, 8, false, false, Source::Tracer, ready, mem);
                 let raw = heap.read_va(field_va);
@@ -1247,6 +1531,187 @@ mod tests {
         let mut heap2 = build_heap(500, LayoutKind::Bidirectional);
         let mut unit2 = TraversalUnit::new(GcUnitConfig::default(), &mut heap2);
         assert!(unit2.take_trace().is_none(), "tracing off by default");
+    }
+
+    /// A minimal functional software fallback: sanitize the drained
+    /// architected state, re-trace every pending object, and push
+    /// children only when newly marked (monotonic marking terminates).
+    /// The timed CPU version lives in `tracegc-cpu`; this pins the
+    /// *soundness* of the drained state itself.
+    fn software_fallback(heap: &mut Heap, pending: Vec<u64>) {
+        let mut work: Vec<ObjRef> = pending
+            .into_iter()
+            .filter(|&va| va != 0 && va % WORD == 0 && heap.spaces().in_traced_space(va))
+            .map(ObjRef::new)
+            .collect();
+        while let Some(obj) = work.pop() {
+            heap.mark(obj);
+            for r in heap.refs_of(obj) {
+                // `Heap::mark` returns the *old* bit: push only the
+                // newly marked, so the walk terminates.
+                if !heap.mark(r) {
+                    work.push(r);
+                }
+            }
+        }
+    }
+
+    fn faulted_cfg() -> GcUnitConfig {
+        GcUnitConfig::default()
+    }
+
+    fn fault_plan(cfg: tracegc_sim::FaultConfig) -> tracegc_sim::FaultPlan {
+        tracegc_sim::FaultPlan::new(cfg)
+    }
+
+    #[test]
+    fn injected_ref_corruption_traps_and_drained_state_completes_the_mark() {
+        let mut heap = build_heap(2000, LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut unit = TraversalUnit::new(faulted_cfg(), &mut heap);
+        unit.install_fault_plan(&fault_plan(tracegc_sim::FaultConfig {
+            seed: 11,
+            corrupt_ref_rate: 0.05,
+            ..Default::default()
+        }));
+        let err = unit
+            .try_run_mark(&mut heap, &mut mem, 0)
+            .expect_err("a 5% corruption rate must trap within 2000 objects");
+        let trap = unit.trap().expect("trap latched");
+        assert!(
+            matches!(
+                trap.kind,
+                TrapKind::RefMisaligned | TrapKind::RefOutOfBounds
+            ),
+            "unexpected trap {trap:?}"
+        );
+        assert_eq!(err.at(), trap.at);
+        // The headline property: mark bitmap + drained state is enough
+        // for software to finish, landing on the exact live set.
+        let pending = unit.drain_architected_state(&heap);
+        assert!(!pending.is_empty(), "mid-pass trap must leave work");
+        software_fallback(&mut heap, pending);
+        check_marks_match_reachability(&heap).unwrap();
+    }
+
+    #[test]
+    fn injected_header_corruption_traps_and_recovers() {
+        let mut heap = build_heap(1500, LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut unit = TraversalUnit::new(faulted_cfg(), &mut heap);
+        unit.install_fault_plan(&fault_plan(tracegc_sim::FaultConfig {
+            seed: 5,
+            corrupt_header_rate: 0.02,
+            ..Default::default()
+        }));
+        unit.try_run_mark(&mut heap, &mut mem, 0)
+            .expect_err("header corruption must trap");
+        assert_eq!(unit.trap().unwrap().kind, TrapKind::HeaderCorrupt);
+        let pending = unit.drain_architected_state(&heap);
+        software_fallback(&mut heap, pending);
+        check_marks_match_reachability(&heap).unwrap();
+    }
+
+    #[test]
+    fn injected_pte_fault_traps_as_page_fault_and_recovers() {
+        let mut heap = build_heap(1500, LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let mut unit = TraversalUnit::new(faulted_cfg(), &mut heap);
+        unit.install_fault_plan(&fault_plan(tracegc_sim::FaultConfig {
+            seed: 9,
+            pte_fault_rate: 0.05,
+            ..Default::default()
+        }));
+        unit.try_run_mark(&mut heap, &mut mem, 0)
+            .expect_err("PTE faults must trap");
+        assert_eq!(unit.trap().unwrap().kind, TrapKind::PageFault);
+        assert!(unit.ptw_fault_stats().unwrap().pte_faults > 0);
+        let pending = unit.drain_architected_state(&heap);
+        software_fallback(&mut heap, pending);
+        check_marks_match_reachability(&heap).unwrap();
+    }
+
+    #[test]
+    fn dropped_responses_escalate_to_a_mem_timeout_trap() {
+        let mut heap = build_heap(500, LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        mem.set_fault_injector(
+            fault_plan(tracegc_sim::FaultConfig {
+                seed: 2,
+                drop_rate: 1.0,
+                ..Default::default()
+            })
+            .injector(FaultSite::Mem),
+        );
+        let mut unit = TraversalUnit::new(faulted_cfg(), &mut heap);
+        unit.try_run_mark(&mut heap, &mut mem, 0)
+            .expect_err("every response dropped: the retry budget must exhaust");
+        assert_eq!(unit.trap().unwrap().kind, TrapKind::MemTimeout);
+        let pending = unit.drain_architected_state(&heap);
+        software_fallback(&mut heap, pending);
+        check_marks_match_reachability(&heap).unwrap();
+    }
+
+    #[test]
+    fn uncorrectable_ecc_escalates_and_recovers() {
+        let mut heap = build_heap(500, LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        mem.set_fault_injector(
+            fault_plan(tracegc_sim::FaultConfig {
+                seed: 3,
+                bit_flip_rate: 1.0,
+                ecc_detect_weight: 0.0,
+                ecc_uncorrectable_weight: 1.0,
+                ..Default::default()
+            })
+            .injector(FaultSite::Mem),
+        );
+        let mut unit = TraversalUnit::new(faulted_cfg(), &mut heap);
+        unit.try_run_mark(&mut heap, &mut mem, 0)
+            .expect_err("every read poisoned: must escalate");
+        assert_eq!(unit.trap().unwrap().kind, TrapKind::EccUncorrectable);
+        let pending = unit.drain_architected_state(&heap);
+        software_fallback(&mut heap, pending);
+        check_marks_match_reachability(&heap).unwrap();
+    }
+
+    #[test]
+    fn spill_exhaustion_traps_and_recovers() {
+        // A spill region of exactly one chunk slot with a tiny main
+        // queue: a graph this size must exhaust it.
+        let mut heap = build_heap(3000, LayoutKind::Bidirectional);
+        let mut mem = MemSystem::ddr3(Default::default());
+        let cfg = GcUnitConfig {
+            markq_entries: 16,
+            markq_side: 16,
+            spill_bytes: 64,
+            ..GcUnitConfig::default()
+        };
+        let mut unit = TraversalUnit::new(cfg, &mut heap);
+        unit.try_run_mark(&mut heap, &mut mem, 0)
+            .expect_err("one-chunk spill region must exhaust");
+        assert_eq!(unit.trap().unwrap().kind, TrapKind::SpillExhausted);
+        let pending = unit.drain_architected_state(&heap);
+        software_fallback(&mut heap, pending);
+        check_marks_match_reachability(&heap).unwrap();
+    }
+
+    #[test]
+    fn zero_rate_plan_leaves_the_pass_identical() {
+        let run = |plan: bool| {
+            let mut heap = build_heap(1500, LayoutKind::Bidirectional);
+            let mut mem = MemSystem::ddr3(Default::default());
+            let mut unit = TraversalUnit::new(faulted_cfg(), &mut heap);
+            if plan {
+                unit.install_fault_plan(&fault_plan(tracegc_sim::FaultConfig::zero_rates(99)));
+                mem.set_fault_injector(
+                    fault_plan(tracegc_sim::FaultConfig::zero_rates(99)).injector(FaultSite::Mem),
+                );
+            }
+            let r = unit.run_mark(&mut heap, &mut mem, 0);
+            (r.end, r.objects_marked, r.refs_enqueued, r.stalls.total())
+        };
+        assert_eq!(run(false), run(true), "zero rates must not perturb timing");
     }
 
     #[test]

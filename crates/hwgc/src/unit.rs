@@ -4,7 +4,7 @@
 
 use tracegc_heap::Heap;
 use tracegc_mem::MemSystem;
-use tracegc_sim::{Cycle, TraceEvent};
+use tracegc_sim::{Cycle, FaultPlan, SimError, TraceEvent};
 
 use crate::config::GcUnitConfig;
 use crate::mmio::{MmioRegs, Reg};
@@ -70,6 +70,20 @@ impl GcUnit {
         &self.traversal
     }
 
+    /// The traversal unit, mutably (the driver's trap-recovery path:
+    /// reading the trap register and draining architected state).
+    pub fn traversal_mut(&mut self) -> &mut TraversalUnit {
+        &mut self.traversal
+    }
+
+    /// Attaches fault injectors from `plan` to the traversal unit's
+    /// marker datapath and page-table walker (the memory system takes
+    /// its own injector via
+    /// [`MemSystem::set_fault_injector`](tracegc_mem::MemSystem)).
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        self.traversal.install_fault_plan(plan);
+    }
+
     /// Drains both sub-units' event rings (populated when the config's
     /// `trace` flag is set) into one cycle-ordered vector.
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
@@ -86,18 +100,54 @@ impl GcUnit {
 
     /// Runs a complete stop-the-world collection starting at cycle
     /// `start`, following the MMIO protocol: command → running → done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collection faults; use [`GcUnit::try_run_gc_at`]
+    /// to degrade gracefully instead.
     pub fn run_gc_at(&mut self, heap: &mut Heap, mem: &mut MemSystem, start: Cycle) -> GcReport {
+        self.try_run_gc_at(heap, mem, start)
+            .unwrap_or_else(|e| panic!("traversal unit fault: {e}"))
+    }
+
+    /// Fallible variant of [`GcUnit::run_gc_at`]: a trap during the
+    /// mark leaves the traversal unit frozen (architected state
+    /// recoverable via [`GcUnit::traversal_mut`]) and the sweep is not
+    /// started — the driver must finish the mark in software before it
+    /// may sweep.
+    pub fn try_run_gc_at(
+        &mut self,
+        heap: &mut Heap,
+        mem: &mut MemSystem,
+        start: Cycle,
+    ) -> Result<GcReport, SimError> {
         self.regs.write(Reg::Command, MmioRegs::CMD_START_GC);
         self.regs.begin();
-        let mark = self.traversal.run_mark(heap, mem, start);
+        let mark = self.traversal.try_run_mark(heap, mem, start)?;
         let sweep = self.reclaim.run_sweep(heap, mem, mark.end);
         self.regs.complete(mark.objects_marked, sweep.cells_freed);
-        GcReport { mark, sweep }
+        Ok(GcReport { mark, sweep })
     }
 
     /// [`GcUnit::run_gc_at`] from cycle 0.
     pub fn run_gc(&mut self, heap: &mut Heap, mem: &mut MemSystem) -> GcReport {
         self.run_gc_at(heap, mem, 0)
+    }
+
+    /// The driver's recovery tail after a trapped mark: once software
+    /// has completed the mark from the drained architected state
+    /// (`marked_total` objects now carry marks), the reclamation unit
+    /// sweeps as usual and the register file reports completion.
+    pub fn sweep_after_fallback(
+        &mut self,
+        heap: &mut Heap,
+        mem: &mut MemSystem,
+        start: Cycle,
+        marked_total: u64,
+    ) -> ReclaimResult {
+        let sweep = self.reclaim.run_sweep(heap, mem, start);
+        self.regs.complete(marked_total, sweep.cells_freed);
+        sweep
     }
 }
 

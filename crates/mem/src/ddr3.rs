@@ -217,7 +217,15 @@ impl Ddr3Model {
     ///
     /// Panics if `banks` is zero or not a power of two.
     pub fn new(cfg: Ddr3Config) -> Self {
-        assert!(cfg.banks > 0 && cfg.banks.is_power_of_two());
+        // Constructor-time config validation is the only assertion in
+        // this model; the scheduling hot path below is panic-free, and
+        // injected faults (drops, delays, ECC) are layered on top by
+        // `MemSystem`, keeping this timing model golden-path only.
+        assert!(
+            cfg.banks > 0 && cfg.banks.is_power_of_two(),
+            "ddr3 bank count must be a non-zero power of two, got {}",
+            cfg.banks
+        );
         Self {
             banks: vec![Bank::default(); cfg.banks],
             cfg,

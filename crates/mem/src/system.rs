@@ -6,6 +6,7 @@
 //! (Fig. 18b), a windowed [`BandwidthMeter`] (Fig. 16), and inter-request
 //! gap tracking (Fig. 17b reports one request every 8.66 cycles).
 
+use tracegc_sim::fault::{EccOutcome, FaultInjector, FaultStats, SimError};
 use tracegc_sim::{BandwidthMeter, Cycle, EventTrace, TraceEvent};
 
 use crate::ddr3::{Ddr3Config, Ddr3Model, Ddr3Stats};
@@ -98,6 +99,13 @@ pub struct MemSystem {
     stats: MemStats,
     meter: BandwidthMeter,
     trace: Option<EventTrace>,
+    /// Optional fault source ([`FaultSite::Mem`]); `None` in clean runs.
+    ///
+    /// [`FaultSite::Mem`]: tracegc_sim::fault::FaultSite::Mem
+    fault: Option<FaultInjector>,
+    /// First unrecoverable memory fault, latched until a requester
+    /// polls [`MemSystem::take_fault`] and escalates it to a trap.
+    pending_fault: Option<SimError>,
 }
 
 /// Bandwidth-meter window: 50 µs at 1 GHz, fine enough for Fig. 16's
@@ -113,6 +121,8 @@ impl MemSystem {
             stats: MemStats::default(),
             meter: BandwidthMeter::new(METER_WINDOW),
             trace: None,
+            fault: None,
+            pending_fault: None,
         }
     }
 
@@ -123,7 +133,42 @@ impl MemSystem {
             stats: MemStats::default(),
             meter: BandwidthMeter::new(METER_WINDOW),
             trace: None,
+            fault: None,
+            pending_fault: None,
         }
+    }
+
+    /// Attaches a fault injector; every subsequently scheduled request
+    /// rolls for delays, drops (timeout + bounded retry with backoff)
+    /// and, on reads, ECC bit flips. Injectors with all-zero rates
+    /// never draw, so attaching one does not perturb a clean run.
+    pub fn set_fault_injector(&mut self, inj: FaultInjector) {
+        self.fault = Some(inj);
+    }
+
+    /// What fired so far at this site, when an injector is attached.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fault.as_ref().map(|f| f.stats())
+    }
+
+    /// Detaches the fault injector, returning it (with its accumulated
+    /// statistics). The software-fallback mark path runs on recovered
+    /// memory: after a trap the driver detaches injection so the
+    /// fallback provably completes instead of re-faulting forever.
+    pub fn take_fault_injector(&mut self) -> Option<FaultInjector> {
+        self.fault.take()
+    }
+
+    /// Takes the latched unrecoverable fault (uncorrectable ECC or an
+    /// exhausted retry budget), if any. Requesters poll this once per
+    /// cycle and escalate to a structured trap.
+    pub fn take_fault(&mut self) -> Option<SimError> {
+        self.pending_fault.take()
+    }
+
+    /// Peeks at the latched unrecoverable fault without clearing it.
+    pub fn pending_fault(&self) -> Option<&SimError> {
+        self.pending_fault.as_ref()
     }
 
     /// Turns on per-request event tracing into a bounded ring of
@@ -147,11 +192,17 @@ impl MemSystem {
 
     /// Schedules a request presented at `earliest`; returns the
     /// response-ready cycle.
+    ///
+    /// With a fault injector attached, the returned cycle includes any
+    /// injected delays, ECC-correction penalties and timeout/backoff
+    /// retries; unrecoverable outcomes additionally latch a
+    /// [`SimError`] for [`MemSystem::take_fault`] (the returned timing
+    /// then marks when the failure became architecturally visible).
     pub fn schedule(&mut self, req: &MemReq, earliest: Cycle) -> Cycle {
         debug_assert!(req.is_aligned(), "misaligned request {req:?}");
-        let done = match &mut self.controller {
-            Controller::Ddr3(m) => m.schedule(req, earliest),
-            Controller::Pipe(m) => m.schedule(req, earliest),
+        let done = match self.fault.is_some() {
+            false => self.dispatch(req, earliest),
+            true => self.dispatch_faulted(req, earliest),
         };
         let s = &mut self.stats;
         s.requests_by_source[req.source.index()] += 1;
@@ -174,6 +225,90 @@ impl MemSystem {
             trace.record(earliest, req.source.label(), kind, req.bytes as u64);
         }
         done
+    }
+
+    /// One clean pass through the controller timing model.
+    fn dispatch(&mut self, req: &MemReq, present: Cycle) -> Cycle {
+        match &mut self.controller {
+            Controller::Ddr3(m) => m.schedule(req, present),
+            Controller::Pipe(m) => m.schedule(req, present),
+        }
+    }
+
+    /// The faulted request path: rolls per attempt for a dropped
+    /// response (requester times out, backs off, retries) and — on
+    /// reads — an ECC bit flip (corrected in-line, detected-and-
+    /// retried, or uncorrectable). Unrecoverable outcomes latch a
+    /// [`SimError`]; the request still completes with defined timing so
+    /// the simulation stays cycle-deterministic while the requester
+    /// escalates.
+    fn dispatch_faulted(&mut self, req: &MemReq, earliest: Cycle) -> Cycle {
+        let is_read = matches!(req.kind, AccessKind::Read | AccessKind::Amo);
+        let mut present = earliest;
+        let mut attempts: u32 = 0;
+        loop {
+            attempts += 1;
+            let done = self.dispatch(req, present);
+            let inj = self.fault.as_mut().expect("fault injector present");
+            let cfg = *inj.config();
+            let backoff = (attempts as u64 - 1) * cfg.retry_backoff_cycles;
+            if inj.drop_response() {
+                if attempts > cfg.max_retries {
+                    inj.note_timeout();
+                    self.latch(SimError::MemTimeout {
+                        at: present + cfg.timeout_cycles,
+                        addr: req.addr,
+                        attempts,
+                    });
+                    return present + cfg.timeout_cycles;
+                }
+                inj.note_retry();
+                present = present + cfg.timeout_cycles + backoff;
+                continue;
+            }
+            let ecc = if is_read {
+                inj.ecc_read()
+            } else {
+                EccOutcome::Clean
+            };
+            match ecc {
+                EccOutcome::Clean => {
+                    return match inj.delay_response() {
+                        Some(d) => done + d,
+                        None => done,
+                    }
+                }
+                EccOutcome::Corrected => return done + cfg.ecc_correct_cycles,
+                EccOutcome::Detected => {
+                    if attempts > cfg.max_retries {
+                        inj.note_timeout();
+                        self.latch(SimError::MemTimeout {
+                            at: done,
+                            addr: req.addr,
+                            attempts,
+                        });
+                        return done;
+                    }
+                    inj.note_retry();
+                    present = done + backoff;
+                }
+                EccOutcome::Uncorrectable => {
+                    self.latch(SimError::EccUncorrectable {
+                        at: done,
+                        addr: req.addr,
+                    });
+                    return done;
+                }
+            }
+        }
+    }
+
+    /// Latches the first unrecoverable fault (later ones are dropped —
+    /// the first trap freezes the requester anyway).
+    fn latch(&mut self, err: SimError) {
+        if self.pending_fault.is_none() {
+            self.pending_fault = Some(err);
+        }
     }
 
     /// Aggregated per-source statistics.
@@ -252,6 +387,110 @@ mod tests {
         assert_eq!(events[0].arg, 64);
         // Drained: the ring restarts empty.
         assert!(mem.take_trace().is_empty());
+    }
+
+    use tracegc_sim::fault::{FaultConfig, FaultPlan, FaultSite};
+
+    fn injector(cfg: FaultConfig) -> tracegc_sim::fault::FaultInjector {
+        FaultPlan::new(cfg).injector(FaultSite::Mem)
+    }
+
+    #[test]
+    fn zero_rate_injector_does_not_perturb_timing() {
+        let mut clean = MemSystem::ddr3(Ddr3Config::default());
+        let mut faulted = MemSystem::ddr3(Ddr3Config::default());
+        faulted.set_fault_injector(injector(FaultConfig::zero_rates(9)));
+        for i in 0..50u64 {
+            let req = MemReq::read(i * 4096, 64, Source::Tracer);
+            let t = i * 7;
+            assert_eq!(clean.schedule(&req, t), faulted.schedule(&req, t));
+        }
+        assert!(faulted.pending_fault().is_none());
+        assert_eq!(faulted.fault_stats().unwrap().total(), 0);
+    }
+
+    #[test]
+    fn dropped_responses_retry_with_backoff_then_time_out() {
+        let mut mem = MemSystem::ddr3(Ddr3Config::default());
+        mem.set_fault_injector(injector(FaultConfig {
+            drop_rate: 1.0,
+            max_retries: 2,
+            timeout_cycles: 100,
+            retry_backoff_cycles: 10,
+            ..FaultConfig::default()
+        }));
+        let done = mem.schedule(&MemReq::read(0, 64, Source::Marker), 0);
+        // Attempt 1 at 0, retry at 100, retry at 210; the third attempt
+        // exhausts the budget and times out at 210 + 100.
+        assert_eq!(done, 310);
+        let stats = *mem.fault_stats().unwrap();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.timeouts, 1);
+        match mem.take_fault() {
+            Some(SimError::MemTimeout { attempts, addr, .. }) => {
+                assert_eq!(attempts, 3);
+                assert_eq!(addr, 0);
+            }
+            other => panic!("expected MemTimeout, got {other:?}"),
+        }
+        // The latch is cleared once taken.
+        assert!(mem.take_fault().is_none());
+    }
+
+    #[test]
+    fn uncorrectable_ecc_poisons_reads_only() {
+        let cfg = FaultConfig {
+            bit_flip_rate: 1.0,
+            ecc_detect_weight: 0.0,
+            ecc_uncorrectable_weight: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut mem = MemSystem::ddr3(Ddr3Config::default());
+        mem.set_fault_injector(injector(cfg));
+        // Writes carry no ECC read path.
+        mem.schedule(&MemReq::write(0, 64, Source::MarkQueue), 0);
+        assert!(mem.pending_fault().is_none());
+        mem.schedule(&MemReq::read(64, 64, Source::Tracer), 10);
+        assert!(matches!(
+            mem.take_fault(),
+            Some(SimError::EccUncorrectable { addr: 64, .. })
+        ));
+    }
+
+    #[test]
+    fn corrected_ecc_costs_latency_but_no_fault() {
+        let cfg = FaultConfig {
+            bit_flip_rate: 1.0,
+            ecc_detect_weight: 0.0,
+            ecc_uncorrectable_weight: 0.0,
+            ecc_correct_cycles: 4,
+            ..FaultConfig::default()
+        };
+        let mut clean = MemSystem::ddr3(Ddr3Config::default());
+        let mut faulted = MemSystem::ddr3(Ddr3Config::default());
+        faulted.set_fault_injector(injector(cfg));
+        let req = MemReq::read(0, 64, Source::Tracer);
+        let base = clean.schedule(&req, 0);
+        assert_eq!(faulted.schedule(&req, 0), base + 4);
+        assert!(faulted.pending_fault().is_none());
+        assert_eq!(faulted.fault_stats().unwrap().ecc_corrected, 1);
+    }
+
+    #[test]
+    fn delayed_responses_arrive_late_but_intact() {
+        let cfg = FaultConfig {
+            delay_rate: 1.0,
+            delay_cycles: 77,
+            ..FaultConfig::default()
+        };
+        let mut clean = MemSystem::ddr3(Ddr3Config::default());
+        let mut faulted = MemSystem::ddr3(Ddr3Config::default());
+        faulted.set_fault_injector(injector(cfg));
+        let req = MemReq::read(0, 64, Source::Sweeper);
+        let base = clean.schedule(&req, 0);
+        assert_eq!(faulted.schedule(&req, 0), base + 77);
+        assert!(faulted.pending_fault().is_none());
+        assert_eq!(faulted.fault_stats().unwrap().delayed, 1);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   randomness flows through this module.
 //! * [`dist`] — seeded random distributions (uniform, log-normal, Zipf) used
 //!   by the synthetic DaCapo workload generators.
+//! * [`fault`] — seeded deterministic fault injection ([`FaultPlan`],
+//!   per-site [`FaultInjector`]s) and the structured [`SimError`] every
+//!   `run_*` driver degrades into instead of panicking.
 //! * [`sched`] — the SoC composition layer: the cycle-stepped
 //!   [`Engine`] trait and the [`Scheduler`] that ticks arbitrary engine
 //!   sets on one shared clock under a pluggable [`Policy`].
@@ -38,12 +41,16 @@
 //! ```
 
 pub mod dist;
+pub mod fault;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod sched;
 pub mod stats;
 
+pub use fault::{
+    EccOutcome, FaultConfig, FaultInjector, FaultPlan, FaultSite, FaultStats, SimError,
+};
 pub use metrics::{EventTrace, MetricSet, StallAccounting, StallReason, TraceEvent};
 pub use queue::BoundedQueue;
 pub use rng::{Rng, SplitMix64, StdRng};

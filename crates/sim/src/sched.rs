@@ -25,17 +25,19 @@
 //!   stalled ones one cycle of their [`Engine::stall_reason`].
 //! * every live engine [`Stalled`](Progress::Stalled) — the clock skips
 //!   to the earliest [`Engine::next_event_at`], charging each engine the
-//!   skipped span; with no pending event anywhere the scheduler panics
-//!   with a per-engine stall dump (see below).
+//!   skipped span; with no pending event anywhere the run fails with a
+//!   [`SimError::Deadlock`] carrying a per-engine stall dump (see below).
 //! * an engine returns [`Done`](Progress::Done) — its completion cycle is
 //!   recorded and it is never stepped again. The run ends when every
 //!   non-[background](Engine::is_background) engine is done.
 //!
 //! A no-progress watchdog replaces ad-hoc per-loop deadlock panics:
 //! after [`DEFAULT_NO_PROGRESS_LIMIT`] cycles (configurable via
-//! [`Scheduler::no_progress_limit`]) in which every engine stalled, the
-//! scheduler panics with a dump of each engine's name, current stall
-//! reason, pending event and [`StallAccounting`] ledger.
+//! [`Scheduler::no_progress_limit`]) in which every engine stalled,
+//! [`Scheduler::try_run`] returns a [`SimError::Deadlock`] whose dump
+//! lists each engine's name, current stall reason, pending event and
+//! [`StallAccounting`] ledger. [`Scheduler::run`] is the historical
+//! panicking wrapper: it panics with that same dump as the message.
 //!
 //! # Examples
 //!
@@ -65,6 +67,7 @@
 //! assert_eq!(report.end, 10);
 //! ```
 
+use crate::fault::SimError;
 use crate::metrics::{StallAccounting, StallReason};
 use crate::Cycle;
 
@@ -200,6 +203,10 @@ impl Scheduler {
 
     /// Runs the engines to completion from cycle `start`.
     ///
+    /// This is the historical panicking wrapper over
+    /// [`Scheduler::try_run`], kept for drivers that run trusted
+    /// engine sets where a wedge is a simulator bug.
+    ///
     /// # Panics
     ///
     /// Panics when every engine stalls with no pending event, or when
@@ -211,6 +218,29 @@ impl Scheduler {
         ctx: &mut Ctx,
         start: Cycle,
     ) -> SocReport {
+        self.try_run(engines, ctx, start)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the engines to completion from cycle `start`, degrading a
+    /// scheduler wedge into [`SimError::Deadlock`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] (with the per-engine stall-reason
+    /// and ledger dump) when every engine stalls with no pending event
+    /// or the no-progress watchdog trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics on caller errors: an empty engine set, no foreground
+    /// engine, or a non-permutation priority order.
+    pub fn try_run<Ctx>(
+        &self,
+        engines: &mut [&mut dyn Engine<Ctx>],
+        ctx: &mut Ctx,
+        start: Cycle,
+    ) -> Result<SocReport, SimError> {
         assert!(!engines.is_empty(), "scheduler needs at least one engine");
         assert!(
             engines.iter().any(|e| !e.is_background()),
@@ -237,7 +267,7 @@ impl Scheduler {
         start: Cycle,
         order: Option<Vec<usize>>,
         period: Cycle,
-    ) -> SocReport {
+    ) -> Result<SocReport, SimError> {
         let n = engines.len();
         let order: Vec<usize> = order.unwrap_or_else(|| (0..n).collect());
         {
@@ -313,20 +343,22 @@ impl Scheduler {
                         }
                         now += 1;
                     }
-                    None => self.deadlock_dump(
-                        engines,
-                        &done,
-                        now,
-                        "every engine is stalled with no pending event",
-                    ),
+                    None => {
+                        return Err(self.deadlock_report(
+                            engines,
+                            &done,
+                            now,
+                            "every engine is stalled with no pending event",
+                        ))
+                    }
                 }
                 if now - last_progress > self.no_progress_limit {
-                    self.deadlock_dump(
+                    return Err(self.deadlock_report(
                         engines,
                         &done,
                         now,
                         "no engine made progress within the watchdog window",
-                    );
+                    ));
                 }
             }
             // §VII throttle: align the clock to the next service cycle,
@@ -348,7 +380,7 @@ impl Scheduler {
             .map(|i| ends[i])
             .max()
             .expect("at least one foreground engine");
-        SocReport { start, end, ends }
+        Ok(SocReport { start, end, ends })
     }
 
     /// Round-robin: the single datapath serves engine `now % n` each
@@ -358,7 +390,7 @@ impl Scheduler {
         engines: &mut [&mut dyn Engine<Ctx>],
         ctx: &mut Ctx,
         start: Cycle,
-    ) -> SocReport {
+    ) -> Result<SocReport, SimError> {
         let n = engines.len();
         assert!(
             engines.iter().all(|e| !e.is_background()),
@@ -421,12 +453,14 @@ impl Scheduler {
                             }
                             now += 1;
                         }
-                        None => self.deadlock_dump(
-                            engines,
-                            &done,
-                            now,
-                            "every engine is stalled with no pending event",
-                        ),
+                        None => {
+                            return Err(self.deadlock_report(
+                                engines,
+                                &done,
+                                now,
+                                "every engine is stalled with no pending event",
+                            ))
+                        }
                     }
                     idle_round = 0;
                 } else {
@@ -441,27 +475,28 @@ impl Scheduler {
                     now += 1;
                 }
                 if now - last_progress > self.no_progress_limit {
-                    self.deadlock_dump(
+                    return Err(self.deadlock_report(
                         engines,
                         &done,
                         now,
                         "no engine made progress within the watchdog window",
-                    );
+                    ));
                 }
             }
         }
         let end = *ends.iter().max().expect("non-empty");
-        SocReport { start, end, ends }
+        Ok(SocReport { start, end, ends })
     }
 
-    /// Panics with the per-engine stall-reason and ledger dump.
-    fn deadlock_dump<Ctx>(
+    /// Builds the [`SimError::Deadlock`] carrying the per-engine
+    /// stall-reason and ledger dump.
+    fn deadlock_report<Ctx>(
         &self,
         engines: &[&mut dyn Engine<Ctx>],
         done: &[bool],
         now: Cycle,
         why: &str,
-    ) -> ! {
+    ) -> SimError {
         let mut msg = format!("scheduler deadlock at cycle {now}: {why}\n");
         for (i, e) in engines.iter().enumerate() {
             if done[i] {
@@ -484,7 +519,7 @@ impl Scheduler {
             }
             msg.push('\n');
         }
-        panic!("{msg}");
+        SimError::Deadlock { at: now, dump: msg }
     }
 }
 
@@ -675,6 +710,88 @@ mod tests {
         Scheduler::new(Policy::Lockstep)
             .no_progress_limit(1000)
             .run(&mut [&mut e], &mut (), 0);
+    }
+
+    #[test]
+    fn try_run_reports_deadlock_without_panicking() {
+        struct Stuck;
+        impl Engine<()> for Stuck {
+            fn name(&self) -> &'static str {
+                "stuck"
+            }
+            fn step(&mut self, _now: Cycle, _ctx: &mut ()) -> Progress {
+                Progress::Stalled
+            }
+            fn next_event_at(&self) -> Option<Cycle> {
+                None
+            }
+        }
+        let mut e = Stuck;
+        let err = Scheduler::new(Policy::Lockstep)
+            .try_run(&mut [&mut e], &mut (), 7)
+            .unwrap_err();
+        match &err {
+            SimError::Deadlock { at, dump } => {
+                assert_eq!(*at, 7);
+                assert!(dump.contains("scheduler deadlock at cycle 7"));
+                assert!(dump.contains("stuck"));
+                assert!(dump.contains("no pending event"));
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_run_reports_watchdog_trip_with_ledger_dump() {
+        struct Livelock(StallAccounting);
+        impl Engine<()> for Livelock {
+            fn name(&self) -> &'static str {
+                "livelock"
+            }
+            fn step(&mut self, _now: Cycle, _ctx: &mut ()) -> Progress {
+                Progress::Stalled
+            }
+            fn next_event_at(&self) -> Option<Cycle> {
+                Some(u64::MAX)
+            }
+            fn note_stall(&mut self, _now: Cycle, reason: StallReason, span: u64) {
+                self.0.stall(reason, span);
+            }
+            fn ledger(&self) -> Option<StallAccounting> {
+                Some(self.0)
+            }
+        }
+        let mut e = Livelock(StallAccounting::default());
+        let err = Scheduler::new(Policy::Lockstep)
+            .no_progress_limit(1000)
+            .try_run(&mut [&mut e], &mut (), 0)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("watchdog"));
+        // The dump includes the engine's stall ledger.
+        assert!(msg.contains("livelock"));
+        assert!(msg.contains("idle="));
+    }
+
+    #[test]
+    fn try_run_round_robin_reports_deadlock() {
+        struct Stuck;
+        impl Engine<()> for Stuck {
+            fn name(&self) -> &'static str {
+                "stuck"
+            }
+            fn step(&mut self, _now: Cycle, _ctx: &mut ()) -> Progress {
+                Progress::Stalled
+            }
+            fn next_event_at(&self) -> Option<Cycle> {
+                None
+            }
+        }
+        let (mut a, mut b) = (Stuck, Stuck);
+        let err = Scheduler::new(Policy::RoundRobin)
+            .try_run(&mut [&mut a, &mut b], &mut (), 0)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use tracegc_mem::cache::MemBacking;
 use tracegc_mem::{Cache, CacheConfig, MemSystem, PhysMem, Source};
+use tracegc_sim::fault::{FaultInjector, FaultStats};
 use tracegc_sim::Cycle;
 
 use crate::pagetable::AddressSpace;
@@ -117,12 +118,16 @@ pub struct Translator {
     cfg: TlbConfig,
     l1: Vec<Tlb>,
     l2: Tlb,
-    /// `Some` between calls; taken while a walk borrows it.
-    ptw_cache: Option<Cache>,
+    ptw_cache: Cache,
     /// Completion times of in-flight walks (bounded by
     /// `concurrent_walks`).
     walks_inflight: Vec<Cycle>,
     stats: TranslatorStats,
+    /// Optional fault source ([`FaultSite::Ptw`]); rolls once per walk
+    /// for an injected invalid PTE.
+    ///
+    /// [`FaultSite::Ptw`]: tracegc_sim::fault::FaultSite::Ptw
+    fault: Option<FaultInjector>,
 }
 
 impl Translator {
@@ -134,11 +139,24 @@ impl Translator {
                 .map(|_| Tlb::new(cfg.l1_entries))
                 .collect(),
             l2: Tlb::new(cfg.l2_entries),
-            ptw_cache: Some(Cache::new(cfg.ptw_cache)),
+            ptw_cache: Cache::new(cfg.ptw_cache),
             walks_inflight: Vec::new(),
             cfg,
             stats: TranslatorStats::default(),
+            fault: None,
         }
+    }
+
+    /// Attaches a fault injector: each page-table walk rolls once for
+    /// an injected invalid PTE, which surfaces as a [`TranslateFault`].
+    /// Zero-rate injectors never draw and never perturb a clean run.
+    pub fn set_fault_injector(&mut self, inj: FaultInjector) {
+        self.fault = Some(inj);
+    }
+
+    /// What fired so far at this site, when an injector is attached.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fault.as_ref().map(|f| f.stats())
     }
 
     /// The active configuration.
@@ -153,10 +171,7 @@ impl Translator {
 
     /// Statistics of the PTW cache (Fig. 18a's dominant requester).
     pub fn ptw_cache_stats(&self) -> &tracegc_mem::CacheStats {
-        self.ptw_cache
-            .as_ref()
-            .expect("PTW cache present between calls")
-            .stats()
+        self.ptw_cache.stats()
     }
 
     /// Drops all TLB contents (address-space switch / new GC pass).
@@ -186,10 +201,33 @@ impl Translator {
         mem: &mut MemSystem,
         phys: &PhysMem,
     ) -> Result<(u64, Cycle), TranslateFault> {
-        let mut cache = self.ptw_cache.take().expect("PTW cache present");
-        let result = self.translate_with_cache(who, va, now, mem, phys, &mut cache);
-        self.ptw_cache = Some(cache);
-        result
+        // Split borrows: the walk core takes the dedicated PTW cache as
+        // a disjoint field, so no take/replace dance is needed.
+        let Self {
+            aspace,
+            cfg,
+            l1,
+            l2,
+            ptw_cache,
+            walks_inflight,
+            stats,
+            fault,
+        } = self;
+        translate_core(
+            aspace,
+            cfg,
+            l1,
+            l2,
+            walks_inflight,
+            stats,
+            fault.as_mut(),
+            who,
+            va,
+            now,
+            mem,
+            phys,
+            ptw_cache,
+        )
     }
 
     /// Like [`Translator::translate`], but PTE reads go through a
@@ -208,53 +246,104 @@ impl Translator {
         phys: &PhysMem,
         ptw_cache: &mut Cache,
     ) -> Result<(u64, Cycle), TranslateFault> {
-        if let Some(pa) = self.l1[who.index()].lookup(va) {
-            self.stats.l1_hits += 1;
-            return Ok((pa, now));
-        }
-        if let Some(pa) = self.l2.lookup(va) {
-            self.stats.l2_hits += 1;
-            self.l1[who.index()].insert(va, pa);
-            return Ok((pa, now + self.cfg.l2_hit_latency));
-        }
-
-        // Walk. The walker has a bounded number of concurrent walks; the
-        // paper's prototype has exactly one, serializing misses.
-        let mut start = now + self.cfg.l2_hit_latency;
-        self.walks_inflight.retain(|&t| t > start);
-        if self.walks_inflight.len() >= self.cfg.concurrent_walks {
-            let earliest = *self
-                .walks_inflight
-                .iter()
-                .min()
-                .expect("inflight walks non-empty");
-            self.stats.walker_wait_cycles += earliest.saturating_sub(start);
-            start = earliest;
-            self.walks_inflight.retain(|&t| t > start);
-        }
-
-        let path = self.aspace.walk_path(phys, va);
-        let mut t = start;
-        for &pte_pa in &path {
-            let mut backing = MemBacking {
-                mem,
-                source: Source::Ptw,
-            };
-            t = ptw_cache.access(pte_pa, false, t, Source::Ptw, &mut backing);
-        }
-        self.stats.walks += 1;
-        self.stats.walk_cycles += t.saturating_sub(start);
-        self.walks_inflight.push(t);
-
-        let (pa, page_bytes) = self
-            .aspace
-            .translate_entry(phys, va)
-            .ok_or(TranslateFault { va })?;
-        // Superpage mappings install reach-appropriate TLB entries.
-        self.l2.insert_sized(va, pa, page_bytes);
-        self.l1[who.index()].insert_sized(va, pa, page_bytes);
-        Ok((pa, t))
+        let Self {
+            aspace,
+            cfg,
+            l1,
+            l2,
+            walks_inflight,
+            stats,
+            fault,
+            ..
+        } = self;
+        translate_core(
+            aspace,
+            cfg,
+            l1,
+            l2,
+            walks_inflight,
+            stats,
+            fault.as_mut(),
+            who,
+            va,
+            now,
+            mem,
+            phys,
+            ptw_cache,
+        )
     }
+}
+
+/// The walk core, written against split borrows of [`Translator`]'s
+/// fields so both entry points share it without moving the PTW cache
+/// in and out of an `Option`.
+#[allow(clippy::too_many_arguments)]
+fn translate_core(
+    aspace: &AddressSpace,
+    cfg: &TlbConfig,
+    l1: &mut [Tlb],
+    l2: &mut Tlb,
+    walks_inflight: &mut Vec<Cycle>,
+    stats: &mut TranslatorStats,
+    fault: Option<&mut FaultInjector>,
+    who: Requester,
+    va: u64,
+    now: Cycle,
+    mem: &mut MemSystem,
+    phys: &PhysMem,
+    ptw_cache: &mut Cache,
+) -> Result<(u64, Cycle), TranslateFault> {
+    if let Some(pa) = l1[who.index()].lookup(va) {
+        stats.l1_hits += 1;
+        return Ok((pa, now));
+    }
+    if let Some(pa) = l2.lookup(va) {
+        stats.l2_hits += 1;
+        l1[who.index()].insert(va, pa);
+        return Ok((pa, now + cfg.l2_hit_latency));
+    }
+
+    // Walk. The walker has a bounded number of concurrent walks; the
+    // paper's prototype has exactly one, serializing misses.
+    let mut start = now + cfg.l2_hit_latency;
+    walks_inflight.retain(|&t| t > start);
+    if walks_inflight.len() >= cfg.concurrent_walks {
+        let earliest = *walks_inflight
+            .iter()
+            .min()
+            .expect("inflight walks non-empty");
+        stats.walker_wait_cycles += earliest.saturating_sub(start);
+        start = earliest;
+        walks_inflight.retain(|&t| t > start);
+    }
+
+    // Injected invalid PTE: the walk runs but ends in a fault, exactly
+    // as a corrupted page table would surface architecturally.
+    let injected_fault = fault.is_some_and(|inj| inj.pte_fault());
+
+    let path = aspace.walk_path(phys, va);
+    let mut t = start;
+    for &pte_pa in &path {
+        let mut backing = MemBacking {
+            mem,
+            source: Source::Ptw,
+        };
+        t = ptw_cache.access(pte_pa, false, t, Source::Ptw, &mut backing);
+    }
+    stats.walks += 1;
+    stats.walk_cycles += t.saturating_sub(start);
+    walks_inflight.push(t);
+
+    if injected_fault {
+        return Err(TranslateFault { va });
+    }
+    let (pa, page_bytes) = aspace
+        .translate_entry(phys, va)
+        .ok_or(TranslateFault { va })?;
+    // Superpage mappings install reach-appropriate TLB entries.
+    l2.insert_sized(va, pa, page_bytes);
+    l1[who.index()].insert_sized(va, pa, page_bytes);
+    Ok((pa, t))
 }
 
 #[cfg(test)]
@@ -371,6 +460,53 @@ mod tests {
         tr.translate(Requester::Marker, base, 100, &mut mem, &phys)
             .unwrap();
         assert_eq!(tr.stats().walks, 2);
+    }
+
+    #[test]
+    fn injected_pte_fault_surfaces_as_page_fault() {
+        use tracegc_sim::fault::{FaultConfig, FaultPlan, FaultSite};
+        let (phys, aspace, mut mem, base) = setup(4);
+        let mut tr = Translator::new(aspace, TlbConfig::default());
+        tr.set_fault_injector(
+            FaultPlan::new(FaultConfig {
+                pte_fault_rate: 1.0,
+                ..FaultConfig::default()
+            })
+            .injector(FaultSite::Ptw),
+        );
+        let err = tr
+            .translate(Requester::Marker, base, 0, &mut mem, &phys)
+            .unwrap_err();
+        assert_eq!(err.va, base);
+        assert_eq!(tr.fault_stats().unwrap().pte_faults, 1);
+        // The faulting translation is not cached: nothing was installed.
+        let err2 = tr
+            .translate(Requester::Marker, base, 100, &mut mem, &phys)
+            .unwrap_err();
+        assert_eq!(err2.va, base);
+    }
+
+    #[test]
+    fn zero_rate_injector_leaves_translation_timing_unchanged() {
+        use tracegc_sim::fault::{FaultConfig, FaultPlan, FaultSite};
+        let (phys_a, aspace_a, mut mem_a, base) = setup(16);
+        let (phys_b, aspace_b, mut mem_b, _) = setup(16);
+        let mut clean = Translator::new(aspace_a, TlbConfig::default());
+        let mut faulted = Translator::new(aspace_b, TlbConfig::default());
+        faulted.set_fault_injector(
+            FaultPlan::new(FaultConfig::zero_rates(1)).injector(FaultSite::Ptw),
+        );
+        for i in 0..16 {
+            let va = base + i * PAGE_SIZE;
+            let a = clean
+                .translate(Requester::Tracer, va, i * 3, &mut mem_a, &phys_a)
+                .unwrap();
+            let b = faulted
+                .translate(Requester::Tracer, va, i * 3, &mut mem_b, &phys_b)
+                .unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(faulted.fault_stats().unwrap().pte_faults, 0);
     }
 
     #[test]

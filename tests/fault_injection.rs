@@ -1,0 +1,237 @@
+//! Fault injection and graceful degradation, end to end: every injected
+//! fault class must turn into a structured trap, the software-fallback
+//! mark must complete from the unit's architected state, and the final
+//! live set must be *exactly* what a clean mark produces. Zero-rate
+//! fault plans must be byte-invisible in every experiment's output.
+
+use tracegc::experiments::{run, Options, ALL};
+use tracegc::heap::verify::check_free_lists;
+use tracegc::heap::LayoutKind;
+use tracegc::hwgc::{GcUnitConfig, TrapKind};
+use tracegc::runner::{
+    run_faulted_mark, run_unit_gc, run_unit_gc_faulted, FaultedMarkRun, MarkOutcome, MemKind,
+};
+use tracegc::sim::FaultConfig;
+use tracegc::workloads::spec::{by_name, BenchSpec};
+
+fn spec() -> BenchSpec {
+    by_name("avrora").expect("avrora exists").scaled(0.02)
+}
+
+/// One mark pass under `fault` with the default unit. The mark/
+/// reachability differential check runs inside `run_faulted_mark`
+/// for every non-failed outcome, whichever path completed the mark.
+fn faulted(fault: FaultConfig) -> FaultedMarkRun {
+    run_faulted_mark(
+        &spec(),
+        LayoutKind::Bidirectional,
+        GcUnitConfig::default(),
+        MemKind::ddr3_default(),
+        fault,
+    )
+}
+
+fn assert_falls_back(run: &FaultedMarkRun, want: &[TrapKind]) -> TrapKind {
+    match &run.outcome {
+        MarkOutcome::Fallback(fb) => {
+            assert!(
+                want.contains(&fb.trap.kind),
+                "unexpected trap {:?} (wanted one of {want:?})",
+                fb.trap.kind
+            );
+            assert!(run.fallback_cycles > 0, "fallback must cost cycles");
+            fb.trap.kind
+        }
+        other => panic!("expected a fallback, got {other:?}"),
+    }
+}
+
+/// The clean baseline every fault class is compared against.
+fn clean_marked() -> u64 {
+    let clean = faulted(FaultConfig::zero_rates(0));
+    assert!(matches!(clean.outcome, MarkOutcome::Clean));
+    clean.objects_marked
+}
+
+#[test]
+fn corrupted_references_degrade_to_an_identical_mark() {
+    let run = faulted(FaultConfig {
+        seed: 21,
+        corrupt_ref_rate: 0.02,
+        ..FaultConfig::default()
+    });
+    // A corrupted reference word can look out-of-bounds, misaligned, or
+    // land on a non-header; all are sanitizer traps.
+    assert_falls_back(
+        &run,
+        &[
+            TrapKind::RefOutOfBounds,
+            TrapKind::RefMisaligned,
+            TrapKind::HeaderCorrupt,
+        ],
+    );
+    assert!(run.stats.corrupted_refs > 0);
+    assert_eq!(run.objects_marked, clean_marked());
+}
+
+#[test]
+fn corrupted_headers_degrade_to_an_identical_mark() {
+    let run = faulted(FaultConfig {
+        seed: 5,
+        corrupt_header_rate: 0.02,
+        ..FaultConfig::default()
+    });
+    assert_falls_back(&run, &[TrapKind::HeaderCorrupt]);
+    assert!(run.stats.corrupted_headers > 0);
+    assert_eq!(run.objects_marked, clean_marked());
+}
+
+#[test]
+fn invalid_ptes_degrade_to_an_identical_mark() {
+    // PTE faults only fire on actual page-table walks, and the small
+    // test heap keeps the TLB warm — a high rate makes the handful of
+    // walks deterministic targets.
+    let run = faulted(FaultConfig {
+        seed: 9,
+        pte_fault_rate: 0.5,
+        ..FaultConfig::default()
+    });
+    assert_falls_back(&run, &[TrapKind::PageFault]);
+    assert!(run.stats.pte_faults > 0);
+    assert_eq!(run.objects_marked, clean_marked());
+}
+
+#[test]
+fn dropped_responses_exhaust_retries_and_degrade() {
+    let run = faulted(FaultConfig {
+        seed: 2,
+        drop_rate: 1.0,
+        ..FaultConfig::default()
+    });
+    assert_falls_back(&run, &[TrapKind::MemTimeout]);
+    assert!(run.stats.dropped > 0);
+    assert!(run.stats.timeouts > 0);
+    assert_eq!(run.objects_marked, clean_marked());
+}
+
+#[test]
+fn uncorrectable_ecc_degrades_to_an_identical_mark() {
+    let run = faulted(FaultConfig {
+        seed: 3,
+        bit_flip_rate: 1.0,
+        ecc_detect_weight: 0.0,
+        ecc_uncorrectable_weight: 1.0,
+        ..FaultConfig::default()
+    });
+    assert_falls_back(&run, &[TrapKind::EccUncorrectable]);
+    assert!(run.stats.ecc_uncorrectable > 0);
+    assert_eq!(run.objects_marked, clean_marked());
+}
+
+#[test]
+fn correctable_ecc_is_absorbed_without_a_trap() {
+    // Every access flips a bit but ECC corrects all of them: the run
+    // stays clean (slower, never wrong).
+    let run = faulted(FaultConfig {
+        seed: 4,
+        bit_flip_rate: 1.0,
+        ecc_detect_weight: 0.0,
+        ecc_uncorrectable_weight: 0.0,
+        ..FaultConfig::default()
+    });
+    assert!(matches!(run.outcome, MarkOutcome::Clean));
+    assert!(run.stats.ecc_corrected > 0);
+    assert_eq!(run.objects_marked, clean_marked());
+}
+
+#[test]
+fn spill_exhaustion_degrades_to_an_identical_mark() {
+    // No injected faults at all: a one-chunk spill region exhausts on
+    // its own, which must trap and degrade like any other fault.
+    let run = run_faulted_mark(
+        &spec(),
+        LayoutKind::Bidirectional,
+        GcUnitConfig {
+            markq_entries: 16,
+            markq_side: 16,
+            spill_bytes: 64,
+            ..GcUnitConfig::default()
+        },
+        MemKind::ddr3_default(),
+        FaultConfig::zero_rates(0),
+    );
+    assert_falls_back(&run, &[TrapKind::SpillExhausted]);
+    assert_eq!(run.objects_marked, clean_marked());
+}
+
+#[test]
+fn fallback_completed_collection_sweeps_like_a_clean_one() {
+    // The full GC path: trap, software fallback, then the unit's sweep.
+    // Heap invariants must hold and the freed set must match a clean
+    // collection exactly.
+    let run = run_unit_gc_faulted(
+        &spec(),
+        LayoutKind::Bidirectional,
+        GcUnitConfig::default(),
+        MemKind::ddr3_default(),
+        false,
+        Some(FaultConfig {
+            seed: 21,
+            corrupt_ref_rate: 0.02,
+            ..FaultConfig::default()
+        }),
+    );
+    assert!(run.fallback.is_some(), "this seed/rate must trap");
+    let clean = run_unit_gc(
+        &spec(),
+        LayoutKind::Bidirectional,
+        GcUnitConfig::default(),
+        MemKind::ddr3_default(),
+    );
+    assert_eq!(run.report.sweep.cells_freed, clean.report.sweep.cells_freed);
+    assert_eq!(
+        run.report.sweep.live_objects,
+        clean.report.sweep.live_objects
+    );
+    check_free_lists(&run.workload.heap).unwrap();
+    assert!(run.workload.heap.marked_set().is_empty());
+    // The MMIO completion registers reflect the recovered totals.
+    assert_eq!(
+        run.unit.regs().read(tracegc::hwgc::mmio::Reg::FreedCount),
+        run.report.sweep.cells_freed
+    );
+}
+
+#[test]
+fn zero_rate_plan_is_byte_invisible_in_every_experiment() {
+    // The property test of the robustness PR: threading an *inactive*
+    // fault config through the whole registry must not change a single
+    // output byte — tables, notes, or metrics sidecars.
+    let ids: Vec<&str> = ALL
+        .iter()
+        .copied()
+        .filter(|&id| id != "fig18" && id != "ablE") // these force large scales
+        .collect();
+    let opts = |fault| Options {
+        scale: 0.015,
+        pauses: 1,
+        fault,
+        ..Options::default()
+    };
+    let none = opts(None);
+    let zero = opts(Some(FaultConfig::zero_rates(42)));
+    for id in ids {
+        let a = run(id, &none).expect("known id");
+        let b = run(id, &zero).expect("known id");
+        assert_eq!(a.notes, b.notes, "{id} notes differ under a zero-rate plan");
+        assert_eq!(a.tables.len(), b.tables.len());
+        for (ta, tb) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(ta.to_csv(), tb.to_csv(), "{id} CSV differs");
+        }
+        assert_eq!(
+            a.metrics.to_json(),
+            b.metrics.to_json(),
+            "{id} sidecar differs under a zero-rate plan"
+        );
+    }
+}

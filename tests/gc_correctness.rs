@@ -5,11 +5,21 @@
 
 use tracegc::cpu::{Cpu, CpuConfig};
 use tracegc::heap::verify::{check_free_lists, check_marks_match_reachability, software_sweep};
-use tracegc::heap::LayoutKind;
+use tracegc::heap::{Heap, LayoutKind};
 use tracegc::hwgc::{GcUnit, GcUnitConfig, TraversalUnit};
 use tracegc::mem::MemSystem;
 use tracegc::workloads::generate::generate_heap;
 use tracegc::workloads::spec::DACAPO;
+
+/// The invariant pass every completed collection must satisfy: free
+/// lists are well-formed and the sweep cleared every mark bit.
+fn post_gc_invariants(heap: &Heap) {
+    check_free_lists(heap).unwrap();
+    assert!(
+        heap.marked_set().is_empty(),
+        "sweep must clear every mark bit"
+    );
+}
 
 #[test]
 fn unit_marks_equal_oracle_on_every_benchmark() {
@@ -67,8 +77,8 @@ fn cpu_and_unit_produce_identical_sweeps() {
             "{}",
             spec.name
         );
-        check_free_lists(&a.heap).unwrap();
-        check_free_lists(&b.heap).unwrap();
+        post_gc_invariants(&a.heap);
+        post_gc_invariants(&b.heap);
         // Block-level metadata must agree exactly.
         for (ba, bb) in a.heap.blocks().iter().zip(b.heap.blocks()) {
             assert_eq!(ba.free_cells, bb.free_cells, "{}", spec.name);
@@ -132,6 +142,66 @@ fn aggressive_unit_configs_stay_correct() {
 }
 
 #[test]
+fn fallback_completed_collections_satisfy_post_gc_invariants() {
+    // One collection per injected fault class: each traps, degrades to
+    // the software-fallback mark, sweeps, and must leave the heap in
+    // the same verified state as a clean collection.
+    use tracegc::runner::{run_unit_gc_faulted, MemKind};
+    use tracegc::sim::FaultConfig;
+
+    let spec = DACAPO[0].scaled(0.02);
+    let classes: [(&str, FaultConfig); 4] = [
+        (
+            "corrupt-ref",
+            FaultConfig {
+                seed: 21,
+                corrupt_ref_rate: 0.02,
+                ..FaultConfig::default()
+            },
+        ),
+        (
+            "corrupt-header",
+            FaultConfig {
+                seed: 5,
+                corrupt_header_rate: 0.02,
+                ..FaultConfig::default()
+            },
+        ),
+        (
+            // PTE faults only fire on actual page-table walks, and the
+            // small test heap keeps the TLB warm — a high per-walk rate
+            // makes the handful of walks deterministic targets.
+            "pte-fault",
+            FaultConfig {
+                seed: 9,
+                pte_fault_rate: 0.5,
+                ..FaultConfig::default()
+            },
+        ),
+        (
+            "mem-timeout",
+            FaultConfig {
+                seed: 2,
+                drop_rate: 1.0,
+                ..FaultConfig::default()
+            },
+        ),
+    ];
+    for (name, fault) in classes {
+        let run = run_unit_gc_faulted(
+            &spec,
+            LayoutKind::Bidirectional,
+            GcUnitConfig::default(),
+            MemKind::ddr3_default(),
+            false,
+            Some(fault),
+        );
+        assert!(run.fallback.is_some(), "{name}: expected a fallback");
+        post_gc_invariants(&run.workload.heap);
+    }
+}
+
+#[test]
 fn multi_gc_cycles_with_allocation_reuse() {
     let spec = DACAPO[1].scaled(0.02);
     let mut w = generate_heap(&spec, LayoutKind::Bidirectional);
@@ -147,7 +217,7 @@ fn multi_gc_cycles_with_allocation_reuse() {
         let mut mem = MemSystem::ddr3(Default::default());
         let mut unit = GcUnit::new(GcUnitConfig::default(), &mut w.heap);
         unit.run_gc(&mut w.heap, &mut mem);
-        check_free_lists(&w.heap).unwrap();
+        post_gc_invariants(&w.heap);
     }
     // Churn + sweep reuse should not balloon the block count much.
     assert!(

@@ -7,8 +7,11 @@
 //!
 //! ```text
 //! cargo run -p tracegc --release --bin experiments -- \
-//!     --scale 0.015 --pauses 1 --out tests/golden table1 fig15 fig20
+//!     --scale 0.015 --pauses 1 --out tests/golden table1 fig15 fig20 faultsweep
 //! ```
+//!
+//! (`faultsweep` makes the regeneration command exit 2 — degraded-as-
+//! designed — which is expected.)
 //!
 //! and commit the result alongside the model change.
 
@@ -62,4 +65,11 @@ fn fig15_matches_golden() {
 #[test]
 fn fig20_matches_golden() {
     assert_matches_golden("fig20");
+}
+
+/// Pins the whole fault pipeline — injection order, retry accounting,
+/// trap points, and fallback cost — as one readable CSV.
+#[test]
+fn faultsweep_matches_golden() {
+    assert_matches_golden("faultsweep");
 }
