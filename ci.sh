@@ -34,6 +34,29 @@ python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
     || grep -q '"schema": "tracegc-metrics-v1"' "$SIDECAR_DIR/j1/fig15.metrics.json"
 cmp "$SIDECAR_DIR/j1/fig15.metrics.json" "$SIDECAR_DIR/j8/fig15.metrics.json"
 
+echo "==> pacing equivalence (fastforward vs lockstep, outputs byte-identical)"
+# The event-driven fast-forward scheduler must be invisible in every
+# output: same CSVs, same metrics sidecars, bit for bit, as the
+# cycle-by-cycle lockstep reference (tests/engine_equivalence.rs pins
+# the same property per driver; this gate pins it end-to-end through
+# the experiment registry).
+./target/release/experiments --quick --sched fastforward \
+    --out "$SIDECAR_DIR/pace_ff" fig15 fig20 conc >/dev/null
+./target/release/experiments --quick --sched lockstep \
+    --out "$SIDECAR_DIR/pace_ls" fig15 fig20 conc >/dev/null
+for f in fig15.csv fig15.metrics.json fig20.csv fig20.metrics.json \
+         conc.csv conc.metrics.json; do
+    cmp "$SIDECAR_DIR/pace_ff/$f" "$SIDECAR_DIR/pace_ls/$f"
+done
+
+echo "==> bench doc smoke (experiments --bench writes BENCH_6.json)"
+./target/release/experiments --quick --bench --out "$SIDECAR_DIR/bench" fig15 >/dev/null
+test -s "$SIDECAR_DIR/bench/BENCH_6.json"
+grep -q '"schema": "tracegc-bench-v1"' "$SIDECAR_DIR/bench/BENCH_6.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+    "$SIDECAR_DIR/bench/BENCH_6.json" 2>/dev/null \
+    || grep -q '"speedup"' "$SIDECAR_DIR/bench/BENCH_6.json"
+
 echo "==> faultsweep smoke (golden scale; must degrade deterministically, exit 2)"
 # At the golden scale the sweep always hits at least one fallback, so
 # the exit-code contract (0 clean / 2 degraded / 3 failed) is testable:
@@ -49,5 +72,13 @@ test "$rc" -eq 2
 cmp "$SIDECAR_DIR/fs1/faultsweep.csv" "$SIDECAR_DIR/fs8/faultsweep.csv"
 cmp "$SIDECAR_DIR/fs1/faultsweep.metrics.json" "$SIDECAR_DIR/fs8/faultsweep.metrics.json"
 cmp "$SIDECAR_DIR/fs1/faultsweep.csv" tests/golden/faultsweep.csv
+# Fault injection (traps, retries, fallbacks) under lockstep must
+# reproduce the fast-forward run above byte for byte.
+rc=0
+./target/release/experiments --scale 0.015 --pauses 1 --jobs 1 --sched lockstep \
+    --out "$SIDECAR_DIR/fs_ls" faultsweep >/dev/null 2>&1 || rc=$?
+test "$rc" -eq 2
+cmp "$SIDECAR_DIR/fs_ls/faultsweep.csv" "$SIDECAR_DIR/fs1/faultsweep.csv"
+cmp "$SIDECAR_DIR/fs_ls/faultsweep.metrics.json" "$SIDECAR_DIR/fs1/faultsweep.metrics.json"
 
 echo "ci.sh: all green"

@@ -220,6 +220,9 @@ impl<'a, 'c> Engine<SocCtx<'c>> for CpuMarkEngine<'a> {
         }
     }
 
+    // Contract-honest: the engine stalls exactly while the self-clocked
+    // core is ahead of the shared clock and acts the moment it catches
+    // up, so `cpu.now` is both never late and never stale.
     fn next_event_at(&self) -> Option<Cycle> {
         Some(self.cpu.now)
     }

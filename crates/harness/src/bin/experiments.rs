@@ -21,16 +21,26 @@ use std::process::ExitCode;
 
 use tracegc::experiments::{self, Options};
 use tracegc::metrics;
+use tracegc_sim::sched::{set_default_pacing, Pacing};
 
 fn usage() -> String {
     format!(
         "usage: experiments [--quick] [--scale F] [--pauses N] [--jobs N] [--out DIR] \
-         [--trace FILE] [--fault-rate R] [--fault-seed S] <id>...\n\
+         [--trace FILE] [--fault-rate R] [--fault-seed S] \
+         [--sched lockstep|fastforward] [--bench] <id>...\n\
          ids: all {}\n\
+         --sched picks the scheduler pacing (default fastforward; both produce \
+         byte-identical results)\n\
+         --bench times every listed experiment under both pacings, checks the \
+         outputs match, and writes BENCH_{}.json next to the results\n\
          exit codes: 0 clean, 2 degraded to the software-fallback mark, 3 a run failed",
-        experiments::ALL.join(" ")
+        experiments::ALL.join(" "),
+        BENCH_ISSUE,
     )
 }
+
+/// The BENCH trajectory point this build records (see ROADMAP item 5).
+const BENCH_ISSUE: u32 = 6;
 
 fn default_jobs() -> usize {
     std::thread::available_parallelism()
@@ -45,10 +55,19 @@ fn main() -> ExitCode {
     };
     let mut out_dir = PathBuf::from("results");
     let mut trace_path: Option<PathBuf> = None;
+    let mut bench = false;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--sched" => match args.next().as_deref().and_then(Pacing::parse) {
+                Some(p) => set_default_pacing(p),
+                None => {
+                    eprintln!("--sched needs 'lockstep' or 'fastforward'\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bench" => bench = true,
             "--quick" => {
                 opts.scale = 0.05;
                 opts.pauses = 2;
@@ -146,6 +165,26 @@ fn main() -> ExitCode {
     }
 
     let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+    // --bench: time the same batch under both pacings (fast-forward
+    // first, then the lockstep reference), hard-check that tables and
+    // sidecars agree byte for byte, and record the speedup in
+    // BENCH_<issue>.json. The fast-forward batch doubles as the normal
+    // output below.
+    let lockstep_batch = if bench {
+        set_default_pacing(Pacing::Lockstep);
+        match experiments::run_ids(&id_refs, &opts) {
+            Ok(c) => {
+                set_default_pacing(Pacing::FastForward);
+                Some(c)
+            }
+            Err(e) => {
+                eprintln!("{e}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     let started = std::time::Instant::now();
     let completed = match experiments::run_ids(&id_refs, &opts) {
         Ok(completed) => completed,
@@ -155,6 +194,56 @@ fn main() -> ExitCode {
         }
     };
     let wall = started.elapsed();
+    if let Some(lockstep) = &lockstep_batch {
+        for (ff, ls) in completed.iter().zip(lockstep) {
+            let id = ff.output.id;
+            if ff.output.metrics.to_json() != ls.output.metrics.to_json() {
+                eprintln!("bench: {id} metrics sidecars differ between pacings");
+                return ExitCode::FAILURE;
+            }
+            let csv = |c: &experiments::CompletedExperiment| {
+                c.output
+                    .tables
+                    .iter()
+                    .map(tracegc::table::Table::to_csv)
+                    .collect::<Vec<_>>()
+            };
+            if csv(ff) != csv(ls) {
+                eprintln!("bench: {id} CSV tables differ between pacings");
+                return ExitCode::FAILURE;
+            }
+        }
+        let doc = metrics::BenchDoc {
+            issue: BENCH_ISSUE,
+            jobs: opts.jobs,
+            scale: opts.scale,
+            pauses: opts.pauses,
+            entries: completed
+                .iter()
+                .zip(lockstep)
+                .map(|(ff, ls)| metrics::BenchEntry {
+                    id: ff.output.id.to_string(),
+                    sim_cycles: ff.output.metrics.phases.iter().map(|p| p.cycles).sum(),
+                    wall_s_fastforward: ff.wall.as_secs_f64(),
+                    wall_s_lockstep: ls.wall.as_secs_f64(),
+                })
+                .collect(),
+        };
+        match metrics::write_bench(&out_dir, &doc) {
+            Ok(path) => println!(
+                "bench: {} ({:.1}s lockstep / {:.1}s fastforward = {:.2}x, \
+                 outputs byte-identical)",
+                path.display(),
+                doc.total_wall_lockstep(),
+                doc.total_wall_fastforward(),
+                doc.total_speedup(),
+            ),
+            Err(e) => {
+                eprintln!("bench: could not write BENCH_{BENCH_ISSUE}.json: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     // Rendering happens after the pool drains, in registry order, so
     // output and CSVs are identical for every --jobs value.

@@ -253,6 +253,137 @@ pub fn write_sidecar(dir: &Path, doc: &MetricsDoc) -> std::io::Result<std::path:
     Ok(path)
 }
 
+/// Schema tag written into every self-timing bench document.
+pub const BENCH_SCHEMA: &str = "tracegc-bench-v1";
+
+/// One experiment's simulator-performance sample: the same simulated
+/// work (identical cycles, CSVs and sidecars by construction) timed
+/// under both pacings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Experiment id (`fig15`, ...).
+    pub id: String,
+    /// Simulated cycles attributed by the experiment's metrics phases
+    /// (identical under both pacings).
+    pub sim_cycles: u64,
+    /// Wall seconds under event-driven fast-forward pacing.
+    pub wall_s_fastforward: f64,
+    /// Wall seconds under the cycle-by-cycle lockstep reference.
+    pub wall_s_lockstep: f64,
+}
+
+impl BenchEntry {
+    /// Lockstep wall over fast-forward wall (how much the event-driven
+    /// scheduler buys on this experiment).
+    pub fn speedup(&self) -> f64 {
+        self.wall_s_lockstep / self.wall_s_fastforward.max(1e-9)
+    }
+}
+
+/// The `BENCH_<issue>.json` document (schema [`BENCH_SCHEMA`]): the
+/// simulator's own performance trajectory, so a scheduling regression
+/// shows up as a number, not a feeling. Written by
+/// `experiments --bench`; validated by `tests/metrics_sidecar.rs` and
+/// `ci.sh`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// Trajectory point (the PR that recorded it); names the file.
+    pub issue: u32,
+    /// Worker threads the batch ran with.
+    pub jobs: usize,
+    /// Scale factor of the batch.
+    pub scale: f64,
+    /// Pause budget of the batch.
+    pub pauses: usize,
+    /// Per-experiment samples, in registry order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchDoc {
+    /// Total simulated cycles across all entries.
+    pub fn total_sim_cycles(&self) -> u64 {
+        self.entries.iter().map(|e| e.sim_cycles).sum()
+    }
+
+    /// Summed per-experiment wall seconds (experiment-seconds of work,
+    /// independent of `--jobs` overlap) under fast-forward pacing.
+    pub fn total_wall_fastforward(&self) -> f64 {
+        self.entries.iter().map(|e| e.wall_s_fastforward).sum()
+    }
+
+    /// Summed per-experiment wall seconds under lockstep pacing.
+    pub fn total_wall_lockstep(&self) -> f64 {
+        self.entries.iter().map(|e| e.wall_s_lockstep).sum()
+    }
+
+    /// Whole-batch speedup of fast-forward over the lockstep reference.
+    pub fn total_speedup(&self) -> f64 {
+        self.total_wall_lockstep() / self.total_wall_fastforward().max(1e-9)
+    }
+
+    /// The document's file name, `BENCH_<issue>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.issue)
+    }
+
+    /// Renders the document as deterministic, pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {},", json_string(BENCH_SCHEMA));
+        let _ = writeln!(s, "  \"issue\": {},", self.issue);
+        let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(s, "  \"scale\": {},", json_f64(self.scale));
+        let _ = writeln!(s, "  \"pauses\": {},", self.pauses);
+        s.push_str("  \"experiments\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                s,
+                "    {{\"id\": {}, \"sim_cycles\": {}, \
+                 \"wall_s_fastforward\": {}, \"wall_s_lockstep\": {}, \
+                 \"speedup\": {}, \"cycles_per_sec_fastforward\": {}, \
+                 \"cycles_per_sec_lockstep\": {}}}",
+                json_string(&e.id),
+                e.sim_cycles,
+                json_f64(e.wall_s_fastforward),
+                json_f64(e.wall_s_lockstep),
+                json_f64(e.speedup()),
+                json_f64(e.sim_cycles as f64 / e.wall_s_fastforward.max(1e-9)),
+                json_f64(e.sim_cycles as f64 / e.wall_s_lockstep.max(1e-9)),
+            );
+        }
+        s.push_str(if self.entries.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        let _ = writeln!(s, "  \"total\": {{");
+        let _ = writeln!(s, "    \"sim_cycles\": {},", self.total_sim_cycles());
+        let _ = writeln!(
+            s,
+            "    \"wall_s_fastforward\": {},",
+            json_f64(self.total_wall_fastforward())
+        );
+        let _ = writeln!(
+            s,
+            "    \"wall_s_lockstep\": {},",
+            json_f64(self.total_wall_lockstep())
+        );
+        let _ = writeln!(s, "    \"speedup\": {}", json_f64(self.total_speedup()));
+        s.push_str("  }\n}\n");
+        s
+    }
+}
+
+/// Writes `doc` to `<dir>/BENCH_<issue>.json`; returns the path written.
+pub fn write_bench(dir: &Path, doc: &BenchDoc) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(doc.file_name());
+    std::fs::write(&path, doc.to_json())?;
+    Ok(path)
+}
+
 /// Renders drained ring events in the Chrome trace-event format
 /// (one simulated cycle = 1 µs). Stall events (`stall:*`) use their
 /// `arg` as the duration; all others are unit-duration slices.

@@ -37,12 +37,23 @@ use crate::traversal::TraversalUnit;
 pub struct MarkEngine<'a> {
     unit: &'a mut TraversalUnit,
     heap_idx: usize,
+    /// Wake-up hint covering the memory system's fault latch: the unit
+    /// polls the latch at the top of each step, so a fault latched by
+    /// an access *during* this step becomes a trap exactly one cycle
+    /// later — an imminent state change the unit's own `next_event`
+    /// cannot see. Without this hint the fast-forward scheduler could
+    /// hop past the trap cycle and observe it late.
+    fault_wake: Option<Cycle>,
 }
 
 impl<'a> MarkEngine<'a> {
     /// Wraps `unit` (already `begin`-ed) marking `heaps[heap_idx]`.
     pub fn new(unit: &'a mut TraversalUnit, heap_idx: usize) -> Self {
-        Self { unit, heap_idx }
+        Self {
+            unit,
+            heap_idx,
+            fault_wake: None,
+        }
     }
 
     /// The wrapped unit's heap index within the [`SocCtx`].
@@ -66,6 +77,7 @@ impl<'a, 'c> Engine<SocCtx<'c>> for MarkEngine<'a> {
             self.unit.inject_reference(va);
         }
         let progress = self.unit.step(now, &mut *heaps[self.heap_idx], mem);
+        self.fault_wake = mem.pending_fault().map(|_| now + 1);
         if self.unit.is_complete() {
             Progress::Done
         } else if progress {
@@ -76,7 +88,10 @@ impl<'a, 'c> Engine<SocCtx<'c>> for MarkEngine<'a> {
     }
 
     fn next_event_at(&self) -> Option<Cycle> {
-        self.unit.next_event_at()
+        match (self.unit.next_event_at(), self.fault_wake) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     fn stall_reason(&self, now: Cycle) -> StallReason {
@@ -168,6 +183,16 @@ impl<'c> Engine<SocCtx<'c>> for MutatorEngine {
             heaps, mailboxes, ..
         } = ctx;
         let heap = &mut *heaps[self.heap_idx];
+        if self.working_set.is_empty() {
+            // Nothing to mutate: keep the op clock ticking anyway so
+            // the reported next event stays honest (strictly future)
+            // instead of going stale and pinning the scheduler to a
+            // one-cycle crawl.
+            while self.next_op <= now {
+                self.next_op += self.cfg.cycles_per_op.max(1);
+            }
+            return Progress::Stalled;
+        }
         while self.next_op <= now && !self.working_set.is_empty() {
             self.ops += 1;
             self.next_op += self.cfg.cycles_per_op;

@@ -304,17 +304,21 @@ impl MarkQueue {
             return false;
         }
 
-        // 4. Opportunistic bypass of a trickle of outQ entries.
-        if !self.outq.is_empty() && self.spilled == 0 && self.pending_fill.is_none() {
-            if let Some(e) = self.outq.pop() {
-                if self.main.try_push(e).is_ok() || self.inq.try_push(e).is_ok() {
-                    self.stats.bypassed += 1;
-                    return true;
-                }
-                // Nowhere to put it; put it back (front ordering is not
-                // semantically meaningful for marking).
-                self.outq.try_push(e).expect("just popped");
+        // 4. Opportunistic bypass of a trickle of outQ entries. Checked
+        // before popping: a pop + failed re-push would rotate outQ on a
+        // no-progress tick, making stalled ticks side-effectful and
+        // breaking the scheduler's fast-forward/lockstep equivalence.
+        if !self.outq.is_empty()
+            && self.spilled == 0
+            && self.pending_fill.is_none()
+            && (!self.main.is_full() || !self.inq.is_full())
+        {
+            let e = self.outq.pop().expect("checked non-empty");
+            if self.main.try_push(e).is_err() {
+                self.inq.try_push(e).expect("checked free above");
             }
+            self.stats.bypassed += 1;
+            return true;
         }
         false
     }

@@ -487,6 +487,10 @@ impl<'a, 'c> Engine<SocCtx<'c>> for SweepEngine<'a> {
         }
     }
 
+    // Contract-honest: every sweeper lane is self-clocked, so the
+    // earliest lane clock is exactly the next cycle any state changes;
+    // after finalization the only remaining event is the slowest lane's
+    // end (when `step` reports done).
     fn next_event_at(&self) -> Option<Cycle> {
         self.earliest_pending()
             .map(|i| self.sweepers[i].now)

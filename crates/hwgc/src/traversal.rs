@@ -591,6 +591,23 @@ impl TraversalUnit {
             self.raise_trap(Trap::from_sim_error(&e));
             return true;
         }
+        // Expire pipeline freezes and the throttle gate once their
+        // deadline passes, so `next_event_at` never reports a stale
+        // (past) event: a stale minimum masks the unit's real future
+        // events and degrades scheduler skip-ahead into a +1 crawl.
+        if self.marker_blocked_until <= now {
+            self.marker_blocked_until = 0;
+        }
+        if self.tracer_blocked_until <= now {
+            self.tracer_blocked_until = 0;
+        }
+        if self.cfg.min_issue_interval > 0
+            && self
+                .last_issue_at
+                .is_some_and(|t| t + self.cfg.min_issue_interval <= now)
+        {
+            self.last_issue_at = None;
+        }
         let mut progress = false;
         // Background mutator traffic shares the memory controller.
         if self.bg_period > 0 {
@@ -699,6 +716,15 @@ impl TraversalUnit {
     }
 
     /// Earliest pending completion, for idle skip-ahead while stepping.
+    ///
+    /// Upholds the scheduler's `next_event_at` contract: the minimum
+    /// over every wake source — spill-engine fills, the pending root
+    /// fetch, busy marker slots, queued tracer responses, the
+    /// marker/tracer pipeline freezes, the §VII issue-throttle expiry
+    /// and the next background-traffic slot — so the unit never changes
+    /// state strictly before the reported cycle, and (because
+    /// [`TraversalUnit::step`] expires stale freeze/throttle deadlines
+    /// up front) never reports a cycle already in the past.
     pub fn next_event_at(&self) -> Option<Cycle> {
         self.next_event()
     }

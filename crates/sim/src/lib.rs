@@ -54,7 +54,10 @@ pub use fault::{
 pub use metrics::{EventTrace, MetricSet, StallAccounting, StallReason, TraceEvent};
 pub use queue::BoundedQueue;
 pub use rng::{Rng, SplitMix64, StdRng};
-pub use sched::{Engine, Policy, Progress, Scheduler, SocReport};
+pub use sched::{
+    default_pacing, set_default_pacing, with_pacing, Engine, Pacing, Policy, Progress, Scheduler,
+    SocReport,
+};
 pub use stats::{BandwidthMeter, Counter, Histogram, LatencyRecorder};
 
 /// A point in simulated time, measured in core clock cycles.

@@ -23,13 +23,55 @@
 //! * some engine [`Advanced`](Progress::Advanced) — the clock moves one
 //!   cycle; advancing engines are charged busy via [`Engine::note_busy`],
 //!   stalled ones one cycle of their [`Engine::stall_reason`].
-//! * every live engine [`Stalled`](Progress::Stalled) — the clock skips
-//!   to the earliest [`Engine::next_event_at`], charging each engine the
-//!   skipped span; with no pending event anywhere the run fails with a
+//! * every live engine [`Stalled`](Progress::Stalled) — the clock moves
+//!   according to the [`Pacing`] (see below): one cycle under
+//!   [`Pacing::Lockstep`], straight to the earliest pending
+//!   [`Engine::next_event_at`] under [`Pacing::FastForward`] — charging
+//!   each engine its stall reason for the skipped span either way; with
+//!   no pending event anywhere the run fails with a
 //!   [`SimError::Deadlock`] carrying a per-engine stall dump (see below).
 //! * an engine returns [`Done`](Progress::Done) — its completion cycle is
 //!   recorded and it is never stepped again. The run ends when every
 //!   non-[background](Engine::is_background) engine is done.
+//!
+//! # Pacing: lockstep vs fast-forward
+//!
+//! Orthogonal to the arbitration [`Policy`], a [`Pacing`] selects how the
+//! clock advances between service rounds:
+//!
+//! * [`Pacing::Lockstep`] is the reference interpreter: the clock only
+//!   ever advances one cycle at a time and every live engine is stepped
+//!   at every service cycle. Trivially correct, and dead slow — most
+//!   steps of a memory-bound SoC return [`Progress::Stalled`].
+//! * [`Pacing::FastForward`] (the default) is event-driven: when a
+//!   service round ends with every live engine stalled, the clock hops
+//!   straight to the earliest strictly-future [`Engine::next_event_at`]
+//!   without stepping anybody, charging each engine's ledger the
+//!   skipped span under its current [`Engine::stall_reason`]. The
+//!   `next_event_at` contract (see [`Engine::next_event_at`]) makes the
+//!   skipped steps provably side-effect-free, so both pacings produce
+//!   identical cycle counts, stall ledgers, trap cycles and completion
+//!   times — an equivalence pinned by `tests/engine_equivalence.rs`
+//!   across thousands of seeded (workload, config, fault-plan, policy)
+//!   combinations.
+//!
+//! The hop is clamped to the watchdog deadline so a livelocked engine
+//! set trips the no-progress watchdog at the identical cycle (and with
+//! the identical ledger dump) under both pacings. [`Policy::RoundRobin`]
+//! is pacing-invariant: its idle-round skip models the time-multiplexed
+//! datapath going idle and is part of the arbitration semantics (its
+//! exact ledgers are pinned by pre-refactor goldens). Under
+//! [`Policy::Throttled`] the fast-forward hop is disabled — the clock
+//! already advances in period-sized aligned jumps, and a mid-window hop
+//! would let the two pacings step engines at different service cycles,
+//! breaking pacing equivalence.
+//!
+//! The process-wide default pacing is [`Pacing::FastForward`], can be
+//! set at startup from the `TRACEGC_SCHED` environment variable
+//! (`lockstep` / `fastforward`), overridden per process via
+//! [`set_default_pacing`] (the experiment driver's `--sched` flag), per
+//! scope via [`with_pacing`] (how the differential tests run one driver
+//! both ways), and per scheduler via [`Scheduler::pacing`].
 //!
 //! A no-progress watchdog replaces ad-hoc per-loop deadlock panics:
 //! after [`DEFAULT_NO_PROGRESS_LIMIT`] cycles (configurable via
@@ -67,6 +109,8 @@
 //! assert_eq!(report.end, 10);
 //! ```
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
 use crate::fault::SimError;
 use crate::metrics::{StallAccounting, StallReason};
 use crate::Cycle;
@@ -103,6 +147,37 @@ pub trait Engine<Ctx> {
     fn step(&mut self, now: Cycle, ctx: &mut Ctx) -> Progress;
 
     /// Earliest cycle at which a stalled engine could progress, if any.
+    ///
+    /// # Contract (load-bearing for [`Pacing::FastForward`])
+    ///
+    /// When a service round ends with every live engine stalled, the
+    /// fast-forward scheduler skips *without stepping* every cycle
+    /// strictly before the earliest reported event, so implementors
+    /// must uphold (and `tests/engine_contract.rs` property-checks):
+    ///
+    /// * **Never late.** A stalled engine must never report an event
+    ///   later than its true next state change: re-stepped at any cycle
+    ///   strictly before the reported event it must return
+    ///   [`Progress::Stalled`] again and be side-effect-free, absent
+    ///   new external input. External wake sources (e.g. mailbox
+    ///   traffic from a mutator) must themselves be scheduled engines
+    ///   reporting their own events, so the cross-engine minimum covers
+    ///   them.
+    /// * **Never stale.** An engine that just returned
+    ///   [`Progress::Stalled`] at `now` must report an event `> now`
+    ///   (or `None`). A past event is not "conservative": it masks the
+    ///   engine's real future events behind the scheduler's minimum and
+    ///   degrades fast-forward into a one-cycle crawl.
+    /// * **Not stalled at the event.** Stepped at the reported cycle,
+    ///   the engine must make progress (or finish) — events mark real
+    ///   state changes, not guesses.
+    /// * **Span-stable stall reasons.** [`Engine::stall_reason`] must
+    ///   be constant over the skipped span, so one span-sized ledger
+    ///   charge equals lockstep's per-cycle charges.
+    ///
+    /// `None` means "no self-scheduled wake": the scheduler must step
+    /// the engine to discover progress, and deadlocks if every live
+    /// engine is stalled with no event.
     fn next_event_at(&self) -> Option<Cycle>;
 
     /// Why the engine cannot progress at `now` (used for stall charging
@@ -152,6 +227,96 @@ pub enum Policy {
     },
 }
 
+/// How the scheduler's clock advances between service rounds (see the
+/// module docs): `Lockstep` is the one-cycle-at-a-time reference
+/// interpreter, `FastForward` (the default) hops the clock straight to
+/// the earliest future [`Engine::next_event_at`]. Both produce
+/// identical cycle counts and ledgers; only wall-clock differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// Step every live engine at every service cycle; the clock only
+    /// advances one cycle at a time.
+    Lockstep,
+    /// Event-driven: skip cycles provably free of state changes,
+    /// charging the skipped span to each engine's stall ledger.
+    FastForward,
+}
+
+impl Pacing {
+    /// Parses a CLI/env spelling (`lockstep` / `fastforward`, with
+    /// `fast-forward` accepted as an alias).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "lockstep" => Some(Self::Lockstep),
+            "fastforward" | "fast-forward" => Some(Self::FastForward),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Lockstep => "lockstep",
+            Self::FastForward => "fastforward",
+        }
+    }
+}
+
+/// Process-wide default pacing: 0 = uninitialized, else `Pacing` + 1.
+static DEFAULT_PACING: AtomicU8 = AtomicU8::new(0);
+
+thread_local! {
+    /// Scoped override installed by [`with_pacing`]; beats the process
+    /// default so parallel tests can pick a pacing without racing.
+    static PACING_OVERRIDE: std::cell::Cell<Option<Pacing>> = const { std::cell::Cell::new(None) };
+}
+
+fn decode_pacing(v: u8) -> Option<Pacing> {
+    match v {
+        1 => Some(Pacing::Lockstep),
+        2 => Some(Pacing::FastForward),
+        _ => None,
+    }
+}
+
+/// The pacing a [`Scheduler::new`] starts with: a [`with_pacing`] scope
+/// if one is active, else the process default ([`set_default_pacing`],
+/// falling back to the `TRACEGC_SCHED` environment variable, falling
+/// back to [`Pacing::FastForward`]).
+pub fn default_pacing() -> Pacing {
+    if let Some(p) = PACING_OVERRIDE.with(std::cell::Cell::get) {
+        return p;
+    }
+    if let Some(p) = decode_pacing(DEFAULT_PACING.load(Ordering::Relaxed)) {
+        return p;
+    }
+    let p = std::env::var("TRACEGC_SCHED")
+        .ok()
+        .as_deref()
+        .and_then(Pacing::parse)
+        .unwrap_or(Pacing::FastForward);
+    DEFAULT_PACING.store(p as u8 + 1, Ordering::Relaxed);
+    p
+}
+
+/// Sets the process-wide default pacing (the experiment driver's
+/// `--sched` flag calls this before spawning its worker pool).
+pub fn set_default_pacing(p: Pacing) {
+    DEFAULT_PACING.store(p as u8 + 1, Ordering::Relaxed);
+}
+
+/// Runs `f` with `p` as this thread's default pacing, restoring the
+/// previous scope afterwards. Every `run_*` driver constructs its
+/// scheduler via [`Scheduler::new`], so this is how the differential
+/// tests run the same driver under both pacings without racing other
+/// test threads on the process default.
+pub fn with_pacing<R>(p: Pacing, f: impl FnOnce() -> R) -> R {
+    let prev = PACING_OVERRIDE.with(|o| o.replace(Some(p)));
+    let r = f();
+    PACING_OVERRIDE.with(|o| o.set(prev));
+    r
+}
+
 /// Default no-progress watchdog: panic after this many consecutive
 /// cycles in which no engine advanced or finished.
 pub const DEFAULT_NO_PROGRESS_LIMIT: Cycle = 10_000_000;
@@ -183,16 +348,25 @@ impl SocReport {
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     policy: Policy,
+    pacing: Pacing,
     no_progress_limit: Cycle,
 }
 
 impl Scheduler {
-    /// A scheduler with the given policy and the default watchdog.
+    /// A scheduler with the given policy, the ambient
+    /// [`default_pacing`] and the default watchdog.
     pub fn new(policy: Policy) -> Self {
         Self {
             policy,
+            pacing: default_pacing(),
             no_progress_limit: DEFAULT_NO_PROGRESS_LIMIT,
         }
+    }
+
+    /// Overrides the pacing for this scheduler only.
+    pub fn pacing(mut self, pacing: Pacing) -> Self {
+        self.pacing = pacing;
+        self
     }
 
     /// Overrides the no-progress watchdog threshold.
@@ -321,28 +495,15 @@ impl Scheduler {
                 }
                 now += 1;
             } else {
-                // Every live engine stalled: skip to the earliest event,
-                // charging the span to each engine's bottleneck.
+                // Every live engine stalled. With no pending event
+                // anywhere the set can never advance; otherwise the
+                // pacing decides how far the clock moves before the
+                // next service round.
                 let wake = (0..n)
                     .filter(|&i| !done[i])
                     .filter_map(|i| engines[i].next_event_at())
                     .min();
                 match wake {
-                    Some(t) if t > now => {
-                        let span = t - now;
-                        for i in (0..n).filter(|&i| !done[i]) {
-                            let reason = engines[i].stall_reason(now);
-                            engines[i].note_stall(now, reason, span);
-                        }
-                        now = t;
-                    }
-                    Some(_) => {
-                        for i in (0..n).filter(|&i| !done[i]) {
-                            let reason = engines[i].stall_reason(now);
-                            engines[i].note_stall(now, reason, 1);
-                        }
-                        now += 1;
-                    }
                     None => {
                         return Err(self.deadlock_report(
                             engines,
@@ -350,6 +511,40 @@ impl Scheduler {
                             now,
                             "every engine is stalled with no pending event",
                         ))
+                    }
+                    // Fast-forward: every cycle strictly before the
+                    // earliest reported event is provably another
+                    // all-stall round (the `next_event_at` contract),
+                    // so hop the clock straight there, charging each
+                    // engine the span it would have been charged cycle
+                    // by cycle. The hop is clamped to the watchdog
+                    // deadline so livelocks trip at the same cycle
+                    // (with the same ledger) as under lockstep.
+                    // Disabled under the §VII throttle policy: there
+                    // the clock already advances in period-sized
+                    // aligned jumps, and a mid-window hop would let the
+                    // two pacings step engines at different service
+                    // cycles.
+                    Some(t) if t > now && self.pacing == Pacing::FastForward && period == 1 => {
+                        let deadline = last_progress
+                            .saturating_add(self.no_progress_limit)
+                            .saturating_add(1);
+                        let t = t.min(deadline);
+                        let span = t - now;
+                        for i in (0..n).filter(|&i| !done[i]) {
+                            let reason = engines[i].stall_reason(now);
+                            engines[i].note_stall(now, reason, span);
+                        }
+                        now = t;
+                    }
+                    // Lockstep (or a stale event): charge this cycle
+                    // and crawl.
+                    Some(_) => {
+                        for i in (0..n).filter(|&i| !done[i]) {
+                            let reason = engines[i].stall_reason(now);
+                            engines[i].note_stall(now, reason, 1);
+                        }
+                        now += 1;
                     }
                 }
                 if now - last_progress > self.no_progress_limit {

@@ -288,6 +288,331 @@ fn scheduled_concurrent_matches_pre_refactor_golden() {
     assert_eq!(concurrent_fingerprint(), GOLDEN_CONCURRENT);
 }
 
+// ---------------------------------------------------------------------
+// Fast-forward vs lockstep: the same driver run under both pacings
+// must agree on every fingerprint (cycle counts AND full ledgers).
+// ---------------------------------------------------------------------
+
+#[test]
+fn pacing_differential_deterministic_drivers() {
+    use tracegc::sim::{with_pacing, Pacing};
+    let both = |f: &dyn Fn() -> String| {
+        (
+            with_pacing(Pacing::FastForward, f),
+            with_pacing(Pacing::Lockstep, f),
+        )
+    };
+    for (name, f) in [
+        (
+            "mark_bidi",
+            &(|| mark_fingerprint(LayoutKind::Bidirectional)) as &dyn Fn() -> String,
+        ),
+        ("mark_conv", &|| mark_fingerprint(LayoutKind::Conventional)),
+        ("sweep_2", &|| sweep_fingerprint(2)),
+        ("sweep_4", &|| sweep_fingerprint(4)),
+        ("cpu_bidi", &|| cpu_fingerprint(LayoutKind::Bidirectional)),
+        ("gc_unit", &|| gc_unit_fingerprint()),
+        ("multiproc", &|| multiproc_fingerprint()),
+        ("concurrent", &|| concurrent_fingerprint()),
+    ] {
+        let (ff, ls) = both(f);
+        assert_eq!(ff, ls, "{name}: fast-forward and lockstep disagree");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Randomized differential wall: seeded (workload, config, fault-plan,
+// policy) combinations, each run under both pacings, asserting
+// identical cycle counts, complete stall ledgers, trap registers and
+// outcome classifications. Combo counts are trimmed in debug builds so
+// `cargo test` stays fast; release runs clear a thousand scheduler
+// runs across the four families.
+// ---------------------------------------------------------------------
+
+use tracegc::hwgc::{CacheTopology, MarkEngine, SweepEngine};
+use tracegc::runner::{run_faulted_mark, MarkOutcome, MemKind};
+use tracegc::sim::{
+    with_pacing, Engine, FaultConfig, Pacing, Policy, Progress, Rng, Scheduler, SimError, StdRng,
+};
+use tracegc::workloads::spec::DACAPO;
+
+/// Seeds per randomized family (each seed = one combo run twice).
+const COMBOS: u64 = if cfg!(debug_assertions) { 12 } else { 150 };
+/// Fault runs build real benchmark heaps, so they get a smaller pool.
+const FAULT_COMBOS: u64 = if cfg!(debug_assertions) { 6 } else { 24 };
+
+/// Runs `f` under both pacings and asserts identical fingerprints.
+fn assert_pacing_equal(name: String, f: impl Fn() -> String) {
+    let ff = with_pacing(Pacing::FastForward, &f);
+    let ls = with_pacing(Pacing::Lockstep, &f);
+    assert_eq!(ff, ls, "{name}: fast-forward and lockstep disagree");
+}
+
+/// A seeded unit configuration exercising the fast-forward-sensitive
+/// corners: queue pressure, compression, throttling, walker count,
+/// cache topology.
+fn random_cfg(rng: &mut StdRng) -> GcUnitConfig {
+    let mut cfg = GcUnitConfig {
+        marker_slots: [1, 2, 4, 8][rng.random_range(0..4usize)],
+        tracer_queue: [2, 4, 16][rng.random_range(0..3usize)],
+        markq_entries: [8, 16, 64][rng.random_range(0..3usize)],
+        markq_side: [16, 32, 64][rng.random_range(0..3usize)],
+        compress: rng.random(),
+        markbit_cache: [0, 64][rng.random_range(0..2usize)],
+        sweepers: [1, 2, 4, 8][rng.random_range(0..4usize)],
+        min_issue_interval: [0, 0, 2, 5][rng.random_range(0..4usize)],
+        topology: if rng.random() {
+            CacheTopology::Shared
+        } else {
+            CacheTopology::Partitioned
+        },
+        ..GcUnitConfig::default()
+    };
+    cfg.tlb.concurrent_walks = [1, 2, 4][rng.random_range(0..3usize)];
+    cfg.tlb.blocking_requesters = rng.random();
+    cfg
+}
+
+/// A seeded tree-with-cross-edges heap (size and cross edges vary).
+fn random_mark_heap(rng: &mut StdRng, layout: LayoutKind) -> Heap {
+    let n = rng.random_range(200..700usize);
+    let mut h = Heap::new(HeapConfig {
+        phys_bytes: 128 << 20,
+        layout,
+        ..HeapConfig::default()
+    });
+    let objs: Vec<ObjRef> = (0..n)
+        .map(|i| h.alloc(3, (i % 6) as u32, false).unwrap())
+        .collect();
+    let live = n * 3 / 5;
+    for i in 0..live {
+        if 2 * i + 1 < live {
+            h.set_ref(objs[i], 0, Some(objs[2 * i + 1]));
+        }
+        if 2 * i + 2 < live {
+            h.set_ref(objs[i], 1, Some(objs[2 * i + 2]));
+        }
+        h.set_ref(objs[i], 2, Some(objs[rng.random_range(0..live)]));
+    }
+    h.set_roots(&[objs[0]]);
+    h
+}
+
+#[test]
+fn pacing_differential_randomized_marks() {
+    for seed in 0..COMBOS {
+        assert_pacing_equal(format!("mark[seed={seed}]"), || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let layout = if rng.random() {
+                LayoutKind::Bidirectional
+            } else {
+                LayoutKind::Conventional
+            };
+            let cfg = random_cfg(&mut rng);
+            let mut heap = random_mark_heap(&mut rng, layout);
+            let mut mem = MemSystem::ddr3(Default::default());
+            let mut unit = TraversalUnit::new(cfg, &mut heap);
+            let r = unit.run_mark(&mut heap, &mut mem, 0);
+            format!(
+                "end={};marked={};refs={};{}",
+                r.end,
+                r.objects_marked,
+                r.refs_enqueued,
+                ledger(&r.stalls)
+            )
+        });
+    }
+}
+
+#[test]
+fn pacing_differential_randomized_sweeps() {
+    for seed in 0..COMBOS {
+        assert_pacing_equal(format!("sweep[seed={seed}]"), || {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let cfg = random_cfg(&mut rng);
+            let n = rng.random_range(400..1200usize);
+            let mut heap = swept_heap(n);
+            let mut mem = MemSystem::ddr3(Default::default());
+            let mut unit = ReclamationUnit::new(cfg, &heap);
+            let r = unit.run_sweep(&mut heap, &mut mem, 0);
+            format!(
+                "end={};freed={};reads={};{}",
+                r.end,
+                r.cells_freed,
+                r.line_reads,
+                ledger(&r.stalls)
+            )
+        });
+    }
+}
+
+#[test]
+fn pacing_differential_randomized_policies() {
+    use tracegc::heap::SocCtx;
+    for seed in 0..COMBOS {
+        assert_pacing_equal(format!("policy[seed={seed}]"), || {
+            let mut rng = StdRng::seed_from_u64(2000 + seed);
+            let policy = match rng.random_range(0..4usize) {
+                0 => Policy::Lockstep,
+                1 => Policy::Priority(if rng.random() { vec![0, 1] } else { vec![1, 0] }),
+                2 => Policy::RoundRobin,
+                _ => Policy::Throttled {
+                    period: rng.random_range(2..8u64),
+                },
+            };
+            // One unit marking heap A while the sweeper array reclaims
+            // heap B on the same DDR3 controller (the overlap shape).
+            let mut a = random_mark_heap(&mut rng, LayoutKind::Bidirectional);
+            let mut b = swept_heap(rng.random_range(300..800usize));
+            let mut mem = MemSystem::ddr3(Default::default());
+            let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut a);
+            let mut rec = ReclamationUnit::new(GcUnitConfig::default(), &b);
+            unit.begin(&a, 0);
+            let mut sweep_eng = SweepEngine::new(&mut rec, 1, 0);
+            let report = {
+                let mut mark_eng = MarkEngine::new(&mut unit, 0);
+                let mut ctx = SocCtx::new(&mut mem, vec![&mut a, &mut b]);
+                let mut engines: [&mut dyn Engine<SocCtx>; 2] = [&mut mark_eng, &mut sweep_eng];
+                Scheduler::new(policy).run(&mut engines, &mut ctx, 0)
+            };
+            let mark = unit.result_at(0, report.ends[0]);
+            let sweep = sweep_eng.into_result();
+            format!(
+                "end={};ends={:?};mark_end={};marked={};{}|sweep_end={};freed={};{}",
+                report.end,
+                report.ends,
+                mark.end,
+                mark.objects_marked,
+                ledger(&mark.stalls),
+                sweep.end,
+                sweep.cells_freed,
+                ledger(&sweep.stalls)
+            )
+        });
+    }
+}
+
+#[test]
+fn pacing_differential_randomized_faults() {
+    // Fault runs must agree on *everything* architected: the outcome
+    // class, the trap kind, the faulting-entry register (`trap.va`),
+    // the trap cycle, both cycle counters, the final mark set, the
+    // injector counters and both stall ledgers.
+    for seed in 0..FAULT_COMBOS {
+        assert_pacing_equal(format!("fault[seed={seed}]"), || {
+            let mut rng = StdRng::seed_from_u64(3000 + seed);
+            let spec = DACAPO[rng.random_range(0..DACAPO.len())].scaled(0.02);
+            let layout = if rng.random() {
+                LayoutKind::Bidirectional
+            } else {
+                LayoutKind::Conventional
+            };
+            let fault = FaultConfig {
+                seed: rng.next_u64(),
+                bit_flip_rate: [0.0, 0.001][rng.random_range(0..2usize)],
+                ecc_uncorrectable_weight: 0.2,
+                ecc_detect_weight: 0.3,
+                drop_rate: [0.0, 0.002][rng.random_range(0..2usize)],
+                delay_rate: [0.0, 0.01][rng.random_range(0..2usize)],
+                corrupt_ref_rate: [0.0, 0.01][rng.random_range(0..2usize)],
+                corrupt_header_rate: [0.0, 0.005][rng.random_range(0..2usize)],
+                pte_fault_rate: [0.0, 0.2][rng.random_range(0..2usize)],
+                ..FaultConfig::default()
+            };
+            let run = run_faulted_mark(
+                &spec,
+                layout,
+                GcUnitConfig::default(),
+                MemKind::ddr3_default(),
+                fault,
+            );
+            let outcome = match &run.outcome {
+                MarkOutcome::Clean => "clean".to_string(),
+                MarkOutcome::Fallback(fb) => format!(
+                    "trap kind={:?} va={:#x} at={} drained={} cycles={}",
+                    fb.trap.kind, fb.trap.va, fb.trap.at, fb.drained, fb.cycles
+                ),
+                MarkOutcome::Failed(e) => format!("failed {e}"),
+            };
+            format!(
+                "{outcome};unit={};fallback={};marked={};stats={:?};{}|{}",
+                run.unit_cycles,
+                run.fallback_cycles,
+                run.objects_marked,
+                run.stats,
+                ledger(&run.unit_stalls),
+                ledger(&run.fallback_stalls)
+            )
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Watchdog equivalence: a wedged engine set must trip the no-progress
+// watchdog at the identical cycle, with the identical dump (names,
+// stall reasons, pending events AND ledgers) under both pacings — the
+// fast-forward hop is clamped to the watchdog deadline precisely so
+// livelocks stay observable.
+// ---------------------------------------------------------------------
+
+/// Always stalled, honestly promising a fixed far-future event, with a
+/// scheduler-charged ledger (so the dump exercises span charging).
+struct Wedged {
+    event: u64,
+    stalls: tracegc::sim::StallAccounting,
+}
+
+impl Engine<()> for Wedged {
+    fn name(&self) -> &'static str {
+        "wedged"
+    }
+    fn step(&mut self, _now: u64, _ctx: &mut ()) -> Progress {
+        Progress::Stalled
+    }
+    fn next_event_at(&self) -> Option<u64> {
+        Some(self.event)
+    }
+    fn stall_reason(&self, _now: u64) -> StallReason {
+        StallReason::MemLatency
+    }
+    fn note_stall(&mut self, _now: u64, reason: StallReason, span: u64) {
+        self.stalls.stall(reason, span);
+    }
+    fn ledger(&self) -> Option<StallAccounting> {
+        Some(self.stalls)
+    }
+}
+
+#[test]
+fn watchdog_trips_identically_under_both_pacings() {
+    let trip = |pacing: Pacing| {
+        let mut e = Wedged {
+            event: 1_000_000,
+            stalls: StallAccounting::default(),
+        };
+        let err = Scheduler::new(Policy::Lockstep)
+            .pacing(pacing)
+            .no_progress_limit(1_000)
+            .try_run(&mut [&mut e as &mut dyn Engine<()>], &mut (), 0)
+            .expect_err("a wedged engine must deadlock");
+        match err {
+            SimError::Deadlock { at, dump } => (at, dump),
+            other => panic!("expected a deadlock, got {other}"),
+        }
+    };
+    let (ff_at, ff_dump) = trip(Pacing::FastForward);
+    let (ls_at, ls_dump) = trip(Pacing::Lockstep);
+    assert_eq!(ff_at, ls_at, "watchdog must trip at the identical cycle");
+    assert_eq!(
+        ff_dump, ls_dump,
+        "watchdog dumps (reasons, pending events, ledgers) must match"
+    );
+    assert!(
+        ff_dump.contains("wedged") && ff_dump.contains("mem_latency"),
+        "dump must carry the engine name and stall reason: {ff_dump}"
+    );
+}
+
 #[test]
 fn single_process_multiproc_equals_plain_run_mark_exactly() {
     // One process on the shared datapath is served every cycle, so the

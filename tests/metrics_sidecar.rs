@@ -89,3 +89,58 @@ fn forced_scale_sidecars_are_valid() {
         json_syntax_check(&out.metrics.to_json()).unwrap();
     }
 }
+
+/// The `experiments --bench` document (`BENCH_<issue>.json`): schema
+/// tag, JSON well-formedness, deterministic bytes, totals and the
+/// derived speedup fields.
+#[test]
+fn bench_doc_schema_and_totals() {
+    use tracegc::metrics::{write_bench, BenchDoc, BenchEntry, BENCH_SCHEMA};
+    let doc = BenchDoc {
+        issue: 6,
+        jobs: 4,
+        scale: 0.25,
+        pauses: 3,
+        entries: vec![
+            BenchEntry {
+                id: "fig15".into(),
+                sim_cycles: 1_000_000,
+                wall_s_fastforward: 0.5,
+                wall_s_lockstep: 4.0,
+            },
+            BenchEntry {
+                id: "fig20".into(),
+                sim_cycles: 2_000_000,
+                wall_s_fastforward: 1.0,
+                wall_s_lockstep: 5.0,
+            },
+        ],
+    };
+    assert_eq!(doc.file_name(), "BENCH_6.json");
+    assert_eq!(doc.total_sim_cycles(), 3_000_000);
+    assert!((doc.total_speedup() - 6.0).abs() < 1e-9);
+    let json = doc.to_json();
+    json_syntax_check(&json).expect("bench doc must be well-formed JSON");
+    assert!(json.contains(BENCH_SCHEMA), "missing schema tag");
+    for key in [
+        "\"issue\": 6",
+        "\"experiments\": [",
+        "\"wall_s_fastforward\"",
+        "\"wall_s_lockstep\"",
+        "\"speedup\"",
+        "\"cycles_per_sec_fastforward\"",
+        "\"total\"",
+    ] {
+        assert!(json.contains(key), "bench doc missing {key}:\n{json}");
+    }
+    assert_eq!(json, doc.to_json(), "bench rendering must be deterministic");
+
+    let dir = std::env::temp_dir().join(format!("tracegc-bench-{}", std::process::id()));
+    let path = write_bench(&dir, &doc).expect("bench written");
+    assert!(path.ends_with("BENCH_6.json"));
+    assert_eq!(
+        std::fs::read_to_string(&path).expect("readable"),
+        doc.to_json()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
