@@ -49,13 +49,30 @@ for f in fig15.csv fig15.metrics.json fig20.csv fig20.metrics.json \
     cmp "$SIDECAR_DIR/pace_ff/$f" "$SIDECAR_DIR/pace_ls/$f"
 done
 
-echo "==> bench doc smoke (experiments --bench writes BENCH_6.json)"
+echo "==> bench doc smoke (experiments --bench writes BENCH_7.json)"
 ./target/release/experiments --quick --bench --out "$SIDECAR_DIR/bench" fig15 >/dev/null
-test -s "$SIDECAR_DIR/bench/BENCH_6.json"
-grep -q '"schema": "tracegc-bench-v1"' "$SIDECAR_DIR/bench/BENCH_6.json"
+test -s "$SIDECAR_DIR/bench/BENCH_7.json"
+grep -q '"schema": "tracegc-bench-v1"' "$SIDECAR_DIR/bench/BENCH_7.json"
+grep -q '"peak_rss_kb_fastforward"' "$SIDECAR_DIR/bench/BENCH_7.json"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
-    "$SIDECAR_DIR/bench/BENCH_6.json" 2>/dev/null \
-    || grep -q '"speedup"' "$SIDECAR_DIR/bench/BENCH_6.json"
+    "$SIDECAR_DIR/bench/BENCH_7.json" 2>/dev/null \
+    || grep -q '"speedup"' "$SIDECAR_DIR/bench/BENCH_7.json"
+
+echo "==> paper calibration gate (experiments --calibrate on committed results/)"
+# The committed results/ (scale 0.25) must conform to the paper's
+# numbers: every tolerance band and trend assertion in
+# crates/harness/src/calib.rs, exit 0 or the build fails. Run in a
+# scratch copy so the gate also proves the report is byte-identical to
+# the committed results/calibration.json without dirtying the tree.
+mkdir -p "$SIDECAR_DIR/calib_committed"
+cp results/*.csv results/*.metrics.json "$SIDECAR_DIR/calib_committed/"
+./target/release/experiments --calibrate --out "$SIDECAR_DIR/calib_committed"
+cmp "$SIDECAR_DIR/calib_committed/calibration.json" results/calibration.json
+# Violations must exit 4 (an empty corpus fails every check).
+mkdir -p "$SIDECAR_DIR/calib_empty"
+rc=0
+./target/release/experiments --calibrate --out "$SIDECAR_DIR/calib_empty" >/dev/null 2>&1 || rc=$?
+test "$rc" -eq 4
 
 echo "==> faultsweep smoke (golden scale; must degrade deterministically, exit 2)"
 # At the golden scale the sweep always hits at least one fallback, so

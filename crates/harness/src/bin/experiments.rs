@@ -19,8 +19,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use tracegc::calib;
 use tracegc::experiments::{self, Options};
 use tracegc::metrics;
+use tracegc::nondet;
 use tracegc_sim::sched::{set_default_pacing, Pacing};
 
 fn usage() -> String {
@@ -28,19 +30,24 @@ fn usage() -> String {
         "usage: experiments [--quick] [--scale F] [--pauses N] [--jobs N] [--out DIR] \
          [--trace FILE] [--fault-rate R] [--fault-seed S] \
          [--sched lockstep|fastforward] [--bench] <id>...\n\
+         \x20      experiments --calibrate [--out DIR] [<figure>...]\n\
          ids: all {}\n\
          --sched picks the scheduler pacing (default fastforward; both produce \
          byte-identical results)\n\
          --bench times every listed experiment under both pacings, checks the \
          outputs match, and writes BENCH_{}.json next to the results\n\
-         exit codes: 0 clean, 2 degraded to the software-fallback mark, 3 a run failed",
+         --calibrate checks DIR's CSVs and sidecars (default results/) against the \
+         paper's numbers and writes DIR/calibration.json; figures default to all of: {}\n\
+         exit codes: 0 clean, 2 degraded to the software-fallback mark, 3 a run \
+         failed, 4 calibration out of tolerance",
         experiments::ALL.join(" "),
         BENCH_ISSUE,
+        calib::FIGURES.join(" "),
     )
 }
 
 /// The BENCH trajectory point this build records (see ROADMAP item 5).
-const BENCH_ISSUE: u32 = 6;
+const BENCH_ISSUE: u32 = 7;
 
 fn default_jobs() -> usize {
     std::thread::available_parallelism()
@@ -56,6 +63,7 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
     let mut trace_path: Option<PathBuf> = None;
     let mut bench = false;
+    let mut calibrate = false;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -68,6 +76,7 @@ fn main() -> ExitCode {
                 }
             },
             "--bench" => bench = true,
+            "--calibrate" => calibrate = true,
             "--quick" => {
                 opts.scale = 0.05;
                 opts.pauses = 2;
@@ -148,6 +157,64 @@ fn main() -> ExitCode {
             other => ids.push(other.to_string()),
         }
     }
+    // --calibrate is a pure evaluation mode: it reruns nothing, it
+    // checks the CSVs and sidecars already in the output directory
+    // against the in-tree paper-number table and writes
+    // calibration.json there. Exit 0 = within tolerance, 4 = a check
+    // failed, 1 = usage or I/O error.
+    if calibrate {
+        let figures: Vec<&str> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+            calib::FIGURES.to_vec()
+        } else {
+            ids.iter().map(String::as_str).collect()
+        };
+        let report = match calib::evaluate(&out_dir, &figures) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("calibrate: {e}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        };
+        for c in &report.checks {
+            let detail = match (&c.measured, &c.reason) {
+                (Some(v), _) => format!(
+                    "measured {v:.4} in [{}, {}]{}",
+                    c.lo,
+                    c.hi.map_or("inf".to_string(), |h| h.to_string()),
+                    c.paper.map_or(String::new(), |p| format!(", paper {p}")),
+                ),
+                (None, Some(reason)) => reason.clone(),
+                (None, None) => String::new(),
+            };
+            println!(
+                "calibrate: [{:>7}] {:<32} {}",
+                c.status.name(),
+                c.id,
+                detail
+            );
+        }
+        match calib::write_calibration(&out_dir, &report) {
+            Ok(path) => println!("calibrate: report {}", path.display()),
+            Err(e) => {
+                eprintln!("calibrate: could not write calibration.json: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let (passed, failed, skipped) = report.tally();
+        println!(
+            "calibrate: {} checks over {} figure(s): {passed} passed, {failed} failed, \
+             {skipped} skipped (bands apply at scale {})",
+            report.checks.len(),
+            report.figures.len(),
+            calib::CALIBRATED_SCALE,
+        );
+        return if report.passed() {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("exit 4: calibration outside tolerance (see calibration.json)");
+            ExitCode::from(4)
+        };
+    }
     if ids.is_empty() {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
@@ -175,7 +242,7 @@ fn main() -> ExitCode {
         match experiments::run_ids(&id_refs, &opts) {
             Ok(c) => {
                 set_default_pacing(Pacing::FastForward);
-                Some(c)
+                Some((c, metrics::peak_rss_kb()))
             }
             Err(e) => {
                 eprintln!("{e}\n{}", usage());
@@ -185,6 +252,11 @@ fn main() -> ExitCode {
     } else {
         None
     };
+    // Attribute each pacing's RSS high-water mark separately where the
+    // kernel lets us reset it between batches.
+    if lockstep_batch.is_some() {
+        metrics::reset_peak_rss();
+    }
     let started = std::time::Instant::now();
     let completed = match experiments::run_ids(&id_refs, &opts) {
         Ok(completed) => completed,
@@ -194,10 +266,22 @@ fn main() -> ExitCode {
         }
     };
     let wall = started.elapsed();
-    if let Some(lockstep) = &lockstep_batch {
+    if let Some((lockstep, lockstep_rss)) = &lockstep_batch {
         for (ff, ls) in completed.iter().zip(lockstep) {
             let id = ff.output.id;
-            if ff.output.metrics.to_json() != ls.output.metrics.to_json() {
+            // Byte-equality after scrubbing the centralized
+            // nondeterministic-field list (a no-op for sidecars, which
+            // contain none of those fields — the scrub guarantees the
+            // comparison can never trip on a host-measured value).
+            let scrubbed = |doc: &tracegc::MetricsDoc| match nondet::scrub_json(&doc.to_json()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bench: {id} sidecar is not valid JSON: {e}");
+                    String::new()
+                }
+            };
+            let (ff_doc, ls_doc) = (scrubbed(&ff.output.metrics), scrubbed(&ls.output.metrics));
+            if ff_doc.is_empty() || ff_doc != ls_doc {
                 eprintln!("bench: {id} metrics sidecars differ between pacings");
                 return ExitCode::FAILURE;
             }
@@ -218,6 +302,8 @@ fn main() -> ExitCode {
             jobs: opts.jobs,
             scale: opts.scale,
             pauses: opts.pauses,
+            peak_rss_kb_fastforward: metrics::peak_rss_kb(),
+            peak_rss_kb_lockstep: *lockstep_rss,
             entries: completed
                 .iter()
                 .zip(lockstep)

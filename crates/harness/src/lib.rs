@@ -33,8 +33,11 @@
 //! Regenerate every figure with
 //! `cargo run -p tracegc --release --bin experiments -- all`.
 
+pub mod calib;
 pub mod experiments;
+pub mod json;
 pub mod metrics;
+pub mod nondet;
 pub mod parallel;
 pub mod runner;
 pub mod table;

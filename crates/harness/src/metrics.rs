@@ -295,6 +295,13 @@ pub struct BenchDoc {
     pub scale: f64,
     /// Pause budget of the batch.
     pub pauses: usize,
+    /// Peak resident set size (KiB, `VmHWM`) observed over the
+    /// fast-forward batch; `None` where `/proc` is unavailable.
+    /// Host-measured, so excluded from byte-equality comparisons (see
+    /// [`crate::nondet`]).
+    pub peak_rss_kb_fastforward: Option<u64>,
+    /// Peak resident set size (KiB) observed over the lockstep batch.
+    pub peak_rss_kb_lockstep: Option<u64>,
     /// Per-experiment samples, in registry order.
     pub entries: Vec<BenchEntry>,
 }
@@ -370,10 +377,42 @@ impl BenchDoc {
             "    \"wall_s_lockstep\": {},",
             json_f64(self.total_wall_lockstep())
         );
-        let _ = writeln!(s, "    \"speedup\": {}", json_f64(self.total_speedup()));
+        let _ = writeln!(s, "    \"speedup\": {},", json_f64(self.total_speedup()));
+        let rss = |v: Option<u64>| v.map_or("null".to_string(), |kb| kb.to_string());
+        let _ = writeln!(
+            s,
+            "    \"peak_rss_kb_fastforward\": {},",
+            rss(self.peak_rss_kb_fastforward)
+        );
+        let _ = writeln!(
+            s,
+            "    \"peak_rss_kb_lockstep\": {}",
+            rss(self.peak_rss_kb_lockstep)
+        );
         s.push_str("  }\n}\n");
         s
     }
+}
+
+/// Peak resident set size of this process in KiB: the `VmHWM` line of
+/// `/proc/self/status`. `None` where `/proc` is unavailable (non-Linux)
+/// or unparsable. A high-water mark, not an instantaneous reading — see
+/// [`reset_peak_rss`].
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+}
+
+/// Asks the kernel to reset the RSS high-water mark (`5` to
+/// `/proc/self/clear_refs`), so consecutive batches can be attributed
+/// separately. Returns whether the reset took; when it does not, the
+/// next [`peak_rss_kb`] reading is a running maximum over both batches,
+/// which is still a valid upper bound.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
 }
 
 /// Writes `doc` to `<dir>/BENCH_<issue>.json`; returns the path written.
@@ -440,23 +479,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
 
 /// Escapes `v` as a JSON string literal (quotes included).
 fn json_string(v: &str) -> String {
-    let mut s = String::with_capacity(v.len() + 2);
-    s.push('"');
-    for c in v.chars() {
-        match c {
-            '"' => s.push_str("\\\""),
-            '\\' => s.push_str("\\\\"),
-            '\n' => s.push_str("\\n"),
-            '\r' => s.push_str("\\r"),
-            '\t' => s.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(s, "\\u{:04x}", c as u32);
-            }
-            c => s.push(c),
-        }
-    }
-    s.push('"');
-    s
+    crate::json::escape(v)
 }
 
 /// Formats a float as JSON: `{:?}` always produces a decimal point or
@@ -469,128 +492,13 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-/// A minimal JSON well-formedness check (no external crates): parses the
-/// full grammar and rejects trailing garbage. Values are not retained.
+/// A full JSON well-formedness check (no external crates), built on the
+/// strict parser in [`crate::json`]: beyond the grammar it rejects
+/// duplicate object keys, malformed escapes, raw control characters in
+/// strings, leading-zero numbers, and trailing garbage. Values are not
+/// retained; use [`crate::json::parse`] to read them.
 pub fn json_syntax_check(s: &str) -> Result<(), String> {
-    let b = s.as_bytes();
-    let mut pos = skip_ws(b, 0);
-    pos = parse_value(b, pos)?;
-    pos = skip_ws(b, pos);
-    if pos != b.len() {
-        return Err(format!("trailing garbage at byte {pos}"));
-    }
-    Ok(())
-}
-
-fn skip_ws(b: &[u8], mut pos: usize) -> usize {
-    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
-        pos += 1;
-    }
-    pos
-}
-
-fn parse_value(b: &[u8], pos: usize) -> Result<usize, String> {
-    let pos = skip_ws(b, pos);
-    match b.get(pos) {
-        Some(b'{') => parse_object(b, pos + 1),
-        Some(b'[') => parse_array(b, pos + 1),
-        Some(b'"') => parse_string(b, pos + 1),
-        Some(b't') => expect_lit(b, pos, b"true"),
-        Some(b'f') => expect_lit(b, pos, b"false"),
-        Some(b'n') => expect_lit(b, pos, b"null"),
-        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
-        Some(c) => Err(format!("unexpected byte {c:#x} at {pos}")),
-        None => Err("unexpected end of input".into()),
-    }
-}
-
-fn parse_object(b: &[u8], mut pos: usize) -> Result<usize, String> {
-    pos = skip_ws(b, pos);
-    if b.get(pos) == Some(&b'}') {
-        return Ok(pos + 1);
-    }
-    loop {
-        pos = skip_ws(b, pos);
-        if b.get(pos) != Some(&b'"') {
-            return Err(format!("expected object key at {pos}"));
-        }
-        pos = parse_string(b, pos + 1)?;
-        pos = skip_ws(b, pos);
-        if b.get(pos) != Some(&b':') {
-            return Err(format!("expected ':' at {pos}"));
-        }
-        pos = parse_value(b, pos + 1)?;
-        pos = skip_ws(b, pos);
-        match b.get(pos) {
-            Some(b',') => pos += 1,
-            Some(b'}') => return Ok(pos + 1),
-            _ => return Err(format!("expected ',' or '}}' at {pos}")),
-        }
-    }
-}
-
-fn parse_array(b: &[u8], mut pos: usize) -> Result<usize, String> {
-    pos = skip_ws(b, pos);
-    if b.get(pos) == Some(&b']') {
-        return Ok(pos + 1);
-    }
-    loop {
-        pos = parse_value(b, pos)?;
-        pos = skip_ws(b, pos);
-        match b.get(pos) {
-            Some(b',') => pos += 1,
-            Some(b']') => return Ok(pos + 1),
-            _ => return Err(format!("expected ',' or ']' at {pos}")),
-        }
-    }
-}
-
-fn parse_string(b: &[u8], mut pos: usize) -> Result<usize, String> {
-    while let Some(&c) = b.get(pos) {
-        match c {
-            b'"' => return Ok(pos + 1),
-            b'\\' => pos += 2,
-            _ => pos += 1,
-        }
-    }
-    Err("unterminated string".into())
-}
-
-fn parse_number(b: &[u8], mut pos: usize) -> Result<usize, String> {
-    if b.get(pos) == Some(&b'-') {
-        pos += 1;
-    }
-    let digits_start = pos;
-    while b.get(pos).is_some_and(|c| c.is_ascii_digit()) {
-        pos += 1;
-    }
-    if pos == digits_start {
-        return Err(format!("expected digits at {pos}"));
-    }
-    if b.get(pos) == Some(&b'.') {
-        pos += 1;
-        while b.get(pos).is_some_and(|c| c.is_ascii_digit()) {
-            pos += 1;
-        }
-    }
-    if matches!(b.get(pos), Some(b'e') | Some(b'E')) {
-        pos += 1;
-        if matches!(b.get(pos), Some(b'+') | Some(b'-')) {
-            pos += 1;
-        }
-        while b.get(pos).is_some_and(|c| c.is_ascii_digit()) {
-            pos += 1;
-        }
-    }
-    Ok(pos)
-}
-
-fn expect_lit(b: &[u8], pos: usize, lit: &[u8]) -> Result<usize, String> {
-    if b.len() >= pos + lit.len() && &b[pos..pos + lit.len()] == lit {
-        Ok(pos + lit.len())
-    } else {
-        Err(format!("bad literal at {pos}"))
-    }
+    crate::json::parse(s).map(|_| ())
 }
 
 #[cfg(test)]
@@ -690,6 +598,47 @@ mod tests {
         assert!(json_syntax_check("{\"a\": 1,}").is_err());
         assert!(json_syntax_check("[1, 2, {\"k\": \"v\"}]").is_ok());
         assert!(json_syntax_check("-1.5e-3").is_ok());
+    }
+
+    #[test]
+    fn syntax_check_rejects_malformed_escapes() {
+        assert!(json_syntax_check(r#"{"a": "bad \q escape"}"#).is_err());
+        assert!(json_syntax_check(r#"{"a": "trunc \u00"}"#).is_err());
+        assert!(json_syntax_check(r#"{"a": "nonhex \uZZZZ"}"#).is_err());
+        assert!(json_syntax_check(r#"{"a": "ok A \n \t \" \\"}"#).is_ok());
+    }
+
+    #[test]
+    fn syntax_check_rejects_truncated_objects() {
+        assert!(json_syntax_check("{\"schema\": \"tracegc-metrics-v1\"").is_err());
+        assert!(json_syntax_check("{\"phases\": [").is_err());
+        assert!(json_syntax_check("{\"counters\": {\"a\"").is_err());
+        assert!(json_syntax_check("{\"gauges\": {\"a\":").is_err());
+        // A sidecar cut off mid-write must never pass the checker: take a
+        // real document and chop it at every byte.
+        let mut doc = MetricsDoc::new("trunc");
+        doc.phase("p", 100, 1, sample_stalls());
+        doc.counter("c", 1);
+        let json = doc.to_json();
+        // Stop before the closing brace: beyond it only trailing
+        // whitespace remains and the document is already complete.
+        for cut in 1..=json.rfind('}').unwrap() {
+            if json.is_char_boundary(cut) {
+                assert!(
+                    json_syntax_check(&json[..cut]).is_err(),
+                    "truncation at byte {cut} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn syntax_check_rejects_duplicate_keys() {
+        assert!(json_syntax_check(r#"{"a": 1, "a": 2}"#).is_err());
+        // Nested duplicate, the shape a double-emitted counter would take.
+        assert!(json_syntax_check(r#"{"counters": {"x": 1, "x": 2}}"#).is_err());
+        // The same key in sibling objects is legal.
+        assert!(json_syntax_check(r#"[{"x": 1}, {"x": 2}]"#).is_ok());
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! The single source of truth for nondeterministic sidecar fields.
+//!
+//! Everything the harness writes is byte-deterministic — CSVs, metrics
+//! sidecars, `calibration.json` — **except** host-measured quantities:
+//! wall-clock times, their derived rates/speedups, and peak RSS. Those
+//! live only in `BENCH_<n>.json` and must be excluded from every
+//! byte-equality comparison (`--bench`'s pacing check, the golden wall,
+//! `tests/metrics_sidecar.rs`). This module owns the exclusion list so
+//! the comparisons and the tests can never drift apart; the
+//! `exclusion_list_is_exact` test in `tests/metrics_sidecar.rs` pins
+//! that the list is *exactly* the nondeterministic field set — every
+//! listed field appears in a bench doc and genuinely varies across
+//! runs, and no field of any deterministic artifact is listed.
+
+use crate::json::{self, Json};
+
+/// Field names whose values are measured on the host (wall clock,
+/// `/proc` RSS) rather than simulated, and are therefore excluded from
+/// byte-equality comparisons. Every other field of every artifact is
+/// deterministic.
+pub const NONDET_FIELDS: &[&str] = &[
+    // Wall-clock seconds per pacing, and everything derived from them.
+    "wall_s_fastforward",
+    "wall_s_lockstep",
+    "speedup",
+    "cycles_per_sec_fastforward",
+    "cycles_per_sec_lockstep",
+    // Peak resident set size of the measuring process (`VmHWM`),
+    // recorded per pacing batch.
+    "peak_rss_kb_fastforward",
+    "peak_rss_kb_lockstep",
+];
+
+/// Whether `field` is on the nondeterministic exclusion list.
+pub fn is_nondet_field(field: &str) -> bool {
+    NONDET_FIELDS.contains(&field)
+}
+
+/// Strips every [`NONDET_FIELDS`] member (recursively) from a parsed
+/// JSON value.
+pub fn strip_nondet(v: &Json) -> Json {
+    match v {
+        Json::Obj(members) => Json::Obj(
+            members
+                .iter()
+                .filter(|(k, _)| !is_nondet_field(k))
+                .map(|(k, val)| (k.clone(), strip_nondet(val)))
+                .collect(),
+        ),
+        Json::Arr(elems) => Json::Arr(elems.iter().map(strip_nondet).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Parses a JSON document and returns its canonical (compact) form with
+/// every nondeterministic field removed. Two runs of the same simulated
+/// work must scrub to identical bytes; for fully deterministic
+/// artifacts (metrics sidecars, `calibration.json`) scrubbing is a
+/// value-level no-op.
+///
+/// # Errors
+///
+/// Propagates parse errors from [`json::parse`].
+pub fn scrub_json(doc: &str) -> Result<String, String> {
+    Ok(strip_nondet(&json::parse(doc)?).to_compact())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_drops_listed_fields_recursively() {
+        let doc = r#"{
+            "id": "fig15", "sim_cycles": 123,
+            "wall_s_fastforward": 0.5, "speedup": 2.0,
+            "total": {"wall_s_lockstep": 1.0, "sim_cycles": 123}
+        }"#;
+        let scrubbed = scrub_json(doc).unwrap();
+        assert_eq!(
+            scrubbed,
+            r#"{"id":"fig15","sim_cycles":123,"total":{"sim_cycles":123}}"#
+        );
+        for f in NONDET_FIELDS {
+            assert!(!scrubbed.contains(f), "{f} survived scrubbing");
+        }
+    }
+
+    #[test]
+    fn scrub_is_identity_on_deterministic_docs() {
+        let doc = r#"{"schema":"tracegc-metrics-v1","id":"x","counters":{"a":1}}"#;
+        assert_eq!(scrub_json(doc).unwrap(), doc);
+    }
+
+    #[test]
+    fn scrub_rejects_malformed_input() {
+        assert!(scrub_json("{\"a\": ").is_err());
+    }
+
+    #[test]
+    fn list_membership() {
+        assert!(is_nondet_field("wall_s_lockstep"));
+        assert!(is_nondet_field("peak_rss_kb_fastforward"));
+        assert!(!is_nondet_field("sim_cycles"));
+        assert!(!is_nondet_field("cycles"));
+    }
+}
