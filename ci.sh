@@ -49,14 +49,33 @@ for f in fig15.csv fig15.metrics.json fig20.csv fig20.metrics.json \
     cmp "$SIDECAR_DIR/pace_ff/$f" "$SIDECAR_DIR/pace_ls/$f"
 done
 
-echo "==> bench doc smoke (experiments --bench writes BENCH_7.json)"
+echo "==> partition-pool equivalence (--par-engines 4 vs single-threaded, byte-identical)"
+# The bulk-synchronous partition pool must be invisible in every
+# output: each sweep experiment's grid points run on 4 workers yet the
+# CSVs and sidecars must match the single-threaded run bit for bit
+# (tests/metrics_sidecar.rs pins the full jobs x par-engines cross;
+# this gate pins it end-to-end through the CLI).
+./target/release/experiments --quick --par-engines 1 \
+    --out "$SIDECAR_DIR/par1" fig15 fig20 conc multi multiunit >/dev/null
+./target/release/experiments --quick --par-engines 4 \
+    --out "$SIDECAR_DIR/par4" fig15 fig20 conc multi multiunit >/dev/null
+for f in fig15.csv fig15.metrics.json fig20.csv fig20.metrics.json \
+         conc.csv conc.metrics.json multi.csv multi.metrics.json \
+         multiunit.csv multiunit.metrics.json; do
+    cmp "$SIDECAR_DIR/par1/$f" "$SIDECAR_DIR/par4/$f"
+done
+
+echo "==> bench doc smoke (experiments --bench writes BENCH_8.json)"
 ./target/release/experiments --quick --bench --out "$SIDECAR_DIR/bench" fig15 >/dev/null
-test -s "$SIDECAR_DIR/bench/BENCH_7.json"
-grep -q '"schema": "tracegc-bench-v1"' "$SIDECAR_DIR/bench/BENCH_7.json"
-grep -q '"peak_rss_kb_fastforward"' "$SIDECAR_DIR/bench/BENCH_7.json"
+test -s "$SIDECAR_DIR/bench/BENCH_8.json"
+grep -q '"schema": "tracegc-bench-v1"' "$SIDECAR_DIR/bench/BENCH_8.json"
+grep -q '"peak_rss_kb_fastforward"' "$SIDECAR_DIR/bench/BENCH_8.json"
+grep -q '"par_engines"' "$SIDECAR_DIR/bench/BENCH_8.json"
+grep -q '"host_cpus"' "$SIDECAR_DIR/bench/BENCH_8.json"
+grep -q '"wall_s_parallel"' "$SIDECAR_DIR/bench/BENCH_8.json"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
-    "$SIDECAR_DIR/bench/BENCH_7.json" 2>/dev/null \
-    || grep -q '"speedup"' "$SIDECAR_DIR/bench/BENCH_7.json"
+    "$SIDECAR_DIR/bench/BENCH_8.json" 2>/dev/null \
+    || grep -q '"speedup_parallel"' "$SIDECAR_DIR/bench/BENCH_8.json"
 
 echo "==> paper calibration gate (experiments --calibrate on committed results/)"
 # The committed results/ (scale 0.25) must conform to the paper's
@@ -89,6 +108,13 @@ test "$rc" -eq 2
 cmp "$SIDECAR_DIR/fs1/faultsweep.csv" "$SIDECAR_DIR/fs8/faultsweep.csv"
 cmp "$SIDECAR_DIR/fs1/faultsweep.metrics.json" "$SIDECAR_DIR/fs8/faultsweep.metrics.json"
 cmp "$SIDECAR_DIR/fs1/faultsweep.csv" tests/golden/faultsweep.csv
+# The fault grid on the partition pool: same bytes, same exit code.
+rc=0
+./target/release/experiments --scale 0.015 --pauses 1 --par-engines 4 \
+    --out "$SIDECAR_DIR/fs_par" faultsweep >/dev/null 2>&1 || rc=$?
+test "$rc" -eq 2
+cmp "$SIDECAR_DIR/fs_par/faultsweep.csv" "$SIDECAR_DIR/fs1/faultsweep.csv"
+cmp "$SIDECAR_DIR/fs_par/faultsweep.metrics.json" "$SIDECAR_DIR/fs1/faultsweep.metrics.json"
 # Fault injection (traps, retries, fallbacks) under lockstep must
 # reproduce the fast-forward run above byte for byte.
 rc=0

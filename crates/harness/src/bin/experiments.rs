@@ -10,11 +10,14 @@
 //!
 //! Each experiment prints its tables and writes CSVs under `results/`,
 //! plus a `<id>.metrics.json` sidecar with cycle-attributed stall
-//! breakdowns per phase. With `--jobs N` the experiments (and the grid
-//! points inside sweep experiments) run on N worker threads; output
+//! breakdowns per phase. Two independent levels of parallelism are
+//! available: `--jobs N` runs N *experiments* concurrently, and
+//! `--par-engines N` runs the independent grid points *inside* each
+//! sweep experiment on N bulk-synchronous partition workers. Output
 //! order, CSV contents, and sidecar bytes are identical to a serial
-//! run. `--trace FILE` (single experiment only) additionally dumps a
-//! Chrome trace-event JSON viewable in `about:tracing`/Perfetto.
+//! run for any combination of the two. `--trace FILE` (single
+//! experiment only) additionally dumps a Chrome trace-event JSON
+//! viewable in `about:tracing`/Perfetto.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,15 +30,19 @@ use tracegc_sim::sched::{set_default_pacing, Pacing};
 
 fn usage() -> String {
     format!(
-        "usage: experiments [--quick] [--scale F] [--pauses N] [--jobs N] [--out DIR] \
+        "usage: experiments [--quick] [--scale F] [--pauses N] [--jobs N] \
+         [--par-engines N] [--out DIR] \
          [--trace FILE] [--fault-rate R] [--fault-seed S] \
          [--sched lockstep|fastforward] [--bench] <id>...\n\
          \x20      experiments --calibrate [--out DIR] [<figure>...]\n\
          ids: all {}\n\
          --sched picks the scheduler pacing (default fastforward; both produce \
          byte-identical results)\n\
-         --bench times every listed experiment under both pacings, checks the \
-         outputs match, and writes BENCH_{}.json next to the results\n\
+         --par-engines runs each sweep experiment's independent grid points on N \
+         partition workers (byte-identical outputs for any N; default 1)\n\
+         --bench times every listed experiment under both pacings and once more \
+         with the partition pool, checks the outputs match, and writes \
+         BENCH_{}.json next to the results\n\
          --calibrate checks DIR's CSVs and sidecars (default results/) against the \
          paper's numbers and writes DIR/calibration.json; figures default to all of: {}\n\
          exit codes: 0 clean, 2 degraded to the software-fallback mark, 3 a run \
@@ -47,7 +54,11 @@ fn usage() -> String {
 }
 
 /// The BENCH trajectory point this build records (see ROADMAP item 5).
-const BENCH_ISSUE: u32 = 7;
+const BENCH_ISSUE: u32 = 8;
+
+/// Partition workers `--bench` uses when `--par-engines` was not given:
+/// the acceptance point of the multi-core batch is measured at 4.
+const BENCH_PAR_ENGINES: usize = 4;
 
 fn default_jobs() -> usize {
     std::thread::available_parallelism()
@@ -62,6 +73,7 @@ fn main() -> ExitCode {
     };
     let mut out_dir = PathBuf::from("results");
     let mut trace_path: Option<PathBuf> = None;
+    let mut par_engines_set = false;
     let mut bench = false;
     let mut calibrate = false;
     let mut ids: Vec<String> = Vec::new();
@@ -99,6 +111,16 @@ fn main() -> ExitCode {
                 Some(v) if v >= 1 => opts.jobs = v,
                 _ => {
                     eprintln!("--jobs needs a positive number\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--par-engines" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => {
+                    opts.par_engines = v;
+                    par_engines_set = true;
+                }
+                _ => {
+                    eprintln!("--par-engines needs a positive number\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -232,31 +254,47 @@ fn main() -> ExitCode {
     }
 
     let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
-    // --bench: time the same batch under both pacings (fast-forward
-    // first, then the lockstep reference), hard-check that tables and
-    // sidecars agree byte for byte, and record the speedup in
-    // BENCH_<issue>.json. The fast-forward batch doubles as the normal
-    // output below.
-    let lockstep_batch = if bench {
+    // --bench: run the same batch three ways — the cycle-by-cycle
+    // lockstep reference, single-threaded fast-forward, and
+    // fast-forward with the bulk-synchronous partition pool
+    // (`--par-engines`, default 4 here) — hard-check that all three
+    // outputs agree byte for byte, and record every wall in
+    // BENCH_<issue>.json. The partition-pool batch doubles as the
+    // normal output below. The RSS high-water mark is reset between
+    // batches (where the kernel allows) so each batch is attributed
+    // separately.
+    let reference_batches = if bench {
+        if !par_engines_set {
+            opts.par_engines = BENCH_PAR_ENGINES;
+        }
+        let serial = Options {
+            par_engines: 1,
+            ..opts
+        };
         set_default_pacing(Pacing::Lockstep);
-        match experiments::run_ids(&id_refs, &opts) {
-            Ok(c) => {
-                set_default_pacing(Pacing::FastForward);
-                Some((c, metrics::peak_rss_kb()))
-            }
+        let lockstep = match experiments::run_ids(&id_refs, &serial) {
+            Ok(c) => c,
             Err(e) => {
                 eprintln!("{e}\n{}", usage());
                 return ExitCode::FAILURE;
             }
-        }
+        };
+        let lockstep_rss = metrics::peak_rss_kb();
+        metrics::reset_peak_rss();
+        set_default_pacing(Pacing::FastForward);
+        let fastforward = match experiments::run_ids(&id_refs, &serial) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        };
+        let fastforward_rss = metrics::peak_rss_kb();
+        metrics::reset_peak_rss();
+        Some((lockstep, lockstep_rss, fastforward, fastforward_rss))
     } else {
         None
     };
-    // Attribute each pacing's RSS high-water mark separately where the
-    // kernel lets us reset it between batches.
-    if lockstep_batch.is_some() {
-        metrics::reset_peak_rss();
-    }
     let started = std::time::Instant::now();
     let completed = match experiments::run_ids(&id_refs, &opts) {
         Ok(completed) => completed,
@@ -266,63 +304,79 @@ fn main() -> ExitCode {
         }
     };
     let wall = started.elapsed();
-    if let Some((lockstep, lockstep_rss)) = &lockstep_batch {
-        for (ff, ls) in completed.iter().zip(lockstep) {
-            let id = ff.output.id;
-            // Byte-equality after scrubbing the centralized
-            // nondeterministic-field list (a no-op for sidecars, which
-            // contain none of those fields — the scrub guarantees the
-            // comparison can never trip on a host-measured value).
-            let scrubbed = |doc: &tracegc::MetricsDoc| match nondet::scrub_json(&doc.to_json()) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("bench: {id} sidecar is not valid JSON: {e}");
-                    String::new()
+    if let Some((lockstep, lockstep_rss, fastforward, fastforward_rss)) = &reference_batches {
+        for (label, reference) in [("pacings", lockstep), ("worker counts", fastforward)] {
+            for (par, r) in completed.iter().zip(reference) {
+                let id = par.output.id;
+                // Byte-equality after scrubbing the centralized
+                // nondeterministic-field list (a no-op for sidecars,
+                // which contain none of those fields — the scrub
+                // guarantees the comparison can never trip on a
+                // host-measured value).
+                let scrubbed = |doc: &tracegc::MetricsDoc| match nondet::scrub_json(&doc.to_json())
+                {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("bench: {id} sidecar is not valid JSON: {e}");
+                        String::new()
+                    }
+                };
+                let (par_doc, ref_doc) =
+                    (scrubbed(&par.output.metrics), scrubbed(&r.output.metrics));
+                if par_doc.is_empty() || par_doc != ref_doc {
+                    eprintln!("bench: {id} metrics sidecars differ between {label}");
+                    return ExitCode::FAILURE;
                 }
-            };
-            let (ff_doc, ls_doc) = (scrubbed(&ff.output.metrics), scrubbed(&ls.output.metrics));
-            if ff_doc.is_empty() || ff_doc != ls_doc {
-                eprintln!("bench: {id} metrics sidecars differ between pacings");
-                return ExitCode::FAILURE;
-            }
-            let csv = |c: &experiments::CompletedExperiment| {
-                c.output
-                    .tables
-                    .iter()
-                    .map(tracegc::table::Table::to_csv)
-                    .collect::<Vec<_>>()
-            };
-            if csv(ff) != csv(ls) {
-                eprintln!("bench: {id} CSV tables differ between pacings");
-                return ExitCode::FAILURE;
+                let csv = |c: &experiments::CompletedExperiment| {
+                    c.output
+                        .tables
+                        .iter()
+                        .map(tracegc::table::Table::to_csv)
+                        .collect::<Vec<_>>()
+                };
+                if csv(par) != csv(r) {
+                    eprintln!("bench: {id} CSV tables differ between {label}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
         let doc = metrics::BenchDoc {
             issue: BENCH_ISSUE,
             jobs: opts.jobs,
+            par_engines: opts.par_engines,
             scale: opts.scale,
             pauses: opts.pauses,
-            peak_rss_kb_fastforward: metrics::peak_rss_kb(),
+            host_cpus: metrics::host_cpus(),
+            peak_rss_kb_fastforward: *fastforward_rss,
             peak_rss_kb_lockstep: *lockstep_rss,
+            peak_rss_kb_parallel: metrics::peak_rss_kb(),
             entries: completed
                 .iter()
+                .zip(fastforward)
                 .zip(lockstep)
-                .map(|(ff, ls)| metrics::BenchEntry {
-                    id: ff.output.id.to_string(),
-                    sim_cycles: ff.output.metrics.phases.iter().map(|p| p.cycles).sum(),
+                .map(|((par, ff), ls)| metrics::BenchEntry {
+                    id: par.output.id.to_string(),
+                    sim_cycles: par.output.metrics.phases.iter().map(|p| p.cycles).sum(),
                     wall_s_fastforward: ff.wall.as_secs_f64(),
                     wall_s_lockstep: ls.wall.as_secs_f64(),
+                    wall_s_parallel: par.wall.as_secs_f64(),
                 })
                 .collect(),
         };
         match metrics::write_bench(&out_dir, &doc) {
             Ok(path) => println!(
                 "bench: {} ({:.1}s lockstep / {:.1}s fastforward = {:.2}x, \
-                 outputs byte-identical)",
+                 / {:.1}s at --par-engines {} = a further {:.2}x \
+                 on {} host CPU(s), outputs byte-identical)",
                 path.display(),
                 doc.total_wall_lockstep(),
                 doc.total_wall_fastforward(),
                 doc.total_speedup(),
+                doc.total_wall_parallel(),
+                opts.par_engines,
+                doc.total_speedup_parallel(),
+                doc.host_cpus
+                    .map_or_else(|| "?".to_string(), |n| n.to_string()),
             ),
             Err(e) => {
                 eprintln!("bench: could not write BENCH_{BENCH_ISSUE}.json: {e}");
@@ -390,11 +444,13 @@ fn main() -> ExitCode {
     let busy: f64 = completed.iter().map(|c| c.wall.as_secs_f64()).sum();
     let wall_s = wall.as_secs_f64();
     println!(
-        "\n[{} experiments in {:.1}s wall with --jobs {} ({:.1} experiment-seconds of work, \
+        "\n[{} experiments in {:.1}s wall with --jobs {} --par-engines {} \
+         ({:.1} experiment-seconds of work, \
          {:.2}x parallel speedup, {:.2} experiments/s)]",
         completed.len(),
         wall_s,
         opts.jobs,
+        opts.par_engines,
         busy,
         busy / wall_s.max(1e-9),
         completed.len() as f64 / wall_s.max(1e-9),

@@ -48,7 +48,7 @@ pub fn run_memsched(opts: &Options) -> ExperimentOutput {
         "ablA: memory scheduler sensitivity (avrora mark phase)",
         &["config", "unit-mark-ms", "cpu-mark-ms"],
     );
-    let rows = crate::parallel::par_map(opts.jobs, variants.to_vec(), |(name, cfg)| {
+    let rows = super::par_grid(opts, variants.to_vec(), |(name, cfg)| {
         let unit = run_unit_gc_faulted(
             &spec,
             LayoutKind::Bidirectional,
@@ -103,7 +103,7 @@ pub fn run_layout(opts: &Options) -> ExperimentOutput {
         ("bidirectional", LayoutKind::Bidirectional),
         ("conventional-tib", LayoutKind::Conventional),
     ];
-    let results = crate::parallel::par_map(opts.jobs, layouts, |(name, layout)| {
+    let results = super::par_grid(opts, layouts, |(name, layout)| {
         let unit = run_unit_gc_faulted(
             &spec,
             layout,
@@ -171,32 +171,31 @@ pub fn run_tlb(opts: &Options) -> ExperimentOutput {
         ("hit-under-miss, 1 walk", false, 1),
         ("hit-under-miss, 4 walks", false, 4),
     ];
-    let results =
-        crate::parallel::par_map(opts.jobs, variants.to_vec(), |(name, blocking, walks)| {
-            let cfg = GcUnitConfig {
-                tlb: TlbConfig {
-                    blocking_requesters: blocking,
-                    concurrent_walks: walks,
-                    ..TlbConfig::default()
-                },
-                ..GcUnitConfig::default()
-            };
-            let unit = run_unit_gc_faulted(
-                &spec,
-                LayoutKind::Bidirectional,
-                cfg,
-                MemKind::pipe_8gbps(),
-                false,
-                opts.fault,
-            );
-            (
-                name,
-                unit.report.mark.cycles(),
-                unit.report.mark.translator,
-                unit.report.mark.stalls,
-                (unit.fault_stats, unit.fallback.is_some()),
-            )
-        });
+    let results = super::par_grid(opts, variants.to_vec(), |(name, blocking, walks)| {
+        let cfg = GcUnitConfig {
+            tlb: TlbConfig {
+                blocking_requesters: blocking,
+                concurrent_walks: walks,
+                ..TlbConfig::default()
+            },
+            ..GcUnitConfig::default()
+        };
+        let unit = run_unit_gc_faulted(
+            &spec,
+            LayoutKind::Bidirectional,
+            cfg,
+            MemKind::pipe_8gbps(),
+            false,
+            opts.fault,
+        );
+        (
+            name,
+            unit.report.mark.cycles(),
+            unit.report.mark.translator,
+            unit.report.mark.stalls,
+            (unit.fault_stats, unit.fallback.is_some()),
+        )
+    });
     let mut metrics = MetricsDoc::new("ablC");
     for (name, cycles, translator, stalls, (stats, fell_back)) in results {
         times.push(cycles);
@@ -310,7 +309,7 @@ pub fn run_superpages(opts: &Options) -> ExperimentOutput {
     );
     let mut times = Vec::new();
     let variants = vec![("4KiB", false), ("2MiB-superpages", true)];
-    let results = crate::parallel::par_map(opts.jobs, variants, |(name, superpages)| {
+    let results = super::par_grid(opts, variants, |(name, superpages)| {
         let run = run_unit_gc_faulted(
             &spec,
             LayoutKind::Bidirectional,
@@ -366,7 +365,7 @@ pub fn run_throttle(opts: &Options) -> ExperimentOutput {
             "mutator-p-high-latency",
         ],
     );
-    let rows = crate::parallel::par_map(opts.jobs, vec![0u64, 4, 16], |interval| {
+    let rows = super::par_grid(opts, vec![0u64, 4, 16], |interval| {
         let mut workload =
             tracegc_workloads::generate::generate_heap(&spec, LayoutKind::Bidirectional);
         let mut mem = MemKind::ddr3_default().fresh();
@@ -428,7 +427,7 @@ pub fn run_ooo(opts: &Options) -> ExperimentOutput {
         &["ooo-window", "cpu-mark-ms", "speedup-vs-inorder"],
     );
     let windows = vec![1usize, 2, 4, 8];
-    let cycles = crate::parallel::par_map(opts.jobs, windows.clone(), |window| {
+    let cycles = super::par_grid(opts, windows.clone(), |window| {
         let mut workload =
             tracegc_workloads::generate::generate_heap(&spec, LayoutKind::Bidirectional);
         let mut mem = MemKind::ddr3_default().fresh();

@@ -39,7 +39,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         Some(("concurrent/medium", 60, 0.2)),
         Some(("concurrent/heavy", 25, 0.4)),
     ];
-    let rows = crate::parallel::par_map(opts.jobs, modes, |mode| {
+    let rows = super::par_grid(opts, modes, |mode| {
         let mut workload = generate_heap(&spec, LayoutKind::Bidirectional);
         let mut mem = MemKind::ddr3_default().fresh();
         let mut unit = TraversalUnit::new(GcUnitConfig::default(), &mut workload.heap);
@@ -135,7 +135,7 @@ pub fn run_multi(opts: &Options) -> ExperimentOutput {
         &["processes", "wall-ms", "vs-serial", "mean-per-process-ms"],
     );
     let counts = vec![1usize, 2, 4];
-    let results = crate::parallel::par_map(opts.jobs, counts.clone(), |n| {
+    let results = super::par_grid(opts, counts.clone(), |n| {
         let mut procs: Vec<ProcessContext> = (0..n as u64).map(make_context).collect();
         let mut mem = MemKind::ddr3_default().fresh();
         let report = run_multiprocess_mark(&mut procs, &mut mem, 0);

@@ -52,7 +52,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         .flat_map(|ri| (0..repeats).map(move |rep| (ri, rep)))
         .collect();
 
-    let runs = crate::parallel::par_map(opts.jobs, grid.clone(), |(ri, rep)| {
+    let runs = super::par_grid(opts, grid.clone(), |(ri, rep)| {
         let rate = RATES[ri];
         run_faulted_mark(
             &spec,

@@ -58,7 +58,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         .iter()
         .flat_map(|&spec| [(spec, true), (spec, false)])
         .collect();
-    let rows = crate::parallel::par_map(opts.jobs, grid, |(spec, shared_topology)| {
+    let rows = super::par_grid(opts, grid, |(spec, shared_topology)| {
         // The TLB-pressure effect needs a heap well beyond the TLB
         // reach, as in the paper's 200 MB configuration, so fig18 always
         // runs at full workload scale.

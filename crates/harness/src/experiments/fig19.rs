@@ -64,7 +64,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         .iter()
         .flat_map(|&kb| VARIANTS.map(|v| (kb, v)))
         .collect();
-    let rows = crate::parallel::par_map(opts.jobs, grid, |(kb, v)| {
+    let rows = super::par_grid(opts, grid, |(kb, v)| {
         let side = 32usize;
         let entry = if v.compress { 4 } else { 8 };
         let total_entries = (kb * 1024 / entry) as usize;

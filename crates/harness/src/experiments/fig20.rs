@@ -35,7 +35,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             std::iter::once((spec, None)).chain(SWEEPERS.iter().map(move |&n| (spec, Some(n))))
         })
         .collect();
-    let results = crate::parallel::par_map(opts.jobs, grid, |(spec, sweepers)| {
+    let results = super::par_grid(opts, grid, |(spec, sweepers)| {
         let spec = spec.scaled(opts.scale);
         let mut w = generate_heap(&spec, LayoutKind::Bidirectional);
         software_mark(&mut w.heap);

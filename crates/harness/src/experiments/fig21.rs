@@ -63,7 +63,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
             "mark-ms",
         ],
     );
-    let rows = crate::parallel::par_map(opts.jobs, CACHE_SIZES.to_vec(), |size| {
+    let rows = super::par_grid(opts, CACHE_SIZES.to_vec(), |size| {
         let cfg = GcUnitConfig {
             markbit_cache: size,
             ..GcUnitConfig::default()

@@ -34,10 +34,16 @@ pub struct Options {
     pub scale: f64,
     /// Maximum GC pauses measured per benchmark.
     pub pauses: usize,
-    /// Worker threads used to run experiments — and grid points inside
-    /// sweep-style experiments — concurrently. Results are
-    /// byte-identical for any value (see `crate::parallel`).
+    /// Worker threads used to run *experiments* concurrently (the outer
+    /// level of parallelism). Results are byte-identical for any value
+    /// (see `crate::parallel`).
     pub jobs: usize,
+    /// Worker threads used to run the independent grid points *inside*
+    /// one sweep-style experiment (the inner, partition level —
+    /// `--par-engines` on the CLI). Each grid point owns its whole
+    /// simulated context, so outputs are byte-identical for any value;
+    /// see [`tracegc_sim::run_partitions`] and DESIGN.md §10.
+    pub par_engines: usize,
     /// Turns on event-ring tracing in the experiments that support it
     /// (those that run a single instrumented unit); the drained events
     /// land in [`ExperimentOutput::trace`].
@@ -54,10 +60,35 @@ impl Default for Options {
             scale: 0.25,
             pauses: 3,
             jobs: 1,
+            // Seeded from TRACEGC_PAR_ENGINES (or any enclosing
+            // `with_exec` scope) so library entry points honor the same
+            // knob as the CLI flag.
+            par_engines: tracegc_sim::default_exec().workers(),
             trace: false,
             fault: None,
         }
     }
+}
+
+/// Runs a sweep experiment's independent grid points under the
+/// partition budget (`Options::par_engines`), returning results in grid
+/// order.
+///
+/// Every grid point builds and ticks its own simulated context (heap,
+/// memory system, unit), so the points form trivially disjoint
+/// partitions and the bulk-synchronous runner keeps the outputs
+/// byte-identical to a serial sweep for any worker count.
+pub(crate) fn par_grid<T, U, F>(opts: &Options, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    tracegc_sim::run_partitions(
+        tracegc_sim::Exec::from_workers(opts.par_engines),
+        items,
+        |_, item| f(item),
+    )
 }
 
 /// The output of one experiment: tables plus free-form notes.

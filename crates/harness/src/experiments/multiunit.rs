@@ -28,7 +28,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         "multiunit: N traversal units sharing one DDR3 (xalan-sized heaps)",
         &["units", "wall-ms", "vs-1-unit-serial", "mean-unit-ms"],
     );
-    let results = crate::parallel::par_map(opts.jobs, UNITS.to_vec(), |n| {
+    let results = super::par_grid(opts, UNITS.to_vec(), |n| {
         // N independent processes: same generator, distinct seeds.
         let mut workloads: Vec<_> = (0..n as u64)
             .map(|i| {

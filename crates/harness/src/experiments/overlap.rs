@@ -56,7 +56,7 @@ pub fn run(opts: &Options) -> ExperimentOutput {
         &["mode", "wall-ms", "mark-ms", "sweep-ms", "vs-serial"],
     );
     let modes = vec![Mode::Serial, Mode::Lockstep, Mode::Throttled { period: 4 }];
-    let results = crate::parallel::par_map(opts.jobs, modes, |mode| {
+    let results = super::par_grid(opts, modes, |mode| {
         let mut a = generate_heap(&mark_spec, LayoutKind::Bidirectional);
         let mut b = generate_heap(&sweep_spec, LayoutKind::Bidirectional);
         software_mark(&mut b.heap);

@@ -19,16 +19,24 @@ use crate::json::{self, Json};
 /// byte-equality comparisons. Every other field of every artifact is
 /// deterministic.
 pub const NONDET_FIELDS: &[&str] = &[
-    // Wall-clock seconds per pacing, and everything derived from them.
+    // Wall-clock seconds per batch (both pacings plus the
+    // partition-pool run), and everything derived from them.
     "wall_s_fastforward",
     "wall_s_lockstep",
+    "wall_s_parallel",
     "speedup",
+    "speedup_parallel",
     "cycles_per_sec_fastforward",
     "cycles_per_sec_lockstep",
+    "cycles_per_sec_parallel",
+    // CPUs available on the recording host (contextualizes the
+    // partition-pool numbers above).
+    "host_cpus",
     // Peak resident set size of the measuring process (`VmHWM`),
-    // recorded per pacing batch.
+    // recorded per batch.
     "peak_rss_kb_fastforward",
     "peak_rss_kb_lockstep",
+    "peak_rss_kb_parallel",
 ];
 
 /// Whether `field` is on the nondeterministic exclusion list.

@@ -1,14 +1,20 @@
-//! A minimal worker pool for running independent experiment work items
-//! concurrently, built on [`std::thread::scope`] — no external crates.
+//! The experiment harness's worker pool: a thin façade over the
+//! simulator's bulk-synchronous partition runner
+//! ([`tracegc_sim::run_partitions`]) — no external crates.
 //!
 //! Determinism contract: [`par_map`] returns outputs in the order of its
 //! inputs regardless of how the OS schedules workers, and every work
 //! item builds its own simulator state from seeds, so results are
 //! byte-identical for any `jobs` value. `tests/determinism.rs` asserts
 //! this for the whole experiment registry.
+//!
+//! Failure contract: a panic in one work item poisons the shared work
+//! queue — no *new* item is started afterwards (in-flight ones finish),
+//! and the panic propagates to the caller once all workers have joined.
+//! A failed batch therefore stops promptly instead of burning through
+//! the rest of the registry.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use tracegc_sim::{run_partitions, Exec};
 
 /// Applies `f` to every item on up to `jobs` worker threads, returning
 /// the results in input order.
@@ -16,8 +22,9 @@ use std::sync::Mutex;
 /// `jobs` is clamped to `1..=items.len()`; with `jobs == 1` no threads
 /// are spawned and the items run inline in order. Work is distributed
 /// dynamically (an atomic cursor), so long items do not leave workers
-/// idle behind a static partition. A panic in `f` propagates to the
-/// caller once all workers have stopped.
+/// idle behind a static partition. A panic in `f` short-circuits the
+/// cursor (items not yet started are never started) and propagates to
+/// the caller once all workers have stopped.
 ///
 /// # Examples
 ///
@@ -31,45 +38,7 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let n = items.len();
-    let jobs = jobs.clamp(1, n.max(1));
-    if jobs == 1 {
-        return items.into_iter().map(f).collect();
-    }
-
-    // Each input sits in its own slot so a worker can take ownership of
-    // item `i` without holding any shared lock while running `f`; each
-    // output lands in the slot of the same index, which preserves input
-    // order no matter which worker finishes first.
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i]
-                    .lock()
-                    .expect("a work slot is locked at most once")
-                    .take()
-                    .expect("the cursor hands out each index once");
-                let result = f(item);
-                *out[i].lock().expect("a result slot is locked at most once") = Some(result);
-            });
-        }
-    });
-
-    out.into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("workers have joined")
-                .expect("every index was processed")
-        })
-        .collect()
+    run_partitions(Exec::from_workers(jobs), items, |_, item| f(item))
 }
 
 #[cfg(test)]
@@ -123,5 +92,37 @@ mod tests {
             let par = par_map(jobs, items.clone(), |x| x.wrapping_mul(0x9E37_79B9));
             assert_eq!(par, serial, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn panic_stops_the_batch_before_later_items_start() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        // Two workers, four items. Item 0 blocks until item 1 has
+        // started, then lingers long enough for item 1's panic to
+        // poison the work queue; items 2 and 3 must never start.
+        // (Before the short-circuit fix, the worker finishing item 0
+        // kept draining the cursor and ran the whole remainder.)
+        let started: Vec<AtomicBool> = (0..4).map(|_| AtomicBool::new(false)).collect();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(2, vec![0usize, 1, 2, 3], |i| {
+                started[i].store(true, Ordering::SeqCst);
+                match i {
+                    0 => {
+                        while !started[1].load(Ordering::SeqCst) {
+                            std::thread::yield_now();
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                    }
+                    1 => panic!("item 1 failed"),
+                    _ => {}
+                }
+                i
+            })
+        }));
+        assert!(r.is_err(), "the worker panic must propagate to the caller");
+        assert!(
+            !started[2].load(Ordering::SeqCst) && !started[3].load(Ordering::SeqCst),
+            "items after the panicking index must not be started"
+        );
     }
 }

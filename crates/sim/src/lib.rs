@@ -55,8 +55,8 @@ pub use metrics::{EventTrace, MetricSet, StallAccounting, StallReason, TraceEven
 pub use queue::BoundedQueue;
 pub use rng::{Rng, SplitMix64, StdRng};
 pub use sched::{
-    default_pacing, set_default_pacing, with_pacing, Engine, Pacing, Policy, Progress, Scheduler,
-    SocReport,
+    default_exec, default_pacing, run_partitions, set_default_exec, set_default_pacing, with_exec,
+    with_pacing, Engine, Exec, Pacing, Partition, Policy, Progress, Scheduler, SocReport,
 };
 pub use stats::{BandwidthMeter, Counter, Histogram, LatencyRecorder};
 

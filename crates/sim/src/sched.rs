@@ -57,10 +57,20 @@
 //!
 //! The hop is clamped to the watchdog deadline so a livelocked engine
 //! set trips the no-progress watchdog at the identical cycle (and with
-//! the identical ledger dump) under both pacings. [`Policy::RoundRobin`]
-//! is pacing-invariant: its idle-round skip models the time-multiplexed
-//! datapath going idle and is part of the arbitration semantics (its
-//! exact ledgers are pinned by pre-refactor goldens). Under
+//! the identical ledger dump) under both pacings. Under
+//! [`Policy::RoundRobin`] a full grant round in which no engine advances
+//! *parks* the arbiter: the time-multiplexed datapath goes idle, every
+//! live engine is charged its own stall reason until the earliest
+//! pending event, and the grant pointer holds, so the post-wake service
+//! order continues the rotation exactly where it stopped — the rotation
+//! is *hop-invariant* (historically the grant was derived from the
+//! absolute cycle, `now % n`, so the skip could re-grant the engine
+//! just served or silently swallow another engine's turn depending on
+//! the parity of the wake cycle). Fast-forward hops the parked span at
+//! once, lockstep crawls it cycle by cycle; both charge identical
+//! ledgers and resume at the identical grant, an equivalence pinned by
+//! the randomized round-robin differential in
+//! `tests/engine_equivalence.rs`. Under
 //! [`Policy::Throttled`] the fast-forward hop is disabled — the clock
 //! already advances in period-sized aligned jumps, and a mid-window hop
 //! would let the two pacings step engines at different service cycles,
@@ -72,6 +82,38 @@
 //! [`set_default_pacing`] (the experiment driver's `--sched` flag), per
 //! scope via [`with_pacing`] (how the differential tests run one driver
 //! both ways), and per scheduler via [`Scheduler::pacing`].
+//!
+//! # Exec: bulk-synchronous partition parallelism
+//!
+//! Orthogonal to both [`Policy`] (who is served within a schedule) and
+//! [`Pacing`] (how the clock advances between service rounds), an
+//! [`Exec`] selects how many *host* worker threads execute independent
+//! partitions of the engine set. The partitioning rule is strict:
+//! engines that share a scheduler context (one [`Scheduler::run`] call —
+//! in the SoC, one DDR3 controller) interact at every service round
+//! through that context, so a shared-context schedule is one
+//! indivisible partition. What can run in parallel are *whole
+//! partitions*: disjoint `(engines, ctx)` groups that provably never
+//! exchange state — the multi-unit sweep's grid points, faultsweep's
+//! independent fault-rate runs, per-process marks on private memory
+//! channels. [`run_partitions`] executes such groups on up to
+//! `workers` threads between two barriers (the fork at submission and
+//! the join before results are read), returns results in partition
+//! order regardless of OS scheduling, and short-circuits the work
+//! queue when any partition panics. [`Scheduler::try_run_partitioned`]
+//! is the typed entry point: each [`Partition`] owns its engine set
+//! *and* its context, so non-interaction is enforced by construction,
+//! and the per-partition reports and stall ledgers come back in
+//! partition order for a deterministic merge (`busy + Σ stalls ==
+//! cycles × lanes` closes per partition, hence over any merge order —
+//! the harness always merges in partition order so sidecars are
+//! byte-identical for every worker count).
+//!
+//! The process-wide default is [`Exec::Serial`], can be set at startup
+//! from the `TRACEGC_PAR_ENGINES` environment variable (a worker
+//! count), overridden per process via [`set_default_exec`] (the
+//! experiment driver's `--par-engines` flag) and per scope via
+//! [`with_exec`].
 //!
 //! A no-progress watchdog replaces ad-hoc per-loop deadlock panics:
 //! after [`DEFAULT_NO_PROGRESS_LIMIT`] cycles (configurable via
@@ -109,7 +151,8 @@
 //! assert_eq!(report.end, 10);
 //! ```
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::fault::SimError;
 use crate::metrics::{StallAccounting, StallReason};
@@ -214,9 +257,11 @@ pub enum Policy {
     /// Every live engine is offered every cycle, in the given order
     /// (a permutation of engine indices; earlier = higher priority).
     Priority(Vec<usize>),
-    /// One engine is served per cycle (`now % n`), modelling a single
-    /// time-multiplexed datapath (§VII multi-process sharing). Unserved
-    /// engines are charged [`StallReason::PortBusy`].
+    /// One engine is served per cycle by a rotating grant pointer,
+    /// modelling a single time-multiplexed datapath (§VII multi-process
+    /// sharing). Unserved engines are charged
+    /// [`StallReason::PortBusy`]; the rotation is hop-invariant across
+    /// the arbiter's idle-span parking (see the module docs).
     RoundRobin,
     /// Lockstep, but engines are only offered cycles at multiples of
     /// `period` from the start cycle; skipped cycles are charged
@@ -315,6 +360,191 @@ pub fn with_pacing<R>(p: Pacing, f: impl FnOnce() -> R) -> R {
     let r = f();
     PACING_OVERRIDE.with(|o| o.set(prev));
     r
+}
+
+/// How many host worker threads execute independent partitions (see
+/// the module docs): the execution axis orthogonal to [`Policy`] and
+/// [`Pacing`]. Purely a wall-clock knob — every output is byte-identical
+/// for every variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exec {
+    /// Partitions run inline on the calling thread, in order.
+    Serial,
+    /// Partitions run on up to `workers` threads between barriers;
+    /// results are still collected in partition order.
+    Parallel {
+        /// Worker-thread budget (≥ 2; 0/1 mean [`Exec::Serial`]).
+        workers: usize,
+    },
+}
+
+impl Exec {
+    /// The `Exec` for a `--par-engines N` worker budget: `0` and `1`
+    /// are [`Exec::Serial`], anything larger [`Exec::Parallel`].
+    pub fn from_workers(workers: usize) -> Self {
+        if workers <= 1 {
+            Self::Serial
+        } else {
+            Self::Parallel { workers }
+        }
+    }
+
+    /// The worker-thread budget (1 for [`Exec::Serial`]).
+    pub fn workers(self) -> usize {
+        match self {
+            Self::Serial => 1,
+            Self::Parallel { workers } => workers,
+        }
+    }
+}
+
+/// Process-wide default exec: 0 = uninitialized, else workers + 1.
+static DEFAULT_EXEC: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Scoped override installed by [`with_exec`]; beats the process
+    /// default so parallel tests can pick an exec without racing.
+    static EXEC_OVERRIDE: std::cell::Cell<Option<Exec>> = const { std::cell::Cell::new(None) };
+}
+
+/// The exec a partitioned driver starts with: a [`with_exec`] scope if
+/// one is active, else the process default ([`set_default_exec`],
+/// falling back to the `TRACEGC_PAR_ENGINES` environment variable,
+/// falling back to [`Exec::Serial`]).
+pub fn default_exec() -> Exec {
+    if let Some(e) = EXEC_OVERRIDE.with(std::cell::Cell::get) {
+        return e;
+    }
+    match DEFAULT_EXEC.load(Ordering::Relaxed) {
+        0 => {
+            let e = std::env::var("TRACEGC_PAR_ENGINES")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .map(Exec::from_workers)
+                .unwrap_or(Exec::Serial);
+            DEFAULT_EXEC.store(e.workers() + 1, Ordering::Relaxed);
+            e
+        }
+        v => Exec::from_workers(v - 1),
+    }
+}
+
+/// Sets the process-wide default exec (the experiment driver's
+/// `--par-engines` flag calls this before running the registry).
+pub fn set_default_exec(e: Exec) {
+    DEFAULT_EXEC.store(e.workers() + 1, Ordering::Relaxed);
+}
+
+/// Runs `f` with `e` as this thread's default exec, restoring the
+/// previous scope afterwards (how the jobs-crossed determinism tests
+/// run the same experiment at several worker counts without racing).
+pub fn with_exec<R>(e: Exec, f: impl FnOnce() -> R) -> R {
+    let prev = EXEC_OVERRIDE.with(|o| o.replace(Some(e)));
+    let r = f();
+    EXEC_OVERRIDE.with(|o| o.set(prev));
+    r
+}
+
+/// Sets the shared poison flag iff its owner is unwinding, so sibling
+/// workers stop claiming new partitions once any partition panics.
+struct PoisonOnPanic<'a>(&'a AtomicBool);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Executes independent partitions under `exec`, returning results in
+/// partition order.
+///
+/// This is the bulk-synchronous superstep primitive behind
+/// [`Scheduler::try_run_partitioned`] and the harness's worker pool:
+/// the call is bracketed by two barriers (workers fork on entry and all
+/// join before any result is read), partitions are claimed dynamically
+/// from an atomic cursor so long partitions do not strand workers
+/// behind a static split, and each result lands in the slot of its
+/// input index, so the output order — and therefore every downstream
+/// merge — is independent of both `exec` and OS scheduling.
+///
+/// `f` receives the partition index alongside the item, so callers can
+/// seed or label per-partition state without smuggling an index through
+/// the item type.
+///
+/// # Panics
+///
+/// A panic in `f` poisons the work queue: no *new* partition is claimed
+/// afterwards (in-flight ones finish), and the panic propagates to the
+/// caller once all workers have stopped.
+pub fn run_partitions<T, U, F>(exec: Exec, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = exec.workers().clamp(1, n.max(1));
+    if workers == 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    // Each input sits in its own slot so a worker can take ownership of
+    // partition `i` without holding any shared lock while running `f`;
+    // each output lands in the slot of the same index, which preserves
+    // partition order no matter which worker finishes first.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let poison = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if poison.load(Ordering::SeqCst) {
+                    break;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("a work slot is locked at most once")
+                    .take()
+                    .expect("the cursor hands out each index once");
+                let guard = PoisonOnPanic(&poison);
+                let result = f(i, item);
+                drop(guard);
+                *out[i].lock().expect("a result slot is locked at most once") = Some(result);
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("workers have joined")
+                .expect("every partition was executed")
+        })
+        .collect()
+}
+
+/// One independent engine group for [`Scheduler::try_run_partitioned`]:
+/// the engines *and* the context they share. Because every partition
+/// owns its context exclusively (`&mut`), two partitions cannot
+/// exchange state through a scheduler context by construction — the
+/// type-level form of the module docs' partitioning rule.
+pub struct Partition<'a, Ctx> {
+    /// The partition's engine set (one shared-context schedule).
+    pub engines: Vec<&'a mut (dyn Engine<Ctx> + Send)>,
+    /// The context exclusively owned by this partition.
+    pub ctx: &'a mut Ctx,
 }
 
 /// Default no-progress watchdog: panic after this many consecutive
@@ -430,6 +660,45 @@ impl Scheduler {
                 self.run_synchronous(engines, ctx, start, None, (*period).max(1))
             }
         }
+    }
+
+    /// Runs independent engine partitions to completion from cycle
+    /// `start`, each under this scheduler's policy/pacing/watchdog, on
+    /// up to [`Exec::workers`] host threads.
+    ///
+    /// Each [`Partition`] is one shared-context schedule — exactly one
+    /// [`Scheduler::try_run`] call — so partitions provably never
+    /// interact (see the module docs). Reports come back in partition
+    /// order regardless of `exec` or OS scheduling; on error the first
+    /// failing partition *in partition order* wins, so error surfacing
+    /// is deterministic too.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first partition's [`SimError::Deadlock`] in
+    /// partition order, if any partition wedges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the caller errors [`Scheduler::try_run`] rejects
+    /// (empty engine set, no foreground engine, bad priority order) in
+    /// any partition, and propagates panics out of engine code.
+    pub fn try_run_partitioned<Ctx: Send>(
+        &self,
+        exec: Exec,
+        parts: Vec<Partition<'_, Ctx>>,
+        start: Cycle,
+    ) -> Result<Vec<SocReport>, SimError> {
+        run_partitions(exec, parts, |_, p| {
+            let Partition { mut engines, ctx } = p;
+            let mut dyns: Vec<&mut dyn Engine<Ctx>> = engines
+                .iter_mut()
+                .map(|e| &mut **e as &mut dyn Engine<Ctx>)
+                .collect();
+            self.try_run(&mut dyns, ctx, start)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Lockstep / priority / throttled: every live engine is offered
@@ -578,8 +847,14 @@ impl Scheduler {
         Ok(SocReport { start, end, ends })
     }
 
-    /// Round-robin: the single datapath serves engine `now % n` each
-    /// cycle; a full round without progress skips to the earliest event.
+    /// Round-robin: a single time-multiplexed datapath serves one
+    /// engine per service cycle, rotating an explicit grant pointer. A
+    /// full grant round without progress *parks* the arbiter until the
+    /// earliest pending event; the grant pointer is carried across the
+    /// parked span, so the rotation is hop-invariant (see the module
+    /// docs — the grant was historically derived from the absolute
+    /// cycle, `now % n`, so a skip landing on the wrong parity
+    /// re-granted the engine just served or swallowed a turn).
     fn run_round_robin<Ctx>(
         &self,
         engines: &mut [&mut dyn Engine<Ctx>],
@@ -594,10 +869,81 @@ impl Scheduler {
         let mut done = vec![false; n];
         let mut ends = vec![start; n];
         let mut now = start;
+        let mut grant = (start % n as u64) as usize;
         let mut idle_round = 0usize;
+        let mut parked = false;
         let mut last_progress = start;
         loop {
-            let idx = (now % n as u64) as usize;
+            if parked {
+                // The datapath is idle: a full grant round found every
+                // live engine stalled. Wait for the earliest pending
+                // event without rotating the grant — nobody is being
+                // served, so every engine is charged its *own* stall
+                // reason, not PortBusy.
+                let wake = (0..n)
+                    .filter(|&j| !done[j])
+                    .filter_map(|j| engines[j].next_event_at())
+                    .min();
+                let t = match wake {
+                    None => {
+                        return Err(self.deadlock_report(
+                            engines,
+                            &done,
+                            now,
+                            "every engine is stalled with no pending event",
+                        ))
+                    }
+                    Some(t) => t,
+                };
+                if t <= now {
+                    // A stale event: charge one idle cycle and resume
+                    // service (the passed event may unblock a step).
+                    for j in (0..n).filter(|&j| !done[j]) {
+                        let reason = engines[j].stall_reason(now);
+                        engines[j].note_stall(now, reason, 1);
+                    }
+                    now += 1;
+                    parked = false;
+                    idle_round = 0;
+                } else {
+                    // Fast-forward hops the parked span at once;
+                    // lockstep crawls it one cycle at a time. Both
+                    // charge every live engine its own (span-stable)
+                    // stall reason over the identical span and resume
+                    // at the identical grant, so the pacings agree
+                    // cycle-for-cycle and ledger-for-ledger. The hop is
+                    // clamped to the watchdog deadline so a livelock
+                    // trips at the same cycle with the same dump.
+                    let deadline = last_progress
+                        .saturating_add(self.no_progress_limit)
+                        .saturating_add(1);
+                    let hop = if self.pacing == Pacing::FastForward {
+                        t.min(deadline)
+                    } else {
+                        now + 1
+                    };
+                    let span = hop - now;
+                    for j in (0..n).filter(|&j| !done[j]) {
+                        let reason = engines[j].stall_reason(now);
+                        engines[j].note_stall(now, reason, span);
+                    }
+                    now = hop;
+                    if now >= t {
+                        parked = false;
+                        idle_round = 0;
+                    }
+                }
+                if now - last_progress > self.no_progress_limit {
+                    return Err(self.deadlock_report(
+                        engines,
+                        &done,
+                        now,
+                        "no engine made progress within the watchdog window",
+                    ));
+                }
+                continue;
+            }
+            let idx = grant;
             let mut progress = false;
             if !done[idx] {
                 match engines[idx].step(now, ctx) {
@@ -626,38 +972,13 @@ impl Scheduler {
             } else {
                 idle_round += 1;
                 if idle_round >= n {
-                    // A full round with no progress: skip to the earliest
-                    // pending completion of any unfinished engine.
-                    let wake = (0..n)
-                        .filter(|&j| !done[j])
-                        .filter_map(|j| engines[j].next_event_at())
-                        .min();
-                    match wake {
-                        Some(t) if t > now => {
-                            let span = t - now;
-                            for j in (0..n).filter(|&j| !done[j]) {
-                                let reason = engines[j].stall_reason(now);
-                                engines[j].note_stall(now, reason, span);
-                            }
-                            now = t;
-                        }
-                        Some(_) => {
-                            for j in (0..n).filter(|&j| !done[j]) {
-                                let reason = engines[j].stall_reason(now);
-                                engines[j].note_stall(now, reason, 1);
-                            }
-                            now += 1;
-                        }
-                        None => {
-                            return Err(self.deadlock_report(
-                                engines,
-                                &done,
-                                now,
-                                "every engine is stalled with no pending event",
-                            ))
-                        }
-                    }
-                    idle_round = 0;
+                    // A full round with no progress: park the arbiter.
+                    // This slot's cycle becomes the first parked cycle
+                    // (charged by the parked handler above), and the
+                    // grant advances exactly once — the slot was
+                    // consumed — so service resumes at the rotation
+                    // successor whatever the wake cycle's parity.
+                    parked = true;
                 } else {
                     for j in (0..n).filter(|&j| !done[j]) {
                         let reason = if j == idx {
@@ -678,6 +999,7 @@ impl Scheduler {
                     ));
                 }
             }
+            grant = (grant + 1) % n;
         }
         let end = *ends.iter().max().expect("non-empty");
         Ok(SocReport { start, end, ends })
@@ -996,5 +1318,292 @@ mod tests {
         bg.background = true;
         let mut log = Vec::new();
         Scheduler::new(Policy::Lockstep).run(&mut [&mut bg], &mut log, 0);
+    }
+
+    /// Stalls until `wake`, then does `work` units on its served slots,
+    /// logging each service.
+    struct Waker {
+        name: &'static str,
+        wake: Cycle,
+        work: u64,
+    }
+
+    impl Engine<Vec<(&'static str, Cycle)>> for Waker {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn step(&mut self, now: Cycle, log: &mut Vec<(&'static str, Cycle)>) -> Progress {
+            if self.work == 0 {
+                return Progress::Done;
+            }
+            if now < self.wake {
+                return Progress::Stalled;
+            }
+            log.push((self.name, now));
+            self.work -= 1;
+            Progress::Advanced
+        }
+        fn next_event_at(&self) -> Option<Cycle> {
+            Some(self.wake)
+        }
+    }
+
+    #[test]
+    fn round_robin_rotation_is_hop_invariant_across_idle_spans() {
+        // a is served at 0, b at 1; both stall until 11, parking the
+        // arbiter. Hop-invariance: after the wake the rotation resumes
+        // at a (the successor of b's consumed slot). The historical
+        // `now % n` grant re-derived the slot from the wake cycle's
+        // parity and served b at 11 — a's turn silently swallowed.
+        let run = |pacing: Pacing| {
+            let mut a = Waker {
+                name: "a",
+                wake: 11,
+                work: 1,
+            };
+            let mut b = Waker {
+                name: "b",
+                wake: 11,
+                work: 1,
+            };
+            let mut log = Vec::new();
+            let report = Scheduler::new(Policy::RoundRobin).pacing(pacing).run(
+                &mut [&mut a, &mut b],
+                &mut log,
+                0,
+            );
+            (log, report.ends)
+        };
+        let (log, ends) = run(Pacing::FastForward);
+        assert_eq!(
+            log,
+            vec![("a", 11), ("b", 12)],
+            "post-park service must continue the rotation at a"
+        );
+        assert_eq!(ends, vec![13, 14]);
+        // The parked span is a pure arbitration event: both pacings
+        // must serve the identical slots and finish at the same cycles.
+        assert_eq!(run(Pacing::Lockstep), (log, ends));
+    }
+
+    #[test]
+    fn round_robin_parked_crawl_and_hop_charge_identical_ledgers() {
+        // Same shape as above, but with ledgered engines: the lockstep
+        // crawl's per-cycle charges must sum to exactly the
+        // fast-forward span charge, per engine and per reason.
+        struct Ledgered {
+            wake: Cycle,
+            work: u64,
+            ledger: StallAccounting,
+        }
+        impl Engine<()> for Ledgered {
+            fn name(&self) -> &'static str {
+                "ledgered"
+            }
+            fn step(&mut self, now: Cycle, _ctx: &mut ()) -> Progress {
+                if self.work == 0 {
+                    return Progress::Done;
+                }
+                if now < self.wake {
+                    return Progress::Stalled;
+                }
+                self.work -= 1;
+                Progress::Advanced
+            }
+            fn next_event_at(&self) -> Option<Cycle> {
+                Some(self.wake)
+            }
+            fn stall_reason(&self, _now: Cycle) -> StallReason {
+                StallReason::MemLatency
+            }
+            fn note_busy(&mut self, n: u64) {
+                self.ledger.busy(n);
+            }
+            fn note_stall(&mut self, _now: Cycle, reason: StallReason, span: u64) {
+                self.ledger.stall(reason, span);
+            }
+        }
+        let run = |pacing: Pacing| {
+            let mut a = Ledgered {
+                wake: 40,
+                work: 2,
+                ledger: StallAccounting::default(),
+            };
+            let mut b = Ledgered {
+                wake: 41,
+                work: 1,
+                ledger: StallAccounting::default(),
+            };
+            let report = Scheduler::new(Policy::RoundRobin).pacing(pacing).run(
+                &mut [&mut a, &mut b],
+                &mut (),
+                0,
+            );
+            (report.ends, a.ledger, b.ledger)
+        };
+        let (ff_ends, ff_a, ff_b) = run(Pacing::FastForward);
+        let (ls_ends, ls_a, ls_b) = run(Pacing::Lockstep);
+        assert_eq!(ff_ends, ls_ends);
+        assert_eq!(ff_a, ls_a);
+        assert_eq!(ff_b, ls_b);
+        // Per-engine closure over its live span.
+        assert_eq!(ff_a.total(), ff_ends[0]);
+        assert_eq!(ff_b.total(), ff_ends[1]);
+    }
+
+    #[test]
+    fn exec_from_workers_folds_trivial_budgets_to_serial() {
+        assert_eq!(Exec::from_workers(0), Exec::Serial);
+        assert_eq!(Exec::from_workers(1), Exec::Serial);
+        assert_eq!(Exec::from_workers(4), Exec::Parallel { workers: 4 });
+        assert_eq!(Exec::Serial.workers(), 1);
+        assert_eq!(Exec::Parallel { workers: 8 }.workers(), 8);
+    }
+
+    #[test]
+    fn with_exec_scopes_and_restores() {
+        let outer = default_exec();
+        let inner = with_exec(Exec::Parallel { workers: 3 }, default_exec);
+        assert_eq!(inner, Exec::Parallel { workers: 3 });
+        assert_eq!(default_exec(), outer);
+    }
+
+    #[test]
+    fn run_partitions_preserves_partition_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..23).collect();
+        let serial = run_partitions(Exec::Serial, items.clone(), |i, x| (i as u64) * 100 + x * 2);
+        for workers in [2, 3, 8] {
+            let par = run_partitions(Exec::Parallel { workers }, items.clone(), |i, x| {
+                (i as u64) * 100 + x * 2
+            });
+            assert_eq!(par, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn run_partitions_panic_poisons_the_work_queue() {
+        use std::sync::atomic::AtomicBool;
+        // Two workers, four partitions. Partition 0 blocks until
+        // partition 1 has started, then lingers long enough for 1's
+        // panic to poison the queue; partitions 2 and 3 must never
+        // start.
+        let started: Vec<AtomicBool> = (0..4).map(|_| AtomicBool::new(false)).collect();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_partitions(
+                Exec::Parallel { workers: 2 },
+                vec![0usize, 1, 2, 3],
+                |_, i| {
+                    started[i].store(true, Ordering::SeqCst);
+                    match i {
+                        0 => {
+                            while !started[1].load(Ordering::SeqCst) {
+                                std::thread::yield_now();
+                            }
+                            std::thread::sleep(std::time::Duration::from_millis(100));
+                        }
+                        1 => panic!("partition 1 failed"),
+                        _ => {}
+                    }
+                    i
+                },
+            )
+        }));
+        assert!(r.is_err(), "the partition panic must propagate");
+        assert!(
+            !started[2].load(Ordering::SeqCst) && !started[3].load(Ordering::SeqCst),
+            "partitions after the panic must not be started"
+        );
+    }
+
+    #[test]
+    fn try_run_partitioned_matches_serial_runs_exactly() {
+        let build = || {
+            (0..5)
+                .map(|i| Toy::new("toy", 3 + i as u64))
+                .collect::<Vec<_>>()
+        };
+        let serial: Vec<SocReport> = build()
+            .iter_mut()
+            .map(|t| {
+                Scheduler::new(Policy::Lockstep)
+                    .try_run(&mut [t as &mut dyn Engine<_>], &mut Vec::new(), 0)
+                    .unwrap()
+            })
+            .collect();
+        for exec in [Exec::Serial, Exec::Parallel { workers: 4 }] {
+            let mut toys = build();
+            let mut ctxs: Vec<Vec<&'static str>> = (0..toys.len()).map(|_| Vec::new()).collect();
+            let parts: Vec<Partition<'_, Vec<&'static str>>> = toys
+                .iter_mut()
+                .zip(ctxs.iter_mut())
+                .map(|(t, ctx)| Partition {
+                    engines: vec![t as &mut (dyn Engine<_> + Send)],
+                    ctx,
+                })
+                .collect();
+            let reports = Scheduler::new(Policy::Lockstep)
+                .try_run_partitioned(exec, parts, 0)
+                .unwrap();
+            assert_eq!(reports, serial, "{exec:?}");
+            // Ledgers merge deterministically in partition order and
+            // stay closed: busy + stalls == cycles per engine.
+            let mut merged = StallAccounting::default();
+            for (t, r) in toys.iter().zip(&reports) {
+                assert_eq!(t.ledger.total(), r.cycles());
+                merged.merge(&t.ledger);
+            }
+            assert_eq!(merged.total(), reports.iter().map(SocReport::cycles).sum());
+        }
+    }
+
+    #[test]
+    fn try_run_partitioned_surfaces_the_first_deadlock_in_partition_order() {
+        struct Stuck;
+        impl Engine<()> for Stuck {
+            fn name(&self) -> &'static str {
+                "stuck"
+            }
+            fn step(&mut self, _now: Cycle, _ctx: &mut ()) -> Progress {
+                Progress::Stalled
+            }
+            fn next_event_at(&self) -> Option<Cycle> {
+                None
+            }
+        }
+        /// Completes after `n` cycles.
+        struct Countdown(u64);
+        impl Engine<()> for Countdown {
+            fn name(&self) -> &'static str {
+                "countdown"
+            }
+            fn step(&mut self, _now: Cycle, _ctx: &mut ()) -> Progress {
+                if self.0 == 0 {
+                    return Progress::Done;
+                }
+                self.0 -= 1;
+                Progress::Advanced
+            }
+            fn next_event_at(&self) -> Option<Cycle> {
+                None
+            }
+        }
+        // Partition 0 completes; partition 1 deadlocks immediately.
+        let mut a = Countdown(4);
+        let mut stuck = Stuck;
+        let (mut ctx_a, mut ctx_b) = ((), ());
+        let parts = vec![
+            Partition {
+                engines: vec![&mut a as &mut (dyn Engine<()> + Send)],
+                ctx: &mut ctx_a,
+            },
+            Partition {
+                engines: vec![&mut stuck as &mut (dyn Engine<()> + Send)],
+                ctx: &mut ctx_b,
+            },
+        ];
+        let err = Scheduler::new(Policy::Lockstep)
+            .try_run_partitioned(Exec::Parallel { workers: 2 }, parts, 0)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
     }
 }

@@ -228,7 +228,11 @@ const GOLDEN_CPU_BIDI: &str = "mark=29038;work=300;refs=900;busy=10522;mem_laten
                                |sweep=167708;work=200;busy=35833;mem_latency=128962;queue_full=0;\
                                tlb_miss=2913;ptw_busy=0;throttled=0;port_busy=0;idle=0";
 const GOLDEN_GC_UNIT: &str = "mark_end=7830;sweep_end=71908;marked=720;freed=480";
-const GOLDEN_MULTIPROC_DUO: &str = "end=5923;p0_end=2884;p0_marked=200;p1_end=5923;p1_marked=350";
+// Regenerated when round-robin arbitration became hop-invariant (the
+// grant pointer now advances one slot per grant round instead of being
+// derived from the absolute cycle, so post-idle-span rotation resumes
+// where it left off instead of jumping to `now % n`).
+const GOLDEN_MULTIPROC_DUO: &str = "end=6195;p0_end=3067;p0_marked=200;p1_end=6195;p1_marked=350";
 const GOLDEN_CONCURRENT: &str = "end=10854;marked=900;ops=271;barriers=60";
 
 #[test]
@@ -493,6 +497,42 @@ fn pacing_differential_randomized_policies() {
 }
 
 #[test]
+fn pacing_differential_randomized_round_robin() {
+    // Pin of the round-robin hop-invariance fix: the rotating grant
+    // pointer decouples arbitration from absolute time, so an
+    // event-driven hop over an idle span must resume the rotation at
+    // the identical engine — and charge the identical span — that the
+    // cycle-by-cycle crawl sees. Randomized multi-process mark
+    // schedules on one shared datapath (the round-robin arbiter),
+    // fingerprinted down to every per-process stall ledger.
+    for seed in 0..COMBOS {
+        assert_pacing_equal(format!("round_robin[seed={seed}]"), || {
+            let mut rng = StdRng::seed_from_u64(4000 + seed);
+            let nprocs = rng.random_range(2..5usize);
+            let mut procs: Vec<_> = (0..nprocs)
+                .map(|i| multiproc_context(rng.random_range(300..1200usize), seed * 8 + i as u64))
+                .collect();
+            let mut mem = MemSystem::ddr3(Default::default());
+            let report = run_multiprocess_mark(&mut procs, &mut mem, 0);
+            let per: Vec<String> = report
+                .per_process
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    format!(
+                        "p{i}:end={};marked={};{}",
+                        p.end,
+                        p.objects_marked,
+                        ledger(&p.stalls)
+                    )
+                })
+                .collect();
+            format!("end={};{}", report.end, per.join("|"))
+        });
+    }
+}
+
+#[test]
 fn pacing_differential_randomized_faults() {
     // Fault runs must agree on *everything* architected: the outcome
     // class, the trap kind, the faulting-entry register (`trap.va`),
@@ -611,6 +651,52 @@ fn watchdog_trips_identically_under_both_pacings() {
         ff_dump.contains("wedged") && ff_dump.contains("mem_latency"),
         "dump must carry the engine name and stall reason: {ff_dump}"
     );
+}
+
+#[test]
+fn watchdog_hop_landing_exactly_on_the_deadline_trips_identically() {
+    // The exact-boundary case of the fast-forward clamp
+    // `t.min(last_progress + limit + 1)`: the wedged engine's promised
+    // event lands *exactly* on the watchdog deadline, so the hop and
+    // the deadline coincide on one cycle. The trip cycle and the whole
+    // ledger dump must still be identical under both pacings — and the
+    // same holds one past the boundary, where the clamp (not the
+    // event) decides the hop.
+    const LIMIT: u64 = 1_000;
+    let trip = |pacing: Pacing, event: u64| {
+        let mut e = Wedged {
+            event,
+            stalls: StallAccounting::default(),
+        };
+        let err = Scheduler::new(Policy::Lockstep)
+            .pacing(pacing)
+            .no_progress_limit(LIMIT)
+            .try_run(&mut [&mut e as &mut dyn Engine<()>], &mut (), 0)
+            .expect_err("a wedged engine must deadlock");
+        match err {
+            SimError::Deadlock { at, dump } => (at, dump),
+            other => panic!("expected a deadlock, got {other}"),
+        }
+    };
+    // Start 0, no progress ever: the deadline is LIMIT + 1. Probe the
+    // event on the deadline and one past it (where the clamp bites).
+    for event in [LIMIT + 1, LIMIT + 2] {
+        let (ff_at, ff_dump) = trip(Pacing::FastForward, event);
+        let (ls_at, ls_dump) = trip(Pacing::Lockstep, event);
+        assert_eq!(
+            ff_at, ls_at,
+            "event={event}: watchdog must trip at the identical cycle"
+        );
+        assert_eq!(
+            ff_dump, ls_dump,
+            "event={event}: watchdog dumps (reasons, events, ledgers) must match"
+        );
+        assert!(
+            ff_at <= LIMIT + 1,
+            "event={event}: the clamp must not let the hop sail past the \
+             deadline (tripped at {ff_at})"
+        );
+    }
 }
 
 #[test]

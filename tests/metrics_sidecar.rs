@@ -46,23 +46,49 @@ fn every_sidecar_is_valid_and_attributed() {
     }
 }
 
+/// Crossed determinism property (reusing `tracegc::nondet`'s premise
+/// that sidecars carry no host-measured fields): every registry
+/// experiment's CSVs and metrics sidecar are byte-identical for every
+/// `--par-engines` ∈ {1, 2, 4, 8} × `--jobs` ∈ {1, 4} — the two levels
+/// of parallelism compose without perturbing a single output byte.
 #[test]
-fn sidecars_are_identical_across_jobs() {
+fn sidecars_and_csvs_are_identical_across_jobs_and_par_engines() {
     let ids = smoke_ids();
-    let opts = |jobs| Options {
+    let opts = |jobs, par_engines| Options {
         jobs,
+        par_engines,
         ..smoke_opts()
     };
-    let serial = run_ids(&ids, &opts(1)).expect("valid ids");
-    let parallel = run_ids(&ids, &opts(2)).expect("valid ids");
-    for (s, p) in serial.iter().zip(&parallel) {
-        assert_eq!(s.output.metrics.id, p.output.metrics.id);
-        assert_eq!(
-            s.output.metrics.to_json(),
-            p.output.metrics.to_json(),
-            "{} sidecar differs across --jobs",
-            s.output.id
-        );
+    let baseline = run_ids(&ids, &opts(1, 1)).expect("valid ids");
+    for jobs in [1usize, 4] {
+        for par_engines in [1usize, 2, 4, 8] {
+            if (jobs, par_engines) == (1, 1) {
+                continue;
+            }
+            let run = run_ids(&ids, &opts(jobs, par_engines)).expect("valid ids");
+            for (b, r) in baseline.iter().zip(&run) {
+                assert_eq!(b.output.metrics.id, r.output.metrics.id);
+                assert_eq!(
+                    b.output.metrics.to_json(),
+                    r.output.metrics.to_json(),
+                    "{} sidecar differs at --jobs {jobs} --par-engines {par_engines}",
+                    b.output.id
+                );
+                let csv = |c: &tracegc::experiments::CompletedExperiment| {
+                    c.output
+                        .tables
+                        .iter()
+                        .map(tracegc::table::Table::to_csv)
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(
+                    csv(b),
+                    csv(r),
+                    "{} CSV differs at --jobs {jobs} --par-engines {par_engines}",
+                    b.output.id
+                );
+            }
+        }
     }
 }
 
@@ -97,21 +123,28 @@ fn forced_scale_sidecars_are_valid() {
 fn bench_doc_schema_and_totals() {
     use tracegc::metrics::{write_bench, BENCH_SCHEMA};
     let doc = sample_bench_doc();
-    assert_eq!(doc.file_name(), "BENCH_7.json");
+    assert_eq!(doc.file_name(), "BENCH_8.json");
     assert_eq!(doc.total_sim_cycles(), 3_000_000);
     assert!((doc.total_speedup() - 6.0).abs() < 1e-9);
+    assert!((doc.total_speedup_parallel() - 3.0).abs() < 1e-9);
     let json = doc.to_json();
     json_syntax_check(&json).expect("bench doc must be well-formed JSON");
     assert!(json.contains(BENCH_SCHEMA), "missing schema tag");
     for key in [
-        "\"issue\": 7",
+        "\"issue\": 8",
+        "\"par_engines\": 4",
+        "\"host_cpus\": 8",
         "\"experiments\": [",
         "\"wall_s_fastforward\"",
         "\"wall_s_lockstep\"",
+        "\"wall_s_parallel\"",
         "\"speedup\"",
+        "\"speedup_parallel\"",
         "\"cycles_per_sec_fastforward\"",
+        "\"cycles_per_sec_parallel\"",
         "\"peak_rss_kb_fastforward\": 120000",
         "\"peak_rss_kb_lockstep\": 118000",
+        "\"peak_rss_kb_parallel\": 121000",
         "\"total\"",
     ] {
         assert!(json.contains(key), "bench doc missing {key}:\n{json}");
@@ -120,7 +153,7 @@ fn bench_doc_schema_and_totals() {
 
     let dir = std::env::temp_dir().join(format!("tracegc-bench-{}", std::process::id()));
     let path = write_bench(&dir, &doc).expect("bench written");
-    assert!(path.ends_with("BENCH_7.json"));
+    assert!(path.ends_with("BENCH_8.json"));
     assert_eq!(
         std::fs::read_to_string(&path).expect("readable"),
         doc.to_json()
@@ -131,24 +164,29 @@ fn bench_doc_schema_and_totals() {
 fn sample_bench_doc() -> tracegc::metrics::BenchDoc {
     use tracegc::metrics::{BenchDoc, BenchEntry};
     BenchDoc {
-        issue: 7,
+        issue: 8,
         jobs: 4,
+        par_engines: 4,
         scale: 0.25,
         pauses: 3,
+        host_cpus: Some(8),
         peak_rss_kb_fastforward: Some(120_000),
         peak_rss_kb_lockstep: Some(118_000),
+        peak_rss_kb_parallel: Some(121_000),
         entries: vec![
             BenchEntry {
                 id: "fig15".into(),
                 sim_cycles: 1_000_000,
                 wall_s_fastforward: 0.5,
                 wall_s_lockstep: 4.0,
+                wall_s_parallel: 0.25,
             },
             BenchEntry {
                 id: "fig20".into(),
                 sim_cycles: 2_000_000,
                 wall_s_fastforward: 1.0,
                 wall_s_lockstep: 5.0,
+                wall_s_parallel: 0.25,
             },
         ],
     }
