@@ -65,17 +65,17 @@ for f in fig15.csv fig15.metrics.json fig20.csv fig20.metrics.json \
     cmp "$SIDECAR_DIR/par1/$f" "$SIDECAR_DIR/par4/$f"
 done
 
-echo "==> bench doc smoke (experiments --bench writes BENCH_8.json)"
+echo "==> bench doc smoke (experiments --bench writes BENCH_9.json)"
 ./target/release/experiments --quick --bench --out "$SIDECAR_DIR/bench" fig15 >/dev/null
-test -s "$SIDECAR_DIR/bench/BENCH_8.json"
-grep -q '"schema": "tracegc-bench-v1"' "$SIDECAR_DIR/bench/BENCH_8.json"
-grep -q '"peak_rss_kb_fastforward"' "$SIDECAR_DIR/bench/BENCH_8.json"
-grep -q '"par_engines"' "$SIDECAR_DIR/bench/BENCH_8.json"
-grep -q '"host_cpus"' "$SIDECAR_DIR/bench/BENCH_8.json"
-grep -q '"wall_s_parallel"' "$SIDECAR_DIR/bench/BENCH_8.json"
+test -s "$SIDECAR_DIR/bench/BENCH_9.json"
+grep -q '"schema": "tracegc-bench-v1"' "$SIDECAR_DIR/bench/BENCH_9.json"
+grep -q '"peak_rss_kb_fastforward"' "$SIDECAR_DIR/bench/BENCH_9.json"
+grep -q '"par_engines"' "$SIDECAR_DIR/bench/BENCH_9.json"
+grep -q '"host_cpus"' "$SIDECAR_DIR/bench/BENCH_9.json"
+grep -q '"wall_s_parallel"' "$SIDECAR_DIR/bench/BENCH_9.json"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
-    "$SIDECAR_DIR/bench/BENCH_8.json" 2>/dev/null \
-    || grep -q '"speedup_parallel"' "$SIDECAR_DIR/bench/BENCH_8.json"
+    "$SIDECAR_DIR/bench/BENCH_9.json" 2>/dev/null \
+    || grep -q '"speedup_parallel"' "$SIDECAR_DIR/bench/BENCH_9.json"
 
 echo "==> paper calibration gate (experiments --calibrate on committed results/)"
 # The committed results/ (scale 0.25) must conform to the paper's
@@ -123,5 +123,30 @@ rc=0
 test "$rc" -eq 2
 cmp "$SIDECAR_DIR/fs_ls/faultsweep.csv" "$SIDECAR_DIR/fs1/faultsweep.csv"
 cmp "$SIDECAR_DIR/fs_ls/faultsweep.metrics.json" "$SIDECAR_DIR/fs1/faultsweep.metrics.json"
+
+echo "==> heapscale smoke (golden cmp + byte-equality across --jobs x --par-engines)"
+# The production-heap-size sweep at the golden scale: bytes must match
+# the committed goldens and be invariant to both parallelism knobs.
+./target/release/experiments --scale 0.015 --pauses 1 --jobs 1 --par-engines 1 \
+    --out "$SIDECAR_DIR/hs1" heapscale >/dev/null
+cmp "$SIDECAR_DIR/hs1/heapscale.csv" tests/golden/heapscale.csv
+cmp "$SIDECAR_DIR/hs1/heapscale.metrics.json" tests/golden/heapscale.metrics.json
+./target/release/experiments --scale 0.015 --pauses 1 --jobs 4 --par-engines 4 \
+    --out "$SIDECAR_DIR/hs4" heapscale >/dev/null
+cmp "$SIDECAR_DIR/hs1/heapscale.csv" "$SIDECAR_DIR/hs4/heapscale.csv"
+cmp "$SIDECAR_DIR/hs1/heapscale.metrics.json" "$SIDECAR_DIR/hs4/heapscale.metrics.json"
+
+echo "==> heapscale paper-scale run under the host-RSS ceiling (~5 min single-core)"
+# The acceptance run of the memory-lean representation (DESIGN.md §11):
+# the paper-exact 200 MB heap and the >=1 GB-live-set server LRU, end
+# to end (mark + sweep) at --scale 1.0. The ceiling is stated as a
+# multiple of the simulated footprint: the server row's sparse physical
+# memory holds ~2.2 GB of resident chunks (the deterministic
+# resident-mb column in heapscale.csv), and host peak RSS must stay
+# under 3x that — generation churn, page tables, the spill region and
+# allocator retention across rows live inside the multiple. Exit 5
+# (from --rss-ceiling-mb) means the representation regressed.
+./target/release/experiments --scale 1.0 --pauses 1 --rss-ceiling-mb 6786 \
+    --out "$SIDECAR_DIR/hs_full" heapscale >/dev/null
 
 echo "ci.sh: all green"

@@ -33,7 +33,7 @@ fn usage() -> String {
         "usage: experiments [--quick] [--scale F] [--pauses N] [--jobs N] \
          [--par-engines N] [--out DIR] \
          [--trace FILE] [--fault-rate R] [--fault-seed S] \
-         [--sched lockstep|fastforward] [--bench] <id>...\n\
+         [--sched lockstep|fastforward] [--bench] [--rss-ceiling-mb N] <id>...\n\
          \x20      experiments --calibrate [--out DIR] [<figure>...]\n\
          ids: all {}\n\
          --sched picks the scheduler pacing (default fastforward; both produce \
@@ -45,8 +45,10 @@ fn usage() -> String {
          BENCH_{}.json next to the results\n\
          --calibrate checks DIR's CSVs and sidecars (default results/) against the \
          paper's numbers and writes DIR/calibration.json; figures default to all of: {}\n\
+         --rss-ceiling-mb fails the run (exit 5) if the process's peak RSS exceeds \
+         N MB — the CI memory gate for the paper-scale heapscale batch\n\
          exit codes: 0 clean, 2 degraded to the software-fallback mark, 3 a run \
-         failed, 4 calibration out of tolerance",
+         failed, 4 calibration out of tolerance, 5 peak RSS over the ceiling",
         experiments::ALL.join(" "),
         BENCH_ISSUE,
         calib::FIGURES.join(" "),
@@ -54,7 +56,7 @@ fn usage() -> String {
 }
 
 /// The BENCH trajectory point this build records (see ROADMAP item 5).
-const BENCH_ISSUE: u32 = 8;
+const BENCH_ISSUE: u32 = 9;
 
 /// Partition workers `--bench` uses when `--par-engines` was not given:
 /// the acceptance point of the multi-core batch is measured at 4.
@@ -76,6 +78,7 @@ fn main() -> ExitCode {
     let mut par_engines_set = false;
     let mut bench = false;
     let mut calibrate = false;
+    let mut rss_ceiling_mb: Option<u64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -159,6 +162,13 @@ fn main() -> ExitCode {
                 }
                 None => {
                     eprintln!("--fault-seed needs a number\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--rss-ceiling-mb" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => rss_ceiling_mb = Some(v),
+                _ => {
+                    eprintln!("--rss-ceiling-mb needs a positive number\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -455,6 +465,22 @@ fn main() -> ExitCode {
         busy / wall_s.max(1e-9),
         completed.len() as f64 / wall_s.max(1e-9),
     );
+    // The CI memory gate: peak RSS is host-measured and therefore never
+    // lands in any deterministic output, only in this check and its
+    // diagnostic line.
+    if let Some(ceiling) = rss_ceiling_mb {
+        match metrics::peak_rss_kb() {
+            Some(kb) => {
+                let peak_mb = kb.div_ceil(1024);
+                println!("rss: peak {peak_mb} MB, ceiling {ceiling} MB");
+                if peak_mb > ceiling {
+                    eprintln!("exit 5: peak RSS {peak_mb} MB exceeds --rss-ceiling-mb {ceiling}");
+                    return ExitCode::from(5);
+                }
+            }
+            None => eprintln!("warning: --rss-ceiling-mb set but peak RSS is unreadable"),
+        }
+    }
     // Degraded/failed runs surface in the exit code (0 clean, 2 the
     // software fallback completed a trapped mark, 3 a run failed) so CI
     // can gate on the difference without parsing sidecars.

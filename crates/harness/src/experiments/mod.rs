@@ -17,6 +17,7 @@ pub mod fig20;
 pub mod fig21;
 pub mod fig22;
 pub mod fig23;
+pub mod heapscale;
 pub mod multiunit;
 pub mod overlap;
 pub mod table1;
@@ -112,7 +113,7 @@ pub struct ExperimentOutput {
 
 /// Every experiment id, in paper order (scheduler-layer experiments
 /// `overlap` and `multiunit` last).
-pub const ALL: [&str; 25] = [
+pub const ALL: [&str; 26] = [
     "table1",
     "fig1a",
     "fig1b",
@@ -138,6 +139,7 @@ pub const ALL: [&str; 25] = [
     "overlap",
     "multiunit",
     "faultsweep",
+    "heapscale",
 ];
 
 /// Runs one experiment by id. Returns `None` for unknown ids.
@@ -179,6 +181,7 @@ fn run_inner(id: &str, opts: &Options) -> Option<ExperimentOutput> {
         "overlap" => overlap::run(opts),
         "multiunit" => multiunit::run(opts),
         "faultsweep" => faultsweep::run(opts),
+        "heapscale" => heapscale::run(opts),
         _ => return None,
     })
 }

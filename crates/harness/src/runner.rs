@@ -567,6 +567,56 @@ pub fn run_cpu_gc(spec: &BenchSpec, layout: LayoutKind, mem_kind: MemKind) -> Cp
     }
 }
 
+/// Result of a unit collection over a *streamed* workload — heaps too
+/// large to keep an all-objects vector for, so the run carries the
+/// generator's bookkeeping instead of the workload itself.
+#[derive(Debug)]
+pub struct StreamRun {
+    /// The collection report.
+    pub report: tracegc_hwgc::GcReport,
+    /// Memory statistics.
+    pub snapshot: MemSnapshot,
+    /// Objects reachable from the roots at generation time.
+    pub live_objects: u64,
+    /// Generation bookkeeping (allocations, recycling sweeps, peak
+    /// generator footprint).
+    pub gen_stats: tracegc_workloads::GenStats,
+    /// Host bytes actually backing the simulated physical memory after
+    /// the collection (sparse chunks that were ever written).
+    pub resident_bytes: u64,
+    /// Simulated physical memory size in bytes.
+    pub phys_bytes: u64,
+}
+
+/// Runs a single accelerator-only collection on a freshly streamed
+/// workload, asserting the unit marks exactly the generation-time live
+/// set (every streamed shape keeps all LOS objects reachable, so the
+/// LOS-always-live sweep convention cannot skew the count).
+pub fn run_unit_gc_stream(
+    spec: &tracegc_workloads::StreamSpec,
+    layout: LayoutKind,
+    cfg: GcUnitConfig,
+    mem_kind: MemKind,
+) -> StreamRun {
+    let mut streamed = tracegc_workloads::generate_streamed(spec, layout);
+    let mut mem = mem_kind.fresh();
+    let mut unit = GcUnit::new(cfg, &mut streamed.heap);
+    let report = unit.run_gc(&mut streamed.heap, &mut mem);
+    assert_eq!(
+        report.mark.objects_marked, streamed.live_objects as u64,
+        "unit marked a different live set than the streamed generator built ({})",
+        spec.name
+    );
+    StreamRun {
+        report,
+        snapshot: MemSnapshot::capture(&mem),
+        live_objects: streamed.live_objects as u64,
+        gen_stats: streamed.stats,
+        resident_bytes: streamed.heap.phys.resident_bytes(),
+        phys_bytes: streamed.heap.phys.size_bytes(),
+    }
+}
+
 /// Geometric mean of a slice (1.0 when empty).
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {

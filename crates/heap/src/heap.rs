@@ -1,7 +1,8 @@
 //! The heap proper: spaces, blocks, size classes, segregated free lists
 //! and the functional object API shared by every timed agent.
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use crate::pageset::PageSet;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use tracegc_mem::PhysMem;
 use tracegc_vmem::{AddressSpace, FrameAlloc, PAGE_SIZE};
@@ -120,7 +121,7 @@ pub struct Heap {
     ms_next_va: u64,
     los_next_va: u64,
     immortal_next_va: u64,
-    mapped_pages: HashSet<u64>,
+    mapped_pages: PageSet,
     los_objects: Vec<LosObject>,
     roots: Vec<ObjRef>,
     /// Conventional mode: TIB address per (nrefs, fields, is_array) shape.
@@ -166,7 +167,7 @@ impl Heap {
             ms_next_va: spaces.ms_base,
             los_next_va: spaces.los_base,
             immortal_next_va: spaces.immortal_base,
-            mapped_pages: HashSet::new(),
+            mapped_pages: PageSet::new(),
             los_objects: Vec::new(),
             roots: Vec::new(),
             tib_cache: HashMap::new(),
@@ -223,7 +224,7 @@ impl Heap {
             let last = (va + len - 1) / MEGAPAGE_SIZE;
             for mp in first..=last {
                 let base_page = mp * (MEGAPAGE_SIZE / PAGE_SIZE);
-                if self.mapped_pages.insert(base_page) {
+                if !self.mapped_pages.contains(base_page) {
                     let frame = self.falloc.alloc_region(MEGAPAGE_SIZE, MEGAPAGE_SIZE);
                     self.aspace.map_superpage(
                         &mut self.phys,
@@ -231,9 +232,8 @@ impl Heap {
                         mp * MEGAPAGE_SIZE,
                         frame,
                     );
-                    for p in base_page..base_page + MEGAPAGE_SIZE / PAGE_SIZE {
-                        self.mapped_pages.insert(p);
-                    }
+                    self.mapped_pages
+                        .insert_range(base_page, base_page + MEGAPAGE_SIZE / PAGE_SIZE);
                 }
             }
             return;

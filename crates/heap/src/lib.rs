@@ -38,6 +38,7 @@
 
 pub mod heap;
 pub mod layout;
+pub mod pageset;
 pub mod snapshot;
 pub mod soc;
 pub mod space;

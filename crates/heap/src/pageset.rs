@@ -1,0 +1,199 @@
+//! A compact interval set over page numbers.
+//!
+//! The heap maps virtual pages in long monotone runs — each space grows
+//! by bump allocation, so consecutive `ensure_mapped` calls extend the
+//! same interval. A sorted run list therefore stays O(#spaces) entries
+//! for multi-GB heaps where a per-page `HashSet<u64>` would cost tens of
+//! bytes per 4 KiB page and hash on every access.
+
+/// Sorted, disjoint, non-adjacent half-open runs `[start, end)` of page
+/// numbers.
+///
+/// # Examples
+///
+/// ```
+/// use tracegc_heap::pageset::PageSet;
+///
+/// let mut set = PageSet::new();
+/// assert!(set.insert(7));
+/// assert!(!set.insert(7));
+/// set.insert_range(8, 12);
+/// assert!(set.contains(11));
+/// assert_eq!(set.run_count(), 1); // [7, 12) merged
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageSet {
+    runs: Vec<(u64, u64)>,
+}
+
+impl PageSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the run containing `page`, or where one would go.
+    fn locate(&self, page: u64) -> Result<usize, usize> {
+        self.runs.binary_search_by(|&(start, end)| {
+            if page < start {
+                std::cmp::Ordering::Greater
+            } else if page >= end {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        })
+    }
+
+    /// Whether `page` is in the set.
+    pub fn contains(&self, page: u64) -> bool {
+        self.locate(page).is_ok()
+    }
+
+    /// Inserts a single page; returns `true` if it was newly added.
+    pub fn insert(&mut self, page: u64) -> bool {
+        match self.locate(page) {
+            Ok(_) => false,
+            Err(_) => {
+                self.insert_range(page, page + 1);
+                true
+            }
+        }
+    }
+
+    /// Inserts every page in `[start, end)`, merging with any runs the
+    /// range touches or abuts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn insert_range(&mut self, start: u64, end: u64) {
+        assert!(start <= end, "inverted range");
+        if start == end {
+            return;
+        }
+        // First run that could merge (ends at or after `start`) …
+        let lo = self.runs.partition_point(|&(_, e)| e < start);
+        // … and one past the last run that could merge (starts at or
+        // before `end`).
+        let hi = self.runs.partition_point(|&(s, _)| s <= end);
+        if lo == hi {
+            self.runs.insert(lo, (start, end));
+            return;
+        }
+        let merged = (self.runs[lo].0.min(start), self.runs[hi - 1].1.max(end));
+        self.runs.splice(lo..hi, [merged]);
+    }
+
+    /// Number of pages in the set.
+    pub fn page_count(&self) -> u64 {
+        self.runs.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Number of maximal runs — the set's actual host footprint is
+    /// 16 bytes per run.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut set = PageSet::new();
+        assert!(!set.contains(5));
+        assert!(set.insert(5));
+        assert!(!set.insert(5));
+        assert!(set.contains(5));
+        assert!(!set.contains(4));
+        assert!(!set.contains(6));
+    }
+
+    #[test]
+    fn adjacent_inserts_merge_into_one_run() {
+        let mut set = PageSet::new();
+        for p in 0..1000 {
+            assert!(set.insert(p));
+        }
+        assert_eq!(set.run_count(), 1);
+        assert_eq!(set.page_count(), 1000);
+    }
+
+    #[test]
+    fn range_bridges_existing_runs() {
+        let mut set = PageSet::new();
+        set.insert(0);
+        set.insert(10);
+        assert_eq!(set.run_count(), 2);
+        set.insert_range(1, 10);
+        assert_eq!(set.run_count(), 1);
+        assert_eq!(set.page_count(), 11);
+    }
+
+    #[test]
+    fn disjoint_runs_stay_separate() {
+        let mut set = PageSet::new();
+        set.insert_range(100, 200);
+        set.insert_range(300, 400);
+        assert_eq!(set.run_count(), 2);
+        assert!(set.contains(150));
+        assert!(!set.contains(250));
+        assert!(set.contains(399));
+        assert!(!set.contains(400));
+    }
+
+    #[test]
+    fn range_overlapping_several_runs_collapses() {
+        let mut set = PageSet::new();
+        set.insert_range(0, 10);
+        set.insert_range(20, 30);
+        set.insert_range(40, 50);
+        set.insert_range(5, 45);
+        assert_eq!(set.run_count(), 1);
+        assert_eq!(set.page_count(), 50);
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let mut set = PageSet::new();
+        set.insert_range(10, 10);
+        assert_eq!(set.run_count(), 0);
+    }
+
+    #[test]
+    fn matches_a_reference_hashset_on_random_ops() {
+        use std::collections::HashSet;
+        // Tiny deterministic LCG; no external RNG in this crate.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut set = PageSet::new();
+        let mut reference = HashSet::new();
+        for _ in 0..4000 {
+            match next() % 3 {
+                0 => {
+                    let p = next() % 256;
+                    assert_eq!(set.insert(p), reference.insert(p));
+                }
+                1 => {
+                    let s = next() % 256;
+                    let e = s + next() % 32;
+                    set.insert_range(s, e);
+                    reference.extend(s..e);
+                }
+                _ => {
+                    let p = next() % 300;
+                    assert_eq!(set.contains(p), reference.contains(&p), "page {p}");
+                }
+            }
+        }
+        assert_eq!(set.page_count(), reference.len() as u64);
+    }
+}

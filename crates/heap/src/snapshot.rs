@@ -20,8 +20,7 @@
 //!
 //! Object ids are dense indices in dump order, so snapshots diff cleanly.
 
-use std::collections::HashMap;
-use std::fmt::Write as _;
+use std::io;
 
 use crate::heap::{Heap, HeapConfig};
 use crate::layout::{bidi, conv, LayoutKind, ObjRef, WORD};
@@ -62,61 +61,92 @@ fn scalar_capacity(heap: &Heap, obj: ObjRef, cell_bytes: u64) -> u32 {
     words.saturating_sub(used) as u32
 }
 
-/// Serializes the heap's object graph.
-pub fn dump(heap: &Heap) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "tracegc-snapshot v1");
-    let _ = writeln!(
+/// Serializes the heap's object graph through `out`, streaming line by
+/// line — the snapshot text is never materialized in memory, so dumping
+/// a multi-GB heap to a file costs only the id table (16 bytes per
+/// object) on top of the object list.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn dump_to<W: io::Write>(heap: &Heap, out: &mut W) -> io::Result<()> {
+    writeln!(out, "tracegc-snapshot v1")?;
+    writeln!(
         out,
         "layout {}",
         match heap.layout() {
             LayoutKind::Bidirectional => "bidirectional",
             LayoutKind::Conventional => "conventional",
         }
-    );
+    )?;
     let objects = heap.iter_objects();
-    let ids: HashMap<ObjRef, usize> = objects.iter().enumerate().map(|(i, &o)| (o, i)).collect();
-    // Cell size per object: from the containing block, or LOS size.
+    // Id lookup: a sorted (address, dump-order id) table binary-searched
+    // per edge — half the footprint of a HashMap and cache-friendly.
+    let mut ids: Vec<(u64, u32)> = objects
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (o.addr(), i as u32))
+        .collect();
+    ids.sort_unstable();
+    let id_of = |obj: ObjRef| -> Option<u32> {
+        ids.binary_search_by_key(&obj.addr(), |&(a, _)| a)
+            .ok()
+            .map(|i| ids[i].1)
+    };
+    // Block lookup for cell sizes: sorted ranges, binary search per
+    // object instead of a linear scan over all blocks.
+    let mut block_ranges: Vec<(u64, u64, u64)> = heap
+        .blocks()
+        .iter()
+        .map(|b| (b.base_va, b.base_va + b.ncells * b.cell_bytes, b.cell_bytes))
+        .collect();
+    block_ranges.sort_unstable();
     let cell_of = |obj: ObjRef| -> u64 {
         let cell_base = match heap.layout() {
             LayoutKind::Bidirectional => bidi::cell_of_header(obj.addr(), heap.nrefs(obj)),
             LayoutKind::Conventional => conv::cell_of_header(obj.addr()),
         };
-        heap.blocks()
-            .iter()
-            .find(|b| (b.base_va..b.base_va + b.ncells * b.cell_bytes).contains(&cell_base))
-            .map(|b| b.cell_bytes)
-            .unwrap_or_else(|| {
-                // LOS object: report the minimal capacity.
-                (heap.nrefs(obj) as u64 + 2) * WORD
-            })
+        let i = block_ranges.partition_point(|&(base, _, _)| base <= cell_base);
+        match i.checked_sub(1).map(|i| block_ranges[i]) {
+            Some((_, end, cell_bytes)) if cell_base < end => cell_bytes,
+            // LOS object: report the minimal capacity.
+            _ => (heap.nrefs(obj) as u64 + 2) * WORD,
+        }
     };
     for (i, &obj) in objects.iter().enumerate() {
         let h = heap.header(obj);
-        let _ = writeln!(
+        writeln!(
             out,
             "object {i} nrefs {} scalars {} array {} marked {}",
             h.nrefs(),
             scalar_capacity(heap, obj, cell_of(obj)),
             u8::from(h.is_array()),
             u8::from(h.is_marked()),
-        );
+        )?;
     }
     for (i, &obj) in objects.iter().enumerate() {
         for slot in 0..heap.nrefs(obj) {
             if let Some(target) = heap.get_ref(obj, slot) {
-                if let Some(&tid) = ids.get(&target) {
-                    let _ = writeln!(out, "ref {i} {slot} {tid}");
+                if let Some(tid) = id_of(target) {
+                    writeln!(out, "ref {i} {slot} {tid}")?;
                 }
             }
         }
     }
-    for root in heap.roots() {
-        if let Some(&rid) = ids.get(root) {
-            let _ = writeln!(out, "root {rid}");
+    for &root in heap.roots() {
+        if let Some(rid) = id_of(root) {
+            writeln!(out, "root {rid}")?;
         }
     }
-    out
+    Ok(())
+}
+
+/// Serializes the heap's object graph into one `String`. Convenient for
+/// small heaps and diffs; large heaps should [`dump_to`] a file instead.
+pub fn dump(heap: &Heap) -> String {
+    let mut buf = Vec::new();
+    dump_to(heap, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("snapshot text is ASCII")
 }
 
 /// Rebuilds a heap from a snapshot. Addresses differ from the original;
@@ -296,6 +326,44 @@ mod tests {
         let dangling = "tracegc-snapshot v1\nlayout bidirectional\n\
                         object 0 nrefs 1 scalars 0 array 0 marked 0\nref 0 0 9\n";
         assert!(load(dangling).is_err());
+    }
+
+    #[test]
+    fn dump_to_streams_the_same_bytes_as_dump() {
+        // A sink that accepts one byte at a time: proves dump_to really
+        // goes through io::Write (no hidden buffering contract) and
+        // produces exactly the materialized text.
+        struct TrickleSink(Vec<u8>);
+        impl std::io::Write for TrickleSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if buf.is_empty() {
+                    return Ok(0);
+                }
+                self.0.push(buf[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let heap = demo_heap();
+        let mut sink = TrickleSink(Vec::new());
+        dump_to(&heap, &mut sink).expect("streamed dump");
+        assert_eq!(String::from_utf8(sink.0).unwrap(), dump(&heap));
+    }
+
+    #[test]
+    fn dump_to_propagates_sink_errors() {
+        struct FailSink;
+        impl std::io::Write for FailSink {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        assert!(dump_to(&demo_heap(), &mut FailSink).is_err());
     }
 
     #[test]

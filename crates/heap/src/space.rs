@@ -50,6 +50,24 @@ impl Default for SpaceMap {
 }
 
 impl SpaceMap {
+    /// A space map whose mark-sweep and large-object spaces hold at
+    /// least `ms_size` and `los_size` bytes. The default map caps the
+    /// mark-sweep space at 512 MB because the LOS base sits at
+    /// `0x8000_0000`; paper-scale and server-scale heaps need more, so
+    /// this pushes the LOS up past the enlarged mark-sweep space
+    /// (superpage-aligned so either mapping granularity works).
+    pub fn with_heap_capacity(ms_size: u64, los_size: u64) -> Self {
+        let d = Self::default();
+        let ms_size = ms_size.max(d.ms_size).next_multiple_of(2 << 20);
+        let los_size = los_size.max(d.los_size).next_multiple_of(2 << 20);
+        Self {
+            ms_size,
+            los_base: (d.ms_base + ms_size).next_multiple_of(2 << 20),
+            los_size,
+            ..d
+        }
+    }
+
     /// Whether `va` lies in the mark-sweep space (the only space the
     /// reclamation unit sweeps).
     pub fn in_mark_sweep(&self, va: u64) -> bool {
@@ -94,6 +112,32 @@ mod tests {
         for (i, &(b1, s1)) in ranges.iter().enumerate() {
             for &(b2, s2) in &ranges[i + 1..] {
                 assert!(b1 + s1 <= b2 || b2 + s2 <= b1, "spaces overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn sized_spaces_do_not_overlap_and_cover_the_request() {
+        for (ms, los) in [
+            (0, 0),
+            (512 << 20, 128 << 20),
+            (2 << 30, 256 << 20),
+            ((6u64 << 30) + 4096, 1 << 30),
+        ] {
+            let m = SpaceMap::with_heap_capacity(ms, los);
+            assert!(m.ms_size >= ms && m.los_size >= los);
+            assert!(m.ms_size.is_multiple_of(2 << 20));
+            assert!(m.los_base.is_multiple_of(2 << 20));
+            let ranges = [
+                (m.immortal_base, m.immortal_size),
+                (m.hwgc_base, m.hwgc_size),
+                (m.ms_base, m.ms_size),
+                (m.los_base, m.los_size),
+            ];
+            for (i, &(b1, s1)) in ranges.iter().enumerate() {
+                for &(b2, s2) in &ranges[i + 1..] {
+                    assert!(b1 + s1 <= b2 || b2 + s2 <= b1, "spaces overlap");
+                }
             }
         }
     }

@@ -39,6 +39,24 @@ pub fn software_mark(heap: &mut Heap) -> BTreeSet<ObjRef> {
     marked
 }
 
+/// Like [`software_mark`], returning only the count of newly marked
+/// objects without materializing the set — what the streamed workload
+/// generators' recycling sweeps use on multi-million-object heaps,
+/// where a `BTreeSet` of every live object would dwarf the generator's
+/// own footprint.
+pub fn software_mark_count(heap: &mut Heap) -> u64 {
+    let mut marked = 0u64;
+    let mut stack: Vec<ObjRef> = heap.roots().to_vec();
+    while let Some(obj) = stack.pop() {
+        if heap.mark(obj) {
+            continue; // already marked
+        }
+        marked += 1;
+        stack.extend(heap.refs_of(obj));
+    }
+    marked
+}
+
 /// The functional sweep oracle: rebuilds every block's free list exactly
 /// as the reclamation unit's block sweepers do (§V-D), clears surviving
 /// mark bits, and updates the heap's allocator metadata.

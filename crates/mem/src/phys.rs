@@ -1,11 +1,34 @@
 //! Simulated physical memory.
 //!
-//! A flat, word-addressed array standing in for the 2 GiB DRAM of the
-//! paper's Table I (scaled down — the workloads use tens of MiB). Both the
-//! CPU collector model and the accelerator operate *functionally* on this
-//! memory: the heap, the page tables, the spill region and the root region
-//! all live here, so the marked-object sets produced by every agent can be
-//! compared bit-for-bit.
+//! A word-addressed memory standing in for the 2 GiB DRAM of the paper's
+//! Table I. Both the CPU collector model and the accelerator operate
+//! *functionally* on this memory: the heap, the page tables, the spill
+//! region and the root region all live here, so the marked-object sets
+//! produced by every agent can be compared bit-for-bit.
+//!
+//! The default backing is **sparse**: the address space is divided into
+//! [`CHUNK_BYTES`]-sized chunks held in a dense chunk table, and a chunk
+//! is allocated only on the first write of a nonzero word into it. Reads
+//! of untouched chunks observe zeros (zero-page semantics), and writing
+//! a zero — including [`PhysMem::zero_range`] — never allocates. A 4 GiB
+//! address space with a 300 MB live footprint therefore costs roughly
+//! 300 MB of host RSS plus one table slot (8 bytes) per chunk. The old
+//! flat `Vec<u64>` backing remains available via [`PhysMem::new_flat`]
+//! so differential tests can pin the two representations word-for-word
+//! equal.
+
+/// Sparse-chunk granularity: 64 KiB, matching the heap's block size so a
+/// touched heap block maps onto exactly one resident chunk.
+pub const CHUNK_BYTES: u64 = 64 * 1024;
+const CHUNK_WORDS: u64 = CHUNK_BYTES / 8;
+
+#[derive(Clone)]
+enum Backing {
+    /// Dense table of lazily allocated chunks; `None` reads as zeros.
+    Sparse { chunks: Vec<Option<Box<[u64]>>> },
+    /// The original fully materialized array, for differential tests.
+    Flat { words: Vec<u64> },
+}
 
 /// Byte-addressed simulated physical memory backed by 64-bit words.
 ///
@@ -22,13 +45,26 @@
 /// mem.write_u64(16, 0xdead_beef);
 /// assert_eq!(mem.read_u64(16), 0xdead_beef);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PhysMem {
-    words: Vec<u64>,
+    len_words: u64,
+    backing: Backing,
+}
+
+impl std::fmt::Debug for PhysMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The chunk table would dump megabytes of zeros; summarize.
+        f.debug_struct("PhysMem")
+            .field("size_bytes", &self.size_bytes())
+            .field("resident_bytes", &self.resident_bytes())
+            .field("flat", &matches!(self.backing, Backing::Flat { .. }))
+            .finish()
+    }
 }
 
 impl PhysMem {
-    /// Creates a zeroed memory of `bytes` bytes.
+    /// Creates a zeroed sparse memory of `bytes` bytes. No chunk storage
+    /// is allocated until the first nonzero write.
     ///
     /// # Panics
     ///
@@ -38,42 +74,97 @@ impl PhysMem {
             bytes.is_multiple_of(8),
             "physical memory size must be word-aligned"
         );
+        let len_words = bytes / 8;
+        let n_chunks = len_words.div_ceil(CHUNK_WORDS) as usize;
         Self {
-            words: vec![0; (bytes / 8) as usize],
+            len_words,
+            backing: Backing::Sparse {
+                chunks: vec![None; n_chunks],
+            },
+        }
+    }
+
+    /// Creates a zeroed memory of `bytes` bytes with the flat, fully
+    /// materialized backing — host RSS is paid up front for the whole
+    /// address space. Only differential tests should need this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a multiple of 8.
+    pub fn new_flat(bytes: u64) -> Self {
+        assert!(
+            bytes.is_multiple_of(8),
+            "physical memory size must be word-aligned"
+        );
+        Self {
+            len_words: bytes / 8,
+            backing: Backing::Flat {
+                words: vec![0; (bytes / 8) as usize],
+            },
         }
     }
 
     /// Total size in bytes.
     pub fn size_bytes(&self) -> u64 {
-        self.words.len() as u64 * 8
+        self.len_words * 8
+    }
+
+    /// Number of chunks currently backed by host storage (always the
+    /// full chunk count for the flat backing).
+    pub fn allocated_chunks(&self) -> usize {
+        match &self.backing {
+            Backing::Sparse { chunks } => chunks.iter().filter(|c| c.is_some()).count(),
+            Backing::Flat { .. } => self.len_words.div_ceil(CHUNK_WORDS) as usize,
+        }
+    }
+
+    /// Bytes of chunk storage resident on the host — the memory actually
+    /// paid for, as opposed to [`PhysMem::size_bytes`] addressable.
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.backing {
+            Backing::Sparse { chunks } => chunks
+                .iter()
+                .filter_map(|c| c.as_ref().map(|w| w.len() as u64 * 8))
+                .sum(),
+            Backing::Flat { .. } => self.len_words * 8,
+        }
     }
 
     #[inline]
-    fn index(&self, paddr: u64) -> usize {
+    fn index(&self, paddr: u64) -> u64 {
         debug_assert!(
             paddr.is_multiple_of(8),
             "unaligned word access at {paddr:#x}"
         );
-        let idx = (paddr / 8) as usize;
+        let idx = paddr / 8;
         assert!(
-            idx < self.words.len(),
+            idx < self.len_words,
             "physical address {paddr:#x} out of range ({} bytes)",
             self.size_bytes()
         );
         idx
     }
 
-    /// Reads the word at byte address `paddr`.
+    /// Reads the word at byte address `paddr`. Untouched sparse chunks
+    /// read as zero.
     ///
     /// # Panics
     ///
     /// Panics if `paddr` is unaligned (debug builds) or out of range.
     #[inline]
     pub fn read_u64(&self, paddr: u64) -> u64 {
-        self.words[self.index(paddr)]
+        let idx = self.index(paddr);
+        match &self.backing {
+            Backing::Sparse { chunks } => match &chunks[(idx / CHUNK_WORDS) as usize] {
+                Some(words) => words[(idx % CHUNK_WORDS) as usize],
+                None => 0,
+            },
+            Backing::Flat { words } => words[idx as usize],
+        }
     }
 
-    /// Writes the word at byte address `paddr`.
+    /// Writes the word at byte address `paddr`. Writing zero into an
+    /// untouched sparse chunk is elided — it never allocates storage.
     ///
     /// # Panics
     ///
@@ -81,20 +172,37 @@ impl PhysMem {
     #[inline]
     pub fn write_u64(&mut self, paddr: u64, value: u64) {
         let idx = self.index(paddr);
-        self.words[idx] = value;
+        match &mut self.backing {
+            Backing::Sparse { chunks } => {
+                let ci = (idx / CHUNK_WORDS) as usize;
+                if chunks[ci].is_none() {
+                    if value == 0 {
+                        return;
+                    }
+                    let len = (self.len_words - ci as u64 * CHUNK_WORDS).min(CHUNK_WORDS) as usize;
+                    chunks[ci] = Some(vec![0u64; len].into_boxed_slice());
+                }
+                chunks[ci].as_mut().expect("chunk just ensured")[(idx % CHUNK_WORDS) as usize] =
+                    value;
+            }
+            Backing::Flat { words } => words[idx as usize] = value,
+        }
     }
 
     /// Atomically ORs `bits` into the word at `paddr` and returns the *old*
     /// value — the accelerator's single-AMO mark operation (§IV-A.II).
     #[inline]
     pub fn fetch_or_u64(&mut self, paddr: u64, bits: u64) -> u64 {
-        let idx = self.index(paddr);
-        let old = self.words[idx];
-        self.words[idx] = old | bits;
+        let old = self.read_u64(paddr);
+        let new = old | bits;
+        if new != old {
+            self.write_u64(paddr, new);
+        }
         old
     }
 
     /// Zeroes `len` bytes starting at `paddr` (word-aligned, word-sized).
+    /// Untouched sparse chunks stay unallocated.
     ///
     /// # Panics
     ///
@@ -104,8 +212,28 @@ impl PhysMem {
             len.is_multiple_of(8),
             "zero_range length must be word-aligned"
         );
-        for off in (0..len).step_by(8) {
-            self.write_u64(paddr + off, 0);
+        if len == 0 {
+            return;
+        }
+        // Bounds-check both ends up front so partial ranges never write.
+        let first = self.index(paddr);
+        let last = self.index(paddr + len - 8);
+        match &mut self.backing {
+            Backing::Sparse { chunks } => {
+                // Zero whole resident chunks at once; skip absent ones.
+                let mut idx = first;
+                while idx <= last {
+                    let ci = (idx / CHUNK_WORDS) as usize;
+                    let lo = (idx % CHUNK_WORDS) as usize;
+                    let chunk_end = ((ci as u64 + 1) * CHUNK_WORDS - 1).min(last);
+                    if let Some(words) = &mut chunks[ci] {
+                        let hi = (chunk_end % CHUNK_WORDS) as usize;
+                        words[lo..=hi].fill(0);
+                    }
+                    idx = chunk_end + 1;
+                }
+            }
+            Backing::Flat { words } => words[first as usize..=last as usize].fill(0),
         }
     }
 }
@@ -154,7 +282,72 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "out of range")]
+    fn flat_out_of_range_panics() {
+        let mem = PhysMem::new_flat(8);
+        let _ = mem.read_u64(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_range_end_out_of_range_panics() {
+        let mut mem = PhysMem::new(64);
+        mem.zero_range(32, 64);
+    }
+
+    #[test]
     fn size_reports_bytes() {
         assert_eq!(PhysMem::new(4096).size_bytes(), 4096);
+        assert_eq!(PhysMem::new_flat(4096).size_bytes(), 4096);
+    }
+
+    #[test]
+    fn untouched_memory_allocates_no_chunks() {
+        let mem = PhysMem::new(1 << 30);
+        assert_eq!(mem.allocated_chunks(), 0);
+        assert_eq!(mem.resident_bytes(), 0);
+        assert_eq!(mem.read_u64(1 << 29), 0);
+        assert_eq!(mem.allocated_chunks(), 0);
+    }
+
+    #[test]
+    fn zero_writes_are_elided() {
+        let mut mem = PhysMem::new(1 << 30);
+        mem.write_u64(0, 0);
+        mem.zero_range(CHUNK_BYTES * 3, CHUNK_BYTES * 2);
+        assert_eq!(mem.fetch_or_u64(CHUNK_BYTES * 7, 0), 0);
+        assert_eq!(mem.allocated_chunks(), 0);
+        mem.write_u64(CHUNK_BYTES * 9 + 8, 42);
+        assert_eq!(mem.allocated_chunks(), 1);
+        assert_eq!(mem.resident_bytes(), CHUNK_BYTES);
+    }
+
+    #[test]
+    fn writes_straddling_chunks_are_independent() {
+        let mut mem = PhysMem::new(CHUNK_BYTES * 4);
+        mem.write_u64(CHUNK_BYTES - 8, 1);
+        mem.write_u64(CHUNK_BYTES, 2);
+        assert_eq!(mem.allocated_chunks(), 2);
+        assert_eq!(mem.read_u64(CHUNK_BYTES - 8), 1);
+        assert_eq!(mem.read_u64(CHUNK_BYTES), 2);
+        mem.zero_range(0, CHUNK_BYTES * 2);
+        assert_eq!(mem.read_u64(CHUNK_BYTES - 8), 0);
+        assert_eq!(mem.read_u64(CHUNK_BYTES), 0);
+    }
+
+    #[test]
+    fn short_tail_chunk_is_addressable() {
+        let bytes = CHUNK_BYTES + 16;
+        let mut mem = PhysMem::new(bytes);
+        mem.write_u64(bytes - 8, 99);
+        assert_eq!(mem.read_u64(bytes - 8), 99);
+        assert_eq!(mem.resident_bytes(), 16);
+    }
+
+    #[test]
+    fn flat_backing_pays_up_front() {
+        let mem = PhysMem::new_flat(CHUNK_BYTES * 4);
+        assert_eq!(mem.allocated_chunks(), 4);
+        assert_eq!(mem.resident_bytes(), CHUNK_BYTES * 4);
     }
 }

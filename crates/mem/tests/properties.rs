@@ -228,3 +228,137 @@ fn at_most_one_fill_per_distinct_line() {
         assert_eq!(backing.fills, distinct.len() as u64, "case {case}");
     }
 }
+
+// --- Sparse vs flat PhysMem differential properties -------------------
+//
+// The sparse chunked backing must be observationally identical to the
+// flat Vec<u64> it replaced: same words on every read, same panics on
+// every out-of-range access, while allocating storage only for chunks
+// actually written with nonzero data.
+
+use tracegc_mem::phys::CHUNK_BYTES;
+use tracegc_mem::PhysMem;
+
+#[test]
+fn sparse_matches_flat_on_random_access_patterns() {
+    const SIZE: u64 = CHUNK_BYTES * 16;
+    for case in 0..CASES {
+        let mut rng = case_rng(10, case);
+        let mut sparse = PhysMem::new(SIZE);
+        let mut flat = PhysMem::new_flat(SIZE);
+        for _ in 0..rng.random_range(64usize..512) {
+            let addr = rng.random_range(0u64..SIZE / 8) * 8;
+            match rng.random_range(0u32..5) {
+                0 => {
+                    // Bias toward zero writes to exercise the sparse
+                    // backing's zero-write elision.
+                    let v = if rng.random_range(0u32..4) == 0 {
+                        0
+                    } else {
+                        rng.random()
+                    };
+                    sparse.write_u64(addr, v);
+                    flat.write_u64(addr, v);
+                }
+                1 => {
+                    // The accelerator's single-AMO mark operation.
+                    let bits = 1u64 << rng.random_range(0u32..64);
+                    assert_eq!(
+                        sparse.fetch_or_u64(addr, bits),
+                        flat.fetch_or_u64(addr, bits),
+                        "case {case}: fetch_or old value diverged at {addr:#x}"
+                    );
+                }
+                2 => {
+                    // A fault-injection bit-flip site: read-modify-write
+                    // with a single flipped bit, as the DRAM fault model
+                    // does to in-flight words.
+                    let bit = 1u64 << rng.random_range(0u32..64);
+                    let flipped = sparse.read_u64(addr) ^ bit;
+                    assert_eq!(
+                        flat.read_u64(addr) ^ bit,
+                        flipped,
+                        "case {case}: pre-flip word diverged at {addr:#x}"
+                    );
+                    sparse.write_u64(addr, flipped);
+                    flat.write_u64(addr, flipped);
+                }
+                3 => {
+                    let words = rng.random_range(1u64..64).min(SIZE / 8 - addr / 8);
+                    sparse.zero_range(addr, words * 8);
+                    flat.zero_range(addr, words * 8);
+                }
+                _ => {
+                    assert_eq!(
+                        sparse.read_u64(addr),
+                        flat.read_u64(addr),
+                        "case {case}: read diverged at {addr:#x}"
+                    );
+                }
+            }
+        }
+        // Word-for-word sweep of the whole address space.
+        for a in (0..SIZE).step_by(8) {
+            assert_eq!(
+                sparse.read_u64(a),
+                flat.read_u64(a),
+                "case {case}: final state diverged at {a:#x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sparse_and_flat_panic_on_the_same_out_of_range_accesses() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    const SIZE: u64 = CHUNK_BYTES * 2;
+    for case in 0..CASES {
+        let mut rng = case_rng(11, case);
+        // Addresses straddling the boundary: in-range must succeed on
+        // both, out-of-range must panic on both.
+        let addr = rng.random_range(0u64..SIZE / 4) * 8 + SIZE - CHUNK_BYTES / 2;
+        let sparse = PhysMem::new(SIZE);
+        let flat = PhysMem::new_flat(SIZE);
+        let s = catch_unwind(AssertUnwindSafe(|| sparse.read_u64(addr))).is_err();
+        let f = catch_unwind(AssertUnwindSafe(|| flat.read_u64(addr))).is_err();
+        assert_eq!(s, f, "case {case}: panic behavior diverged at {addr:#x}");
+        assert_eq!(s, addr >= SIZE, "case {case}: wrong bounds at {addr:#x}");
+    }
+}
+
+#[test]
+fn untouched_ranges_allocate_zero_chunks() {
+    for case in 0..CASES {
+        let mut rng = case_rng(12, case);
+        let mut mem = PhysMem::new(CHUNK_BYTES * 1024);
+        // Reads, zero writes and zero_range never allocate.
+        for _ in 0..64 {
+            let addr = rng.random_range(0u64..mem.size_bytes() / 8) * 8;
+            match rng.random_range(0u32..3) {
+                0 => assert_eq!(mem.read_u64(addr), 0),
+                1 => mem.write_u64(addr, 0),
+                _ => {
+                    let len = rng.random_range(1u64..32) * 8;
+                    if addr + len <= mem.size_bytes() {
+                        mem.zero_range(addr, len);
+                    }
+                }
+            }
+        }
+        assert_eq!(mem.allocated_chunks(), 0, "case {case}");
+        assert_eq!(mem.resident_bytes(), 0, "case {case}");
+        // Nonzero writes allocate exactly the touched chunks.
+        let mut touched = std::collections::BTreeSet::new();
+        for _ in 0..rng.random_range(1usize..32) {
+            let addr = rng.random_range(0u64..mem.size_bytes() / 8) * 8;
+            mem.write_u64(addr, 1 + rng.random_range(0u64..1000));
+            touched.insert(addr / CHUNK_BYTES);
+        }
+        assert_eq!(mem.allocated_chunks(), touched.len(), "case {case}");
+        assert_eq!(
+            mem.resident_bytes(),
+            touched.len() as u64 * CHUNK_BYTES,
+            "case {case}"
+        );
+    }
+}

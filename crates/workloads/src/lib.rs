@@ -21,7 +21,9 @@
 pub mod generate;
 pub mod queries;
 pub mod spec;
+pub mod stream;
 
 pub use generate::{churn, generate_heap, WorkloadHeap};
 pub use queries::{QueryLatencySim, QueryLatencySpec};
 pub use spec::{BenchSpec, DACAPO};
+pub use stream::{generate_streamed, GenStats, StreamShape, StreamSpec, StreamedHeap};
