@@ -65,17 +65,17 @@ for f in fig15.csv fig15.metrics.json fig20.csv fig20.metrics.json \
     cmp "$SIDECAR_DIR/par1/$f" "$SIDECAR_DIR/par4/$f"
 done
 
-echo "==> bench doc smoke (experiments --bench writes BENCH_9.json)"
+echo "==> bench doc smoke (experiments --bench writes BENCH_10.json)"
 ./target/release/experiments --quick --bench --out "$SIDECAR_DIR/bench" fig15 >/dev/null
-test -s "$SIDECAR_DIR/bench/BENCH_9.json"
-grep -q '"schema": "tracegc-bench-v1"' "$SIDECAR_DIR/bench/BENCH_9.json"
-grep -q '"peak_rss_kb_fastforward"' "$SIDECAR_DIR/bench/BENCH_9.json"
-grep -q '"par_engines"' "$SIDECAR_DIR/bench/BENCH_9.json"
-grep -q '"host_cpus"' "$SIDECAR_DIR/bench/BENCH_9.json"
-grep -q '"wall_s_parallel"' "$SIDECAR_DIR/bench/BENCH_9.json"
+test -s "$SIDECAR_DIR/bench/BENCH_10.json"
+grep -q '"schema": "tracegc-bench-v1"' "$SIDECAR_DIR/bench/BENCH_10.json"
+grep -q '"peak_rss_kb_fastforward"' "$SIDECAR_DIR/bench/BENCH_10.json"
+grep -q '"par_engines"' "$SIDECAR_DIR/bench/BENCH_10.json"
+grep -q '"host_cpus"' "$SIDECAR_DIR/bench/BENCH_10.json"
+grep -q '"wall_s_parallel"' "$SIDECAR_DIR/bench/BENCH_10.json"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
-    "$SIDECAR_DIR/bench/BENCH_9.json" 2>/dev/null \
-    || grep -q '"speedup_parallel"' "$SIDECAR_DIR/bench/BENCH_9.json"
+    "$SIDECAR_DIR/bench/BENCH_10.json" 2>/dev/null \
+    || grep -q '"speedup_parallel"' "$SIDECAR_DIR/bench/BENCH_10.json"
 
 echo "==> paper calibration gate (experiments --calibrate on committed results/)"
 # The committed results/ (scale 0.25) must conform to the paper's
@@ -135,6 +135,27 @@ cmp "$SIDECAR_DIR/hs1/heapscale.metrics.json" tests/golden/heapscale.metrics.jso
     --out "$SIDECAR_DIR/hs4" heapscale >/dev/null
 cmp "$SIDECAR_DIR/hs1/heapscale.csv" "$SIDECAR_DIR/hs4/heapscale.csv"
 cmp "$SIDECAR_DIR/hs1/heapscale.metrics.json" "$SIDECAR_DIR/hs4/heapscale.metrics.json"
+
+echo "==> fleet smoke (golden cmp + parallelism/pacing cross + exit-code contract)"
+# Multi-tenant serving at the golden scale: bytes must match the
+# committed goldens and be invariant to --jobs, --par-engines and the
+# scheduler pacing. Clean fleets exit 0; with injected faults tenants
+# degrade to the software fallback (exit 2) but never fail the
+# differential reachability check (which would exit 3).
+./target/release/experiments --scale 0.015 --pauses 1 --jobs 1 --par-engines 1 \
+    --out "$SIDECAR_DIR/fl1" fleet >/dev/null
+for f in fleet_0.csv fleet_1.csv fleet.metrics.json; do
+    cmp "$SIDECAR_DIR/fl1/$f" "tests/golden/$f"
+done
+./target/release/experiments --scale 0.015 --pauses 1 --jobs 4 --par-engines 4 \
+    --sched lockstep --out "$SIDECAR_DIR/fl4" fleet >/dev/null
+for f in fleet_0.csv fleet_1.csv fleet.metrics.json; do
+    cmp "$SIDECAR_DIR/fl1/$f" "$SIDECAR_DIR/fl4/$f"
+done
+rc=0
+./target/release/experiments --scale 0.015 --pauses 1 --fault-rate 1e-3 --fault-seed 7 \
+    --out "$SIDECAR_DIR/fl_fault" fleet >/dev/null 2>&1 || rc=$?
+test "$rc" -eq 2
 
 echo "==> heapscale paper-scale run under the host-RSS ceiling (~5 min single-core)"
 # The acceptance run of the memory-lean representation (DESIGN.md §11):

@@ -56,7 +56,7 @@ fn usage() -> String {
 }
 
 /// The BENCH trajectory point this build records (see ROADMAP item 5).
-const BENCH_ISSUE: u32 = 9;
+const BENCH_ISSUE: u32 = 10;
 
 /// Partition workers `--bench` uses when `--par-engines` was not given:
 /// the acceptance point of the multi-core batch is measured at 4.

@@ -13,7 +13,7 @@
 //! anything proportional to total allocations: a row's host cost tracks
 //! its *live* set. Shapes cover the production-traffic patterns the
 //! DaCapo mix does not: LRU cache churn, request/session allocation
-//! storms and social-graph supernodes.
+//! storms, social-graph supernodes and actor-mesh message passing.
 //!
 //! All reported columns are deterministic (simulated counters only);
 //! host RSS is checked by the CLI's `--rss-ceiling-mb` gate, not
@@ -85,6 +85,16 @@ fn grid() -> Vec<(u64, f64, StreamSpec)> {
             StreamShape::SocialGraph {
                 supernodes: 12,
                 supernode_degree: 2048,
+            },
+        ),
+        spec(
+            "actor-mesh",
+            64,
+            1.0,
+            StreamShape::ActorMesh {
+                peers: 3,
+                mailbox_depth: 4,
+                churn_messages: 6.0,
             },
         ),
         spec("paper200", 200, 1.0, FOREST),

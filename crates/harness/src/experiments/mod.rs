@@ -17,6 +17,7 @@ pub mod fig20;
 pub mod fig21;
 pub mod fig22;
 pub mod fig23;
+pub mod fleet;
 pub mod heapscale;
 pub mod multiunit;
 pub mod overlap;
@@ -113,7 +114,7 @@ pub struct ExperimentOutput {
 
 /// Every experiment id, in paper order (scheduler-layer experiments
 /// `overlap` and `multiunit` last).
-pub const ALL: [&str; 26] = [
+pub const ALL: [&str; 27] = [
     "table1",
     "fig1a",
     "fig1b",
@@ -140,6 +141,7 @@ pub const ALL: [&str; 26] = [
     "multiunit",
     "faultsweep",
     "heapscale",
+    "fleet",
 ];
 
 /// Runs one experiment by id. Returns `None` for unknown ids.
@@ -182,6 +184,7 @@ fn run_inner(id: &str, opts: &Options) -> Option<ExperimentOutput> {
         "multiunit" => multiunit::run(opts),
         "faultsweep" => faultsweep::run(opts),
         "heapscale" => heapscale::run(opts),
+        "fleet" => fleet::run(opts),
         _ => return None,
     })
 }

@@ -539,6 +539,84 @@ pub fn run_faulted_mark(
     }
 }
 
+/// Like [`run_faulted_mark`], over a *streamed* workload (the fleet's
+/// tenant heaps): one traversal-only pass under optional fault
+/// injection and the configured per-request budget
+/// (`cfg.mark_budget`) / throttle (`cfg.min_issue_interval`), degraded
+/// to the software fallback on any trap — including
+/// [`TrapKind::RequestTimeout`](tracegc_hwgc::TrapKind::RequestTimeout).
+/// Every non-failed run is differentially checked against the
+/// reachability oracle, whichever path completed the mark.
+pub fn run_faulted_mark_stream(
+    spec: &tracegc_workloads::StreamSpec,
+    layout: LayoutKind,
+    cfg: GcUnitConfig,
+    mem_kind: MemKind,
+    fault: Option<FaultConfig>,
+) -> FaultedMarkRun {
+    let mut streamed = tracegc_workloads::generate_streamed(spec, layout);
+    let mut mem = mem_kind.fresh();
+    let mut unit = TraversalUnit::new(cfg, &mut streamed.heap);
+
+    let plan = fault.filter(|f| f.is_active()).map(FaultPlan::new);
+    if let Some(plan) = &plan {
+        mem.set_fault_injector(plan.injector(FaultSite::Mem));
+        unit.install_fault_plan(plan);
+    }
+
+    let mut stats = FaultStats::default();
+    let mut fallback_stalls = StallAccounting::default();
+    let (outcome, unit_cycles, fallback_cycles) =
+        match unit.try_run_mark(&mut streamed.heap, &mut mem, 0) {
+            Ok(res) => (MarkOutcome::Clean, res.cycles(), 0),
+            Err(e) => match unit.trap() {
+                Some(trap) => {
+                    let pending = unit.drain_architected_state(&streamed.heap);
+                    let _ = mem.take_fault();
+                    if let Some(inj) = mem.take_fault_injector() {
+                        stats.merge(inj.stats());
+                    }
+                    let mut cpu = Cpu::new(CpuConfig::default(), &mut streamed.heap);
+                    cpu.advance_to(trap.at);
+                    let fb = cpu.resume_mark_from(&mut streamed.heap, &mut mem, &pending);
+                    fallback_stalls = fb.stalls;
+                    let info = FallbackInfo {
+                        trap,
+                        drained: pending.len(),
+                        cycles: fb.cycles,
+                    };
+                    (MarkOutcome::Fallback(info), trap.at, fb.cycles)
+                }
+                None => (MarkOutcome::Failed(e), 0, 0),
+            },
+        };
+
+    if let Some(inj) = mem.take_fault_injector() {
+        stats.merge(inj.stats());
+    }
+    if let Some(s) = unit.fault_stats() {
+        stats.merge(s);
+    }
+    if let Some(s) = unit.ptw_fault_stats() {
+        stats.merge(s);
+    }
+
+    if !matches!(outcome, MarkOutcome::Failed(_)) {
+        check_marks_match_reachability(&streamed.heap)
+            .expect("fault-injected streamed mark must agree with reachability");
+    }
+
+    FaultedMarkRun {
+        outcome,
+        unit_cycles,
+        fallback_cycles,
+        objects_marked: streamed.heap.marked_set().len() as u64,
+        stats,
+        unit_stalls: *unit.stalls(),
+        fallback_stalls,
+    }
+}
+
 /// Result of a CPU-only collection.
 #[derive(Debug)]
 pub struct CpuRun {

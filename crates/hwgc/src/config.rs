@@ -57,6 +57,12 @@ pub struct GcUnitConfig {
     /// could be reduced by communicating with the memory controller to
     /// only use residual bandwidth".
     pub min_issue_interval: u64,
+    /// Per-pass cycle budget (0 = unlimited). When a mark pass runs
+    /// longer than this many cycles past its `begin`, the unit latches
+    /// [`TrapKind::RequestTimeout`](crate::trap::TrapKind::RequestTimeout)
+    /// and freezes, handing the rest of the mark to the software
+    /// fallback — the fleet scheduler's per-request timeout.
+    pub mark_budget: u64,
     /// Record an event trace (bounded ring; see `sim::metrics`) during
     /// collection. Off by default: stall *accounting* is always on, only
     /// the per-event ring is gated.
@@ -80,6 +86,7 @@ impl Default for GcUnitConfig {
             topology: CacheTopology::Partitioned,
             spill_bytes: 4 << 20,
             min_issue_interval: 0,
+            mark_budget: 0,
             trace: false,
         }
     }

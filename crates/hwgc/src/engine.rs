@@ -67,6 +67,10 @@ impl<'a, 'c> Engine<SocCtx<'c>> for MarkEngine<'a> {
         "traversal"
     }
 
+    fn label(&self) -> String {
+        format!("traversal[heap {}]", self.heap_idx)
+    }
+
     fn step(&mut self, now: Cycle, ctx: &mut SocCtx<'c>) -> Progress {
         let SocCtx {
             mem,
@@ -176,6 +180,10 @@ impl MutatorEngine {
 impl<'c> Engine<SocCtx<'c>> for MutatorEngine {
     fn name(&self) -> &'static str {
         "mutator"
+    }
+
+    fn label(&self) -> String {
+        format!("mutator[heap {}]", self.heap_idx)
     }
 
     fn step(&mut self, now: Cycle, ctx: &mut SocCtx<'c>) -> Progress {

@@ -36,6 +36,13 @@ pub enum TrapKind {
     /// The spill engine needed a chunk slot but the spill region was
     /// full — the driver under-provisioned the region (§V-E).
     SpillExhausted,
+    /// The pass exceeded the driver-programmed cycle budget
+    /// ([`GcUnitConfig::mark_budget`]): a fleet scheduler's per-request
+    /// timeout, delivered through the same trap path as a hardware
+    /// fault so the software collector finishes the mark.
+    ///
+    /// [`GcUnitConfig::mark_budget`]: crate::config::GcUnitConfig::mark_budget
+    RequestTimeout,
 }
 
 impl TrapKind {
@@ -49,6 +56,7 @@ impl TrapKind {
             TrapKind::EccUncorrectable => "ecc_uncorrectable",
             TrapKind::MemTimeout => "mem_timeout",
             TrapKind::SpillExhausted => "spill_exhausted",
+            TrapKind::RequestTimeout => "request_timeout",
         }
     }
 }

@@ -227,6 +227,8 @@ pub struct TraversalUnit {
     /// issue — the hardware's faulting-entry register, preserved so the
     /// software fallback resumes from clean state.
     trap_pending_ref: Option<u64>,
+    /// Cycle the current pass began (for the `mark_budget` deadline).
+    pass_start: Cycle,
     /// Fault injector for the marker datapath (`None` = no injection).
     fault: Option<FaultInjector>,
 }
@@ -293,6 +295,7 @@ impl TraversalUnit {
             trace: cfg.trace.then(|| EventTrace::new(DEFAULT_TRACE_CAPACITY)),
             trap: None,
             trap_pending_ref: None,
+            pass_start: 0,
             fault: None,
             cfg,
         }
@@ -524,6 +527,7 @@ impl TraversalUnit {
         self.stalls = StallAccounting::default();
         self.trap = None;
         self.trap_pending_ref = None;
+        self.pass_start = start;
     }
 
     /// Attributes a no-progress cycle at `now` to its bottleneck.
@@ -589,6 +593,14 @@ impl TraversalUnit {
         // exhausted retry budget on one of our requests) and escalate.
         if let Some(e) = mem.take_fault() {
             self.raise_trap(Trap::from_sim_error(&e));
+            return true;
+        }
+        // The driver-programmed per-request deadline (fleet timeout):
+        // a pass that overruns its cycle budget traps exactly at the
+        // deadline under both pacings — lockstep steps every cycle and
+        // fast-forward's hop is clamped by `next_event_at` below.
+        if self.cfg.mark_budget > 0 && now >= self.pass_start + self.cfg.mark_budget {
+            self.raise_trap(Trap::new(TrapKind::RequestTimeout, 0, now));
             return true;
         }
         // Expire pipeline freezes and the throttle gate once their
@@ -726,7 +738,17 @@ impl TraversalUnit {
     /// [`TraversalUnit::step`] expires stale freeze/throttle deadlines
     /// up front) never reports a cycle already in the past.
     pub fn next_event_at(&self) -> Option<Cycle> {
-        self.next_event()
+        let inner = self.next_event();
+        // The `mark_budget` deadline is a wake source like any other:
+        // stepping the unit there raises the timeout trap (a real state
+        // change), so reporting it keeps the fast-forward hop honest —
+        // and wakes a unit that is otherwise stalled with no event of
+        // its own, turning a would-be deadlock into a trap.
+        if self.trap.is_none() && self.cfg.mark_budget > 0 {
+            let deadline = self.pass_start + self.cfg.mark_budget;
+            return Some(inner.map_or(deadline, |e| e.min(deadline)));
+        }
+        inner
     }
 
     /// Builds the result for a pass driven externally via

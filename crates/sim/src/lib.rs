@@ -21,6 +21,10 @@
 //! * [`fault`] — seeded deterministic fault injection ([`FaultPlan`],
 //!   per-site [`FaultInjector`]s) and the structured [`SimError`] every
 //!   `run_*` driver degrades into instead of panicking.
+//! * [`fleet`] — fleet-scale multi-tenant GC request queueing: a
+//!   seeded open-loop arrival process, bounded admission, pluggable
+//!   scheduling policies and trace-driven replay of measured per-tenant
+//!   mark service times over shared traversal units.
 //! * [`sched`] — the SoC composition layer: the cycle-stepped
 //!   [`Engine`] trait and the [`Scheduler`] that ticks arbitrary engine
 //!   sets on one shared clock under a pluggable [`Policy`].
@@ -42,6 +46,7 @@
 
 pub mod dist;
 pub mod fault;
+pub mod fleet;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
@@ -51,6 +56,7 @@ pub mod stats;
 pub use fault::{
     EccOutcome, FaultConfig, FaultInjector, FaultPlan, FaultSite, FaultStats, SimError,
 };
+pub use fleet::{Completion, FleetConfig, FleetPolicy, FleetStats, TenantProfile};
 pub use metrics::{EventTrace, MetricSet, StallAccounting, StallReason, TraceEvent};
 pub use queue::BoundedQueue;
 pub use rng::{Rng, SplitMix64, StdRng};

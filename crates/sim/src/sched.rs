@@ -186,6 +186,15 @@ pub trait Engine<Ctx> {
     /// Short stable name, used in watchdog dumps and progress logs.
     fn name(&self) -> &'static str;
 
+    /// Instance label for watchdog dumps: [`Engine::name`] plus any
+    /// per-instance identity (heap index, tenant id, partition). A
+    /// fleet deadlock dump that says `traversal` eight times is
+    /// useless; one that says `traversal[tenant 3 social-graph]` names
+    /// the culprit. Defaults to the bare name.
+    fn label(&self) -> String {
+        self.name().to_string()
+    }
+
     /// Offers the engine cycle `now`; the engine reports what it did.
     fn step(&mut self, now: Cycle, ctx: &mut Ctx) -> Progress;
 
@@ -1017,12 +1026,12 @@ impl Scheduler {
         let mut msg = format!("scheduler deadlock at cycle {now}: {why}\n");
         for (i, e) in engines.iter().enumerate() {
             if done[i] {
-                msg.push_str(&format!("  [{i}] {}: done\n", e.name()));
+                msg.push_str(&format!("  [{i}] {}: done\n", e.label()));
                 continue;
             }
             msg.push_str(&format!(
                 "  [{i}] {}: stalled on {}, next_event={:?}",
-                e.name(),
+                e.label(),
                 e.stall_reason(now).name(),
                 e.next_event_at()
             ));
@@ -1227,6 +1236,36 @@ mod tests {
         Scheduler::new(Policy::Lockstep)
             .no_progress_limit(1000)
             .run(&mut [&mut e], &mut (), 0);
+    }
+
+    #[test]
+    fn deadlock_dump_uses_instance_labels() {
+        struct Tenant(usize);
+        impl Engine<()> for Tenant {
+            fn name(&self) -> &'static str {
+                "traversal"
+            }
+            fn label(&self) -> String {
+                format!("traversal[tenant {}]", self.0)
+            }
+            fn step(&mut self, _now: Cycle, _ctx: &mut ()) -> Progress {
+                Progress::Stalled
+            }
+            fn next_event_at(&self) -> Option<Cycle> {
+                None
+            }
+        }
+        let (mut a, mut b) = (Tenant(0), Tenant(3));
+        let err = Scheduler::new(Policy::Lockstep)
+            .try_run(&mut [&mut a, &mut b], &mut (), 0)
+            .unwrap_err();
+        match &err {
+            SimError::Deadlock { dump, .. } => {
+                assert!(dump.contains("traversal[tenant 0]"));
+                assert!(dump.contains("traversal[tenant 3]"));
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
     }
 
     #[test]

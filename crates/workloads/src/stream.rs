@@ -23,7 +23,12 @@
 //!   generation's traffic, collected by a full-heap tracer);
 //! * [`StreamShape::SocialGraph`] — power-law degrees plus supernodes:
 //!   a few huge reference arrays (celebrity fan-out) that stress the
-//!   tracer's long-object decoupling and the mark queue.
+//!   tracer's long-object decoupling and the mark queue;
+//! * [`StreamShape::ActorMesh`] — an actor system: a mesh of actors
+//!   with small-world peer links, each owning a bounded mailbox whose
+//!   slots are overwritten by message churn (every overwrite kills the
+//!   previous message and its payload), so pointer *mutation* — not
+//!   allocation order — decides liveness.
 
 use tracegc_heap::verify::{software_mark_count, software_sweep};
 use tracegc_heap::{Heap, HeapConfig, LayoutKind, ObjRef, SpaceMap};
@@ -69,6 +74,19 @@ pub enum StreamShape {
         supernodes: usize,
         /// Out-degree of each supernode (reference-array length).
         supernode_degree: u32,
+    },
+    /// An actor system: actors in a small-world mesh (ring predecessor
+    /// plus random peers), each owning a bounded mailbox array whose
+    /// slots message churn overwrites in place — the overwritten
+    /// message and its payload die on the spot.
+    ActorMesh {
+        /// Peer references per actor (ring predecessor + random links).
+        peers: u32,
+        /// Mailbox slots per actor (live messages at steady state).
+        mailbox_depth: u32,
+        /// Messages sent per actor on average after the initial fill
+        /// (allocation churn; the live set stays mailbox-bounded).
+        churn_messages: f64,
     },
 }
 
@@ -241,7 +259,9 @@ fn heap_for(spec: &StreamSpec, layout: LayoutKind, superpages: bool) -> Heap {
         }
         // Churny shapes sweep during generation; garbage between two
         // sweeps is bounded by about one live set.
-        StreamShape::LruCache { .. } | StreamShape::RequestSession { .. } => {
+        StreamShape::LruCache { .. }
+        | StreamShape::RequestSession { .. }
+        | StreamShape::ActorMesh { .. } => {
             est *= 3;
         }
         StreamShape::SocialGraph {
@@ -320,6 +340,19 @@ pub fn generate_streamed_opts(
             &mut stats,
             supernodes,
             supernode_degree,
+        ),
+        StreamShape::ActorMesh {
+            peers,
+            mailbox_depth,
+            churn_messages,
+        } => gen_actor_mesh(
+            spec,
+            &mut heap,
+            &mut rng,
+            &mut stats,
+            peers,
+            mailbox_depth,
+            churn_messages,
         ),
     };
     heap.set_roots(&roots);
@@ -653,6 +686,88 @@ fn gen_social(
     (roots, hot)
 }
 
+fn gen_actor_mesh(
+    spec: &StreamSpec,
+    heap: &mut Heap,
+    rng: &mut StdRng,
+    stats: &mut GenStats,
+    peers: u32,
+    mailbox_depth: u32,
+    churn_messages: f64,
+) -> (Vec<ObjRef>, Vec<ObjRef>) {
+    let peers = peers.max(1);
+    let mailbox_depth = mailbox_depth.max(1);
+    // Steady state per actor: the actor object, its mailbox array and a
+    // full mailbox of (message, payload) pairs.
+    let per_actor = 2 + 2 * mailbox_depth as usize;
+    let n_actors = (spec.live_objects / per_actor).max(8);
+    // Shared singletons (dispatcher, config): the hot set, rooted.
+    let hot: Vec<ObjRef> = (0..spec.hot_set.max(1))
+        .map(|_| alloc_tracked(heap, stats, 0, rng.random_range(4u32..12), false, true))
+        .collect();
+    // The actor directory: root arrays of 64 slots.
+    let dirs: Vec<ObjRef> = (0..n_actors.div_ceil(64))
+        .map(|_| alloc_tracked(heap, stats, 64, 0, true, true))
+        .collect();
+    let mut roots = dirs.clone();
+    roots.extend(hot.iter().copied());
+    // Spawn the actors: slot 0 holds the mailbox, the rest are peers.
+    let mut actors: Vec<ObjRef> = Vec::with_capacity(n_actors);
+    let mut mailboxes: Vec<ObjRef> = Vec::with_capacity(n_actors);
+    for i in 0..n_actors {
+        let mailbox = alloc_tracked(heap, stats, mailbox_depth, 0, true, true);
+        let actor = alloc_tracked(heap, stats, peers + 1, 2, false, true);
+        heap.set_ref(actor, 0, Some(mailbox));
+        heap.set_ref(dirs[i / 64], (i % 64) as u32, Some(actor));
+        actors.push(actor);
+        mailboxes.push(mailbox);
+        note_peak(
+            stats,
+            actors.len() + mailboxes.len() + roots.len() + hot.len(),
+        );
+    }
+    // Small-world mesh: slot 1 is the ring predecessor (the mesh is one
+    // strongly-connected cycle), the rest are random peers.
+    for (i, &actor) in actors.iter().enumerate() {
+        heap.set_ref(actor, 1, Some(actors[(i + n_actors - 1) % n_actors]));
+        for slot in 2..=peers {
+            heap.set_ref(actor, slot, Some(actors[rng.random_range(0..n_actors)]));
+        }
+    }
+    // Message churn: each send allocates a (message, payload) pair and
+    // writes it over the recipient's next mailbox slot round-robin; once
+    // a mailbox is full every further send kills the slot's previous
+    // occupant. Liveness is decided by the overwrites, not by when a
+    // message was allocated.
+    let msg_bytes = heap.cell_bytes_needed(1, 2) + heap.cell_bytes_needed(0, 4);
+    let total_msgs = (n_actors as f64 * churn_messages) as usize;
+    let mut sends = vec![0u32; n_actors];
+    let mut since_sweep = 0usize;
+    for _ in 0..total_msgs {
+        let a = rng.random_range(0..n_actors);
+        let payload = alloc_tracked(heap, stats, 0, 4, false, true);
+        let msg = alloc_tracked(heap, stats, 1, 2, false, true);
+        heap.set_ref(msg, 0, Some(payload));
+        if sends[a] >= mailbox_depth {
+            stats.est_live_bytes = stats.est_live_bytes.saturating_sub(msg_bytes);
+        }
+        heap.set_ref(mailboxes[a], sends[a] % mailbox_depth, Some(msg));
+        sends[a] += 1;
+        // A sweep every ~live-set's worth of sends bounds the dead
+        // backlog, as in the other churny shapes.
+        since_sweep += 2;
+        if since_sweep > spec.live_objects.max(4096) {
+            since_sweep = 0;
+            gen_sweep(heap, &roots, stats);
+        }
+        note_peak(
+            stats,
+            actors.len() + mailboxes.len() + roots.len() + hot.len(),
+        );
+    }
+    (roots, hot)
+}
+
 /// A generation-time collection: marks from `roots` and sweeps, so dead
 /// cells are recycled by subsequent allocations.
 fn gen_sweep(heap: &mut Heap, roots: &[ObjRef], stats: &mut GenStats) {
@@ -814,6 +929,44 @@ mod tests {
     }
 
     #[test]
+    fn actor_mesh_churn_grows_allocations_not_the_live_set() {
+        let live = 4000usize;
+        let shape = |churn_messages| StreamShape::ActorMesh {
+            peers: 3,
+            mailbox_depth: 4,
+            churn_messages,
+        };
+        let lo = generate_streamed(&spec(shape(6.0), live), LayoutKind::Bidirectional);
+        let lo2 = generate_streamed(&spec(shape(6.0), live), LayoutKind::Bidirectional);
+        let hi = generate_streamed(&spec(shape(24.0), live), LayoutKind::Bidirectional);
+        // Deterministic.
+        assert_eq!(lo.live_objects, lo2.live_objects);
+        assert_eq!(lo.stats.allocated, lo2.stats.allocated);
+        assert_eq!(
+            lo.heap.reachable_from_roots(),
+            lo2.heap.reachable_from_roots()
+        );
+        // Message churn multiplies allocations while the live set stays
+        // mailbox-bounded — overwrites kill what they replace.
+        assert!(hi.stats.allocated > lo.stats.allocated * 2);
+        assert!(
+            (hi.live_objects as f64) < live as f64 * 1.1,
+            "live {} for target {live}",
+            hi.live_objects
+        );
+        assert!(
+            (hi.live_objects as f64) > live as f64 * 0.5,
+            "live {} for target {live}",
+            hi.live_objects
+        );
+        // More churn can only fill more mailbox slots, never unbound them.
+        assert!(hi.live_objects >= lo.live_objects);
+        assert!(hi.stats.gen_sweeps > 0, "churn must trigger sweeps");
+        // Peak tracked memory is live-set-bounded, not churn-bounded.
+        assert_eq!(lo.stats.peak_tracked, hi.stats.peak_tracked);
+    }
+
+    #[test]
     fn generator_peak_memory_tracks_live_set_not_allocations() {
         // Quadrupling the churn (total allocations) must leave the
         // generator's tracked-object peak unchanged; growing the live
@@ -902,6 +1055,14 @@ mod tests {
                 StreamShape::SocialGraph {
                     supernodes: 8,
                     supernode_degree: 600,
+                },
+            ),
+            (
+                "actors",
+                StreamShape::ActorMesh {
+                    peers: 3,
+                    mailbox_depth: 4,
+                    churn_messages: 8.0,
                 },
             ),
         ];

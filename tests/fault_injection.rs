@@ -165,6 +165,38 @@ fn spill_exhaustion_degrades_to_an_identical_mark() {
 }
 
 #[test]
+fn request_timeout_budget_degrades_to_an_identical_mark() {
+    // The fleet scheduler's per-request timeout: no injected faults at
+    // all, just a mark budget far below the real service time. The unit
+    // must latch `RequestTimeout` at its deadline (in both pacings —
+    // `next_event_at` reports the deadline as a wake source) and the
+    // software fallback must finish the mark identically.
+    let timed_out = || {
+        run_faulted_mark(
+            &spec(),
+            LayoutKind::Bidirectional,
+            GcUnitConfig {
+                mark_budget: 64,
+                ..GcUnitConfig::default()
+            },
+            MemKind::ddr3_default(),
+            FaultConfig::zero_rates(0),
+        )
+    };
+    let run = timed_out();
+    assert_falls_back(&run, &[TrapKind::RequestTimeout]);
+    assert_eq!(run.objects_marked, clean_marked());
+    // The deadline is a cycle count, not a race: the trap lands on the
+    // same cycle every time.
+    match (&run.outcome, &timed_out().outcome) {
+        (MarkOutcome::Fallback(a), MarkOutcome::Fallback(b)) => {
+            assert_eq!(a.trap.at, b.trap.at, "timeout cycle must be deterministic");
+        }
+        other => panic!("expected two fallbacks, got {other:?}"),
+    }
+}
+
+#[test]
 fn fallback_completed_collection_sweeps_like_a_clean_one() {
     // The full GC path: trap, software fallback, then the unit's sweep.
     // Heap invariants must hold and the freed set must match a clean

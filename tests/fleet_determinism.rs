@@ -1,0 +1,100 @@
+//! The fleet experiment's determinism wall: tables and the metrics
+//! sidecar must be byte-identical across `--jobs`, `--par-engines` and
+//! both scheduler pacings, with and without active fault injection —
+//! the in-process counterpart of ci.sh's cross-process `cmp` gate.
+
+use tracegc::experiments::{exit_code_for, run_ids, Options};
+use tracegc::sim::{with_pacing, FaultConfig, Pacing};
+
+/// Runs the fleet experiment and flattens every byte the CLI would
+/// write: all table CSVs plus the metrics sidecar JSON.
+fn fleet_bytes(opts: &Options) -> String {
+    let done = run_ids(&["fleet"], opts).expect("fleet is registered");
+    let out = &done[0].output;
+    let mut bytes = String::new();
+    for t in &out.tables {
+        bytes.push_str(&t.to_csv());
+        bytes.push('\n');
+    }
+    bytes.push_str(&out.metrics.to_json());
+    bytes
+}
+
+fn smoke_opts(fault: Option<FaultConfig>) -> Options {
+    Options {
+        scale: 0.015,
+        pauses: 1,
+        fault,
+        ..Options::default()
+    }
+}
+
+/// Every rate class active, like the CLI's `--fault-rate`.
+fn active_fault(rate: f64) -> FaultConfig {
+    FaultConfig {
+        seed: 0x5EED,
+        bit_flip_rate: rate,
+        drop_rate: rate,
+        delay_rate: rate,
+        corrupt_ref_rate: rate,
+        corrupt_header_rate: rate,
+        pte_fault_rate: rate,
+        ..FaultConfig::zero_rates(0x5EED)
+    }
+}
+
+#[test]
+fn fleet_is_byte_identical_across_jobs_par_engines_and_pacing() {
+    let reference = with_pacing(Pacing::Lockstep, || {
+        fleet_bytes(&Options {
+            jobs: 1,
+            par_engines: 1,
+            ..smoke_opts(None)
+        })
+    });
+    for jobs in [1usize, 4] {
+        for par_engines in [1usize, 4] {
+            for pacing in [Pacing::Lockstep, Pacing::FastForward] {
+                let got = with_pacing(pacing, || {
+                    fleet_bytes(&Options {
+                        jobs,
+                        par_engines,
+                        ..smoke_opts(None)
+                    })
+                });
+                assert_eq!(
+                    got, reference,
+                    "fleet output differs at jobs={jobs} par_engines={par_engines} {pacing:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn faulted_fleet_degrades_gracefully_and_stays_deterministic() {
+    // A fault rate known to degrade at least one tenant at smoke scale:
+    // every degraded tenant's mark is differentially checked against
+    // the reachability oracle inside the runner (a mismatch becomes a
+    // failed run), so `fallback_runs` without `failed_runs` *is* the
+    // graceful-degradation property. The exit-code contract follows.
+    let opts = |par_engines| Options {
+        par_engines,
+        ..smoke_opts(Some(active_fault(1e-3)))
+    };
+    let done = run_ids(&["fleet"], &opts(1)).expect("fleet is registered");
+    let metrics = &done[0].output.metrics;
+    assert!(
+        metrics.fault_value("fallback_runs").unwrap_or(0) > 0,
+        "this rate/seed must degrade at least one tenant"
+    );
+    assert_eq!(
+        metrics.fault_value("failed_runs"),
+        None,
+        "degraded tenants must still pass the reachability oracle"
+    );
+    assert_eq!(exit_code_for(&done), 2, "degraded-but-correct exits 2");
+
+    // And the faulted run is just as deterministic as the clean one.
+    assert_eq!(fleet_bytes(&opts(1)), fleet_bytes(&opts(4)));
+}

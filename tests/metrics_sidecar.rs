@@ -123,7 +123,7 @@ fn forced_scale_sidecars_are_valid() {
 fn bench_doc_schema_and_totals() {
     use tracegc::metrics::{write_bench, BENCH_SCHEMA};
     let doc = sample_bench_doc();
-    assert_eq!(doc.file_name(), "BENCH_9.json");
+    assert_eq!(doc.file_name(), "BENCH_10.json");
     assert_eq!(doc.total_sim_cycles(), 3_000_000);
     assert!((doc.total_speedup() - 6.0).abs() < 1e-9);
     assert!((doc.total_speedup_parallel() - 3.0).abs() < 1e-9);
@@ -131,7 +131,7 @@ fn bench_doc_schema_and_totals() {
     json_syntax_check(&json).expect("bench doc must be well-formed JSON");
     assert!(json.contains(BENCH_SCHEMA), "missing schema tag");
     for key in [
-        "\"issue\": 9",
+        "\"issue\": 10",
         "\"par_engines\": 4",
         "\"host_cpus\": 8",
         "\"experiments\": [",
@@ -153,7 +153,7 @@ fn bench_doc_schema_and_totals() {
 
     let dir = std::env::temp_dir().join(format!("tracegc-bench-{}", std::process::id()));
     let path = write_bench(&dir, &doc).expect("bench written");
-    assert!(path.ends_with("BENCH_9.json"));
+    assert!(path.ends_with("BENCH_10.json"));
     assert_eq!(
         std::fs::read_to_string(&path).expect("readable"),
         doc.to_json()
@@ -164,7 +164,7 @@ fn bench_doc_schema_and_totals() {
 fn sample_bench_doc() -> tracegc::metrics::BenchDoc {
     use tracegc::metrics::{BenchDoc, BenchEntry};
     BenchDoc {
-        issue: 9,
+        issue: 10,
         jobs: 4,
         par_engines: 4,
         scale: 0.25,
